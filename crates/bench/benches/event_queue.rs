@@ -1,0 +1,53 @@
+//! Micro-bench: the discrete-event queue, the innermost loop of every
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtn_core::event::EventQueue;
+use dtn_core::time::SimTime;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+
+    g.bench_function("push_pop_10k_sorted", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..10_000u32 {
+                    q.push(SimTime::from_secs(i as f64), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("push_pop_10k_interleaved", |b| {
+        // The simulator's realistic pattern: pops interleaved with pushes
+        // of near-future events.
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                for i in 0..1_000u32 {
+                    q.push(SimTime::from_secs(i as f64), i);
+                }
+                q
+            },
+            |mut q| {
+                for i in 0..9_000u32 {
+                    let (t, ev) = q.pop().expect("queue never empties");
+                    black_box(ev);
+                    q.push(t + dtn_core::time::SimDuration::from_secs((i % 17) as f64 + 1.0), i);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

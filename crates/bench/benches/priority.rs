@@ -1,0 +1,68 @@
+//! Micro-bench: the SDSRP priority computation (Eq. 10 closed form vs
+//! the Eq. 13 Taylor truncations) and the Eq. 15 spray-tree estimator —
+//! the paper argues Taylor truncation "saves computation overhead";
+//! this bench quantifies that claim on our implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_core::time::SimTime;
+use sdsrp_core::estimator::estimate_m;
+use sdsrp_core::priority::PriorityModel;
+use std::hint::black_box;
+
+fn bench_priority(c: &mut Criterion) {
+    let model = PriorityModel::new(100, 1.0 / 2000.0);
+    let cases: Vec<(u32, u32, u32, f64)> = (0..64)
+        .map(|i| (i % 40, 1 + i % 20, 1 + i % 32, 100.0 + 270.0 * i as f64))
+        .collect();
+
+    let mut g = c.benchmark_group("priority");
+
+    g.bench_function("eq10_closed_form", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(m, n, cc, r) in &cases {
+                acc += model.priority(m, n, cc, r);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("log_priority", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(m, n, cc, r) in &cases {
+                acc += model.log_priority(m, n, cc, r);
+            }
+            black_box(acc)
+        })
+    });
+
+    for k in [1usize, 4, 16, 64] {
+        g.bench_function(format!("eq13_taylor_k{k}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(m, n, cc, r) in &cases {
+                    acc += model.log_priority_taylor(m, n, cc, r, k);
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    let spray_times: Vec<SimTime> = (0..6).map(|i| SimTime::from_secs(i as f64 * 500.0)).collect();
+    g.bench_function("eq15_estimate_m", |b| {
+        b.iter(|| {
+            black_box(estimate_m(
+                black_box(&spray_times),
+                SimTime::from_secs(5000.0),
+                20.2,
+                100,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_priority);
+criterion_main!(benches);

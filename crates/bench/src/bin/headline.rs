@@ -1,0 +1,13 @@
+//! Quick single-point comparison of the paper's four policies at the
+//! Table II centre operating point (one seed) — a fast sanity check of
+//! the headline ordering before running the full sweeps.
+fn main() {
+    for policy in dtn_sim::config::PolicyKind::paper_four() {
+        let mut cfg = dtn_sim::config::presets::random_waypoint_paper();
+        cfg.policy = policy;
+        let r = dtn_sim::world::World::build(&cfg).run();
+        println!("{:<16} ratio {:.3} overhead {:6.2} hops {:.2} drops {} rejects {}",
+            policy.label(), r.delivery_ratio(), r.overhead_ratio(), r.avg_hopcount(),
+            r.buffer_drops(), r.incoming_rejects());
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared infrastructure for the figure-regeneration binaries and
+//! Criterion benches.
+//!
+//! Each binary regenerates one paper artefact:
+//!
+//! | binary      | artefact            | what it prints                                   |
+//! |-------------|---------------------|--------------------------------------------------|
+//! | `fig3`      | Fig. 3 (a, b)       | intermeeting-time distribution + exponential fit |
+//! | `fig4`      | Fig. 4              | priority vs `P(R)` for Taylor k and idealisation |
+//! | `fig8`      | Fig. 8 (a–i)        | three RWP sweeps x three metrics                 |
+//! | `fig9`      | Fig. 9 (a–i)        | three EPFL-substitute sweeps x three metrics     |
+//! | `ablations` | extensions          | estimator/gossip/Taylor/oracle ablations         |
+//!
+//! All binaries accept `--quick` (reduced duration/points/seeds for a
+//! laptop-minutes smoke pass), `--seeds N`, and `--out DIR` to also
+//! write CSVs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use dtn_sim::config::{PolicyKind, ScenarioConfig};
+use dtn_sim::output::{Metric, SeriesTable};
+use dtn_sim::sweep::{run_sweep, SweepAxis, SweepCell, SweepSpec};
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Reduced-scale run for smoke checks.
+    pub quick: bool,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Optional CSV output directory.
+    pub out: Option<PathBuf>,
+    /// Optional sweep filter (`copies`, `buffer`, `genrate`).
+    pub sweep: Option<String>,
+    /// Also print the supplementary delivery-latency panel.
+    pub latency: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, ignoring unknown flags with a warning.
+    pub fn parse() -> Cli {
+        let mut cli = Cli {
+            quick: false,
+            seeds: vec![1, 2, 3],
+            out: None,
+            sweep: None,
+            latency: false,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => cli.quick = true,
+                "--latency" => cli.latency = true,
+                "--seeds" => {
+                    i += 1;
+                    let n: u64 = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seeds needs a number");
+                    cli.seeds = (1..=n).collect();
+                }
+                "--out" => {
+                    i += 1;
+                    cli.out = Some(PathBuf::from(
+                        args.get(i).expect("--out needs a directory"),
+                    ));
+                }
+                "--sweep" => {
+                    i += 1;
+                    cli.sweep = Some(args.get(i).expect("--sweep needs a name").clone());
+                }
+                other => eprintln!("warning: ignoring unknown argument {other:?}"),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// Whether a sweep named `name` should run under the `--sweep`
+    /// filter.
+    pub fn wants(&self, name: &str) -> bool {
+        self.sweep.as_deref().is_none_or(|s| s == name)
+    }
+}
+
+/// One of the paper's three sweep groups, at full or `--quick` scale.
+pub fn paper_axis(kind: &str, quick: bool) -> SweepAxis {
+    match (kind, quick) {
+        ("copies", false) => SweepAxis::paper_copies(),
+        ("copies", true) => SweepAxis::InitialCopies(vec![16, 32, 64]),
+        ("buffer", false) => SweepAxis::paper_buffers(),
+        ("buffer", true) => SweepAxis::BufferMb(vec![2.0, 3.5, 5.0]),
+        ("genrate", false) => SweepAxis::paper_gen_rates(),
+        ("genrate", true) => SweepAxis::GenInterval(vec![(10.0, 15.0), (25.0, 30.0), (45.0, 50.0)]),
+        _ => panic!("unknown sweep kind {kind:?}"),
+    }
+}
+
+/// Applies `--quick` shrinkage to a base scenario (shorter run, fewer
+/// nodes) while keeping the congestion character.
+pub fn apply_quick(cfg: &mut ScenarioConfig, quick: bool) {
+    if quick {
+        cfg.duration_secs = 3_600.0;
+        cfg.n_nodes = (cfg.n_nodes / 2).max(20);
+    }
+}
+
+/// Runs one sweep group and prints the three paper metrics as markdown
+/// tables (optionally writing CSVs).
+pub fn run_figure_group(
+    fig: &str,
+    panel_ids: [&str; 3],
+    base: &ScenarioConfig,
+    axis: SweepAxis,
+    policies: Vec<PolicyKind>,
+    cli: &Cli,
+) -> Vec<SweepCell> {
+    let spec = SweepSpec {
+        base: base.clone(),
+        axis,
+        policies,
+        seeds: cli.seeds.clone(),
+    };
+    let xlabel = spec.axis.name().to_string();
+    let cells = run_sweep(&spec, 0);
+    let mut panels = vec![
+        (Metric::DeliveryRatio, panel_ids[0].to_string()),
+        (Metric::AvgHopcount, panel_ids[1].to_string()),
+        (Metric::OverheadRatio, panel_ids[2].to_string()),
+    ];
+    if cli.latency {
+        // Supplementary panel beyond the paper's three metrics.
+        panels.push((Metric::AvgLatency, format!("{}-latency", panel_ids[0])));
+    }
+    for (metric, panel) in panels {
+        let title = format!("{fig}({panel}) {} vs {}", metric.name(), xlabel);
+        let table = SeriesTable::from_cells(&title, &xlabel, &cells, metric);
+        println!("{}", table.to_markdown());
+        if let Some(dir) = &cli.out {
+            std::fs::create_dir_all(dir).expect("create out dir");
+            let fname = format!("{}_{}.csv", fig.replace(['.', ' '], ""), panel);
+            std::fs::write(dir.join(fname), table.to_csv()).expect("write csv");
+        }
+    }
+    cells
+}
+
+/// Quick qualitative check used by fig8/fig9: prints whether the
+/// paper's headline ordering (SDSRP best delivery, lowest overhead;
+/// SAW-C worst delivery) holds on the mean across the sweep.
+pub fn print_ordering_summary(cells: &[SweepCell]) {
+    use std::collections::HashMap;
+    let mut delivery: HashMap<&str, (f64, usize)> = HashMap::new();
+    let mut overhead: HashMap<&str, (f64, usize)> = HashMap::new();
+    for c in cells {
+        let d = delivery.entry(c.policy.as_str()).or_default();
+        d.0 += c.delivery_ratio;
+        d.1 += 1;
+        let o = overhead.entry(c.policy.as_str()).or_default();
+        o.0 += c.overhead_ratio;
+        o.1 += 1;
+    }
+    println!("\n#### sweep-mean summary");
+    let mut rows: Vec<(&str, f64, f64)> = delivery
+        .iter()
+        .map(|(&p, &(d, n))| {
+            let (o, m) = overhead[&p];
+            (p, d / n as f64, o / m as f64)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (p, d, o) in &rows {
+        println!("  {p:<16} delivery {d:.4}  overhead {o:.2}");
+    }
+    println!();
+}

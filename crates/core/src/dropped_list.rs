@@ -1,0 +1,257 @@
+//! The gossiped dropped-message records — paper Fig. 5.
+//!
+//! Every node maintains one record per *origin node*: the set of messages
+//! that origin has dropped, stamped with a record time. On contact the
+//! two nodes exchange records and keep, per origin, the one with the
+//! **newest record time** ("only the source node can modify the record
+//! time, which happens if and only if a new drop action occurs in its
+//! buffer"). Summing over records gives `d_i`, the network-wide drop
+//! count of message `i` (input to Eq. 14); and "nodes reject receiving
+//! the message already in their dropped lists", which prevents a dropped
+//! copy from being counted twice.
+
+use dtn_core::ids::{MessageId, NodeId};
+use dtn_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One origin's dropped-message record (a row of Fig. 5's structure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroppedRecord {
+    /// Messages this origin has dropped.
+    pub dropped: BTreeSet<MessageId>,
+    /// When the origin last modified the record.
+    pub record_time: SimTime,
+}
+
+/// A node's view of everyone's dropped lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroppedList {
+    /// The node that owns (and may modify) the `own` record.
+    owner: NodeId,
+    /// Records per origin node, `owner`'s own record included.
+    records: BTreeMap<NodeId, DroppedRecord>,
+}
+
+impl DroppedList {
+    /// An empty list owned by `owner`.
+    pub fn new(owner: NodeId) -> Self {
+        DroppedList {
+            owner,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Registers that the owner dropped `msg` at `now` (Fig. 5: only a
+    /// new drop action in the owner's buffer updates its record time).
+    pub fn record_own_drop(&mut self, now: SimTime, msg: MessageId) {
+        let rec = self
+            .records
+            .entry(self.owner)
+            .or_insert_with(|| DroppedRecord {
+                dropped: BTreeSet::new(),
+                record_time: now,
+            });
+        rec.dropped.insert(msg);
+        rec.record_time = now;
+    }
+
+    /// Merges a peer's records: per origin, the record with the newest
+    /// record time wins; the owner's own record is never overwritten by
+    /// hearsay.
+    pub fn merge(&mut self, peer_records: &BTreeMap<NodeId, DroppedRecord>) {
+        for (&origin, rec) in peer_records {
+            if origin == self.owner {
+                continue;
+            }
+            match self.records.get(&origin) {
+                Some(mine) if mine.record_time >= rec.record_time => {}
+                _ => {
+                    self.records.insert(origin, rec.clone());
+                }
+            }
+        }
+    }
+
+    /// `d_i`: how many distinct nodes are known to have dropped `msg`.
+    pub fn drop_count(&self, msg: MessageId) -> u32 {
+        self.records
+            .values()
+            .filter(|r| r.dropped.contains(&msg))
+            .count() as u32
+    }
+
+    /// Whether any known record lists `msg` (the paper's receive-reject
+    /// test).
+    pub fn anyone_dropped(&self, msg: MessageId) -> bool {
+        self.records.values().any(|r| r.dropped.contains(&msg))
+    }
+
+    /// Whether the owner itself dropped `msg`.
+    pub fn own_dropped(&self, msg: MessageId) -> bool {
+        self.records
+            .get(&self.owner)
+            .is_some_and(|r| r.dropped.contains(&msg))
+    }
+
+    /// The raw records (for gossip serialisation).
+    pub fn records(&self) -> &BTreeMap<NodeId, DroppedRecord> {
+        &self.records
+    }
+
+    /// Number of origins with a record.
+    pub fn origin_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total dropped-message entries across all records (diagnostic —
+    /// the paper assumes this stays negligible next to message sizes).
+    pub fn entry_count(&self) -> usize {
+        self.records.values().map(|r| r.dropped.len()).sum()
+    }
+
+    /// Forgets messages for which `expired(msg)` returns true (entries
+    /// about TTL-expired messages can never matter again). Records left
+    /// empty are removed; record times are untouched, matching the
+    /// "only drops modify record time" rule.
+    pub fn prune(&mut self, mut expired: impl FnMut(MessageId) -> bool) {
+        for rec in self.records.values_mut() {
+            rec.dropped.retain(|&m| !expired(m));
+        }
+        self.records.retain(|_, r| !r.dropped.is_empty());
+    }
+
+    /// Serialises records for the contact gossip payload.
+    pub fn to_gossip_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.records).expect("dropped list serialises")
+    }
+
+    /// Merges a gossip payload produced by
+    /// [`to_gossip_bytes`](Self::to_gossip_bytes); malformed payloads are
+    /// ignored (a real radio would checksum, but robustness over panic
+    /// here).
+    pub fn merge_gossip_bytes(&mut self, bytes: &[u8]) {
+        if let Ok(records) = serde_json::from_slice::<BTreeMap<NodeId, DroppedRecord>>(bytes) {
+            self.merge(&records);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn own_drops_are_recorded() {
+        let mut dl = DroppedList::new(NodeId(3));
+        assert!(!dl.own_dropped(MessageId(1)));
+        dl.record_own_drop(t(10.0), MessageId(1));
+        dl.record_own_drop(t(12.0), MessageId(2));
+        assert!(dl.own_dropped(MessageId(1)));
+        assert_eq!(dl.drop_count(MessageId(1)), 1);
+        assert_eq!(dl.entry_count(), 2);
+        assert_eq!(dl.origin_count(), 1);
+        assert_eq!(dl.records()[&NodeId(3)].record_time, t(12.0));
+    }
+
+    #[test]
+    fn merge_keeps_newest_record_per_origin() {
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        b.record_own_drop(t(5.0), MessageId(10));
+        a.merge(b.records());
+        assert!(a.anyone_dropped(MessageId(10)));
+
+        // b updates its record later; the merge replaces a's stale copy.
+        b.record_own_drop(t(9.0), MessageId(11));
+        a.merge(b.records());
+        assert_eq!(a.drop_count(MessageId(11)), 1);
+
+        // A stale version of b's record (record_time 5) must NOT clobber
+        // the newer one a already has (record_time 9).
+        let mut stale = BTreeMap::new();
+        stale.insert(
+            NodeId(1),
+            DroppedRecord {
+                dropped: BTreeSet::from([MessageId(10)]),
+                record_time: t(5.0),
+            },
+        );
+        a.merge(&stale);
+        assert!(a.anyone_dropped(MessageId(11)), "stale record clobbered");
+    }
+
+    #[test]
+    fn merge_never_overwrites_own_record() {
+        let mut a = DroppedList::new(NodeId(0));
+        a.record_own_drop(t(1.0), MessageId(1));
+        let mut forged = BTreeMap::new();
+        forged.insert(
+            NodeId(0),
+            DroppedRecord {
+                dropped: BTreeSet::from([MessageId(99)]),
+                record_time: t(100.0),
+            },
+        );
+        a.merge(&forged);
+        assert!(!a.anyone_dropped(MessageId(99)));
+        assert!(a.own_dropped(MessageId(1)));
+    }
+
+    #[test]
+    fn drop_count_sums_across_origins() {
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        let mut c = DroppedList::new(NodeId(2));
+        a.record_own_drop(t(1.0), MessageId(7));
+        b.record_own_drop(t(2.0), MessageId(7));
+        c.merge(a.records());
+        c.merge(b.records());
+        assert_eq!(c.drop_count(MessageId(7)), 2);
+        assert_eq!(c.drop_count(MessageId(8)), 0);
+    }
+
+    #[test]
+    fn transitive_gossip_propagates() {
+        // a -> b -> c without a and c ever meeting.
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        let mut c = DroppedList::new(NodeId(2));
+        a.record_own_drop(t(1.0), MessageId(5));
+        b.merge(a.records());
+        c.merge(b.records());
+        assert!(c.anyone_dropped(MessageId(5)));
+    }
+
+    #[test]
+    fn gossip_bytes_roundtrip() {
+        let mut a = DroppedList::new(NodeId(0));
+        a.record_own_drop(t(3.0), MessageId(4));
+        let bytes = a.to_gossip_bytes();
+        let mut b = DroppedList::new(NodeId(1));
+        b.merge_gossip_bytes(&bytes);
+        assert!(b.anyone_dropped(MessageId(4)));
+        // Garbage is ignored.
+        b.merge_gossip_bytes(b"definitely not json");
+        assert_eq!(b.drop_count(MessageId(4)), 1);
+    }
+
+    #[test]
+    fn prune_removes_expired_entries() {
+        let mut a = DroppedList::new(NodeId(0));
+        a.record_own_drop(t(1.0), MessageId(1));
+        a.record_own_drop(t(2.0), MessageId(2));
+        let mut b = DroppedList::new(NodeId(1));
+        b.record_own_drop(t(3.0), MessageId(1));
+        a.merge(b.records());
+        a.prune(|m| m == MessageId(1));
+        assert!(!a.anyone_dropped(MessageId(1)));
+        assert!(a.anyone_dropped(MessageId(2)));
+        // b's record only contained message 1 -> whole record removed.
+        assert_eq!(a.origin_count(), 1);
+    }
+}

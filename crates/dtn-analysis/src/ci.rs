@@ -1,0 +1,148 @@
+//! Small-sample confidence intervals for sweep cells.
+//!
+//! Figure points are means over a handful of seeds; reporting them
+//! without uncertainty invites over-reading (the paper plots bare
+//! means). This module provides Student-t 95% confidence intervals for
+//! n ≤ 30 and the normal approximation beyond.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 95% Student-t critical values for `df = 1..=30`.
+/// Source: standard t tables, rounded to 3 decimals.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 95% critical value for `df` degrees of freedom.
+pub fn t95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A sample mean with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% CI (`0` for a single sample is impossible;
+    /// it is `inf` then).
+    pub half_width: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// True when `other`'s interval does not overlap this one (a crude
+    /// but honest "significantly different" test).
+    pub fn separated_from(&self, other: &MeanCi) -> bool {
+        self.lo() > other.hi() || self.hi() < other.lo()
+    }
+}
+
+/// 95% confidence interval of the mean of `samples`; `None` on an empty
+/// slice. A single sample yields an infinite half-width (no variance
+/// information), which is the honest answer.
+pub fn mean_ci95(samples: &[f64]) -> Option<MeanCi> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Some(MeanCi {
+            mean,
+            half_width: f64::INFINITY,
+            n,
+        });
+    }
+    let var = samples
+        .iter()
+        .map(|&x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    Some(MeanCi {
+        mean,
+        half_width: t95(n - 1) * se,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_values() {
+        assert_eq!(t95(1), 12.706);
+        assert_eq!(t95(10), 2.228);
+        assert_eq!(t95(30), 2.042);
+        assert_eq!(t95(100), 1.96);
+        assert_eq!(t95(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(mean_ci95(&[]).is_none());
+        let one = mean_ci95(&[5.0]).unwrap();
+        assert_eq!(one.mean, 5.0);
+        assert!(one.half_width.is_infinite());
+    }
+
+    #[test]
+    fn known_interval() {
+        // Samples 1..=5: mean 3, sd sqrt(2.5), se sqrt(0.5), df 4.
+        let ci = mean_ci95(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(ci.mean, 3.0);
+        let expect = 2.776 * (2.5f64 / 5.0).sqrt();
+        assert!((ci.half_width - expect).abs() < 1e-9);
+        assert!((ci.lo() - (3.0 - expect)).abs() < 1e-12);
+        assert!((ci.hi() - (3.0 + expect)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separation() {
+        let a = MeanCi {
+            mean: 1.0,
+            half_width: 0.1,
+            n: 5,
+        };
+        let b = MeanCi {
+            mean: 2.0,
+            half_width: 0.1,
+            n: 5,
+        };
+        let c = MeanCi {
+            mean: 1.15,
+            half_width: 0.1,
+            n: 5,
+        };
+        assert!(a.separated_from(&b));
+        assert!(b.separated_from(&a));
+        assert!(!a.separated_from(&c));
+    }
+
+    #[test]
+    fn degenerate_zero_variance() {
+        let ci = mean_ci95(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(ci.mean, 2.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+}

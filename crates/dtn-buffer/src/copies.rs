@@ -1,0 +1,89 @@
+//! Copies-based policy — the paper's **"Spray and Wait-C"**.
+//!
+//! Priority is the ratio between the copy tokens this node still holds
+//! and the initial spray budget: `C_i / C`. Messages with many unsprayed
+//! tokens are replicated first; messages whose tokens are nearly spent
+//! are dropped first. The paper shows this heuristic performs *worst* —
+//! with a small spray budget all messages have similar `C_i` and the
+//! policy degenerates to random selection, and it systematically evicts
+//! wait-phase messages (`C_i = 1`) that might only need one more hop.
+
+use crate::policy::BufferPolicy;
+use crate::view::MessageView;
+use dtn_core::time::SimTime;
+
+/// Spray and Wait-C: `priority = C_i / C`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CopiesRatio;
+
+impl BufferPolicy for CopiesRatio {
+    fn name(&self) -> &'static str {
+        "SprayAndWait-C"
+    }
+
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        msg.copies_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{plan_admission, schedule_order, AdmissionPlan};
+    use crate::view::TestMessage;
+    use dtn_core::ids::MessageId;
+    use dtn_core::units::Bytes;
+
+    fn with_copies(id: u64, copies: u32, initial: u32) -> TestMessage {
+        let mut m = TestMessage::sample(id);
+        m.copies = copies;
+        m.initial_copies = initial;
+        m
+    }
+
+    #[test]
+    fn prefers_token_rich_messages() {
+        let mut p = CopiesRatio;
+        let msgs = [
+            with_copies(1, 4, 32),
+            with_copies(2, 16, 32),
+            with_copies(3, 1, 32),
+        ];
+        let views: Vec<_> = msgs.iter().map(|m| m.view()).collect();
+        let order = schedule_order(&mut p, SimTime::ZERO, &views);
+        assert_eq!(order, vec![MessageId(2), MessageId(1), MessageId(3)]);
+    }
+
+    #[test]
+    fn evicts_wait_phase_messages_first() {
+        let mut p = CopiesRatio;
+        let residents = [with_copies(1, 1, 32), with_copies(2, 8, 32)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = with_copies(9, 16, 32);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(1)]
+            }
+        );
+    }
+
+    #[test]
+    fn normalises_across_different_budgets() {
+        // 8/16 ranks above 8/64.
+        let mut p = CopiesRatio;
+        let a = with_copies(1, 8, 16);
+        let b = with_copies(2, 8, 64);
+        let views = vec![a.view(), b.view()];
+        let order = schedule_order(&mut p, SimTime::ZERO, &views);
+        assert_eq!(order, vec![MessageId(1), MessageId(2)]);
+    }
+}

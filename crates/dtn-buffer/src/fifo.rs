@@ -1,0 +1,116 @@
+//! FIFO and LIFO policies.
+//!
+//! FIFO is what the paper calls plain **"Spray and Wait"**: messages are
+//! serviced in arrival order and the *oldest-received* message is dropped
+//! on overflow (ONE's default queue mode). LIFO is included as an extra
+//! ablation baseline.
+
+use crate::policy::BufferPolicy;
+use crate::view::MessageView;
+use dtn_core::time::SimTime;
+
+/// First-in-first-out: send oldest-received first, drop oldest-received
+/// first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl BufferPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "SprayAndWait-FIFO"
+    }
+
+    /// Oldest received = sent first, so priority falls with receive time.
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        -msg.received.as_secs()
+    }
+
+    /// Oldest received = dropped first, so *keep* priority rises with
+    /// receive time.
+    fn keep_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        msg.received.as_secs()
+    }
+}
+
+/// Last-in-first-out: send newest first, drop newest first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lifo;
+
+impl BufferPolicy for Lifo {
+    fn name(&self) -> &'static str {
+        "SprayAndWait-LIFO"
+    }
+
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        msg.received.as_secs()
+    }
+
+    fn keep_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        -msg.received.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{plan_admission, schedule_order, AdmissionPlan};
+    use crate::view::TestMessage;
+    use dtn_core::ids::MessageId;
+    use dtn_core::units::Bytes;
+
+    fn at(id: u64, received: f64) -> TestMessage {
+        let mut m = TestMessage::sample(id);
+        m.received = SimTime::from_secs(received);
+        m
+    }
+
+    #[test]
+    fn fifo_sends_oldest_first() {
+        let mut p = Fifo;
+        let msgs = [at(1, 50.0), at(2, 10.0), at(3, 30.0)];
+        let views: Vec<_> = msgs.iter().map(|m| m.view()).collect();
+        let order = schedule_order(&mut p, SimTime::from_secs(60.0), &views);
+        assert_eq!(order, vec![MessageId(2), MessageId(3), MessageId(1)]);
+    }
+
+    #[test]
+    fn fifo_drops_oldest_first() {
+        let mut p = Fifo;
+        let residents = [at(1, 50.0), at(2, 10.0)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = at(9, 60.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::from_secs(60.0),
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn lifo_is_the_mirror() {
+        let mut p = Lifo;
+        let msgs = [at(1, 50.0), at(2, 10.0)];
+        let views: Vec<_> = msgs.iter().map(|m| m.view()).collect();
+        let order = schedule_order(&mut p, SimTime::from_secs(60.0), &views);
+        assert_eq!(order, vec![MessageId(1), MessageId(2)]);
+        // Newest incoming is itself dropped first under LIFO.
+        let incoming = at(9, 60.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::from_secs(60.0),
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+}

@@ -1,0 +1,107 @@
+//! MOFO — "evict most forwarded first" (Lindgren & Phanse).
+//!
+//! A message this node has already replicated many times has had its
+//! chance; on overflow it is evicted before messages that were never
+//! forwarded. Scheduling stays FIFO. Included as a literature baseline
+//! for the ablation benches.
+
+use crate::policy::BufferPolicy;
+use crate::view::MessageView;
+use dtn_core::time::SimTime;
+
+/// Evict-most-forwarded-first; FIFO scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mofo;
+
+impl BufferPolicy for Mofo {
+    fn name(&self) -> &'static str {
+        "MOFO"
+    }
+
+    /// FIFO service order.
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        -msg.received.as_secs()
+    }
+
+    /// Most-forwarded evicted first; ties fall back to oldest-received
+    /// (encoded as a small fractional bias so the integer forward count
+    /// dominates).
+    fn keep_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        -(msg.forward_count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{plan_admission, AdmissionPlan};
+    use crate::view::TestMessage;
+    use dtn_core::ids::MessageId;
+    use dtn_core::units::Bytes;
+
+    fn forwarded(id: u64, n: u32) -> TestMessage {
+        let mut m = TestMessage::sample(id);
+        m.forward_count = n;
+        m
+    }
+
+    #[test]
+    fn evicts_most_forwarded() {
+        let mut p = Mofo;
+        let residents = [forwarded(1, 5), forwarded(2, 0), forwarded(3, 2)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = forwarded(9, 0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(1)]
+            }
+        );
+    }
+
+    #[test]
+    fn never_forwarded_incoming_beats_forwarded_residents() {
+        let mut p = Mofo;
+        let residents = [forwarded(1, 1)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = forwarded(9, 0);
+        assert!(matches!(
+            plan_admission(
+                &mut p,
+                SimTime::ZERO,
+                &incoming.view(),
+                &views,
+                Bytes::ZERO,
+                Bytes::from_mb(0.5),
+            ),
+            AdmissionPlan::Admit { .. }
+        ));
+    }
+
+    #[test]
+    fn forwarded_incoming_rejected_against_fresh_residents() {
+        let mut p = Mofo;
+        let residents = [forwarded(1, 0)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = forwarded(9, 3);
+        assert_eq!(
+            plan_admission(
+                &mut p,
+                SimTime::ZERO,
+                &incoming.view(),
+                &views,
+                Bytes::ZERO,
+                Bytes::from_mb(0.5),
+            ),
+            AdmissionPlan::RejectIncoming
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! The buffer-policy trait and the shared admission/eviction algorithm.
+
+use crate::view::MessageView;
+use dtn_core::ids::{MessageId, NodeId};
+use dtn_core::time::SimTime;
+use dtn_core::units::Bytes;
+
+/// A buffer-management strategy: ranks buffered messages for scheduling
+/// (send order) and for dropping, and may maintain distributed state via
+/// the contact/gossip hooks.
+///
+/// Conventions:
+///
+/// * **Higher [`send_priority`](Self::send_priority) replicates first**
+///   when a contact comes up (paper Algorithm 1, line 7).
+/// * **Lower [`keep_priority`](Self::keep_priority) is evicted first**
+///   when the buffer overflows (Algorithm 1, line 12). For most policies
+///   the two rankings coincide; FIFO is the classic exception (send
+///   oldest first *and* drop oldest first).
+///
+/// Ranking methods take `&mut self` because some policies consult
+/// internal state (estimators, RNGs); they must not have side effects
+/// that change the ranking of other messages within the same decision.
+pub trait BufferPolicy: Send {
+    /// Human-readable policy name (used in reports and plots).
+    fn name(&self) -> &'static str;
+
+    /// Scheduling priority: the message with the highest value is
+    /// replicated first.
+    fn send_priority(&mut self, now: SimTime, msg: &MessageView<'_>) -> f64;
+
+    /// Retention priority: the message with the lowest value is dropped
+    /// first on overflow. Defaults to the scheduling priority.
+    fn keep_priority(&mut self, now: SimTime, msg: &MessageView<'_>) -> f64 {
+        self.send_priority(now, msg)
+    }
+
+    /// Whether this node is willing to receive `msg` at all (SDSRP
+    /// refuses messages in its dropped list). Default: accept.
+    fn accepts(&mut self, _now: SimTime, _msg: MessageId) -> bool {
+        true
+    }
+
+    /// Called when a contact to `peer` comes up (before any transfers).
+    fn on_contact_up(&mut self, _now: SimTime, _peer: NodeId) {}
+
+    /// Called when a contact goes down.
+    fn on_contact_down(&mut self, _now: SimTime, _peer: NodeId) {}
+
+    /// Called when this node *drops* a buffered message due to overflow
+    /// (not on TTL expiry and not on delivery).
+    fn on_drop(&mut self, _now: SimTime, _msg: MessageId) {}
+
+    /// Serialised control-plane state to offer a newly-met peer (e.g.
+    /// SDSRP's dropped-list records). `None` means nothing to exchange.
+    fn export_gossip(&mut self, _now: SimTime) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Ingest a peer's gossip produced by
+    /// [`export_gossip`](Self::export_gossip) of the *same* policy type.
+    /// Implementations must tolerate garbage (version skew) gracefully.
+    fn import_gossip(&mut self, _now: SimTime, _bytes: &[u8]) {}
+
+    /// Optional whole-buffer admission override. Policies that decide
+    /// set-wise (e.g. the knapsack strategy) return `Some(plan)`;
+    /// `None` (the default) falls back to the greedy Algorithm-1 rule
+    /// in [`plan_admission`].
+    fn admission_override(
+        &mut self,
+        _now: SimTime,
+        _incoming: &MessageView<'_>,
+        _residents: &[MessageView<'_>],
+        _free: Bytes,
+        _capacity: Bytes,
+    ) -> Option<AdmissionPlan> {
+        None
+    }
+}
+
+/// Outcome of the overflow algorithm for one incoming message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionPlan {
+    /// The message fits (possibly after the listed evictions).
+    Admit {
+        /// Resident messages to evict, in eviction order.
+        evict: Vec<MessageId>,
+    },
+    /// The incoming message ranks below the would-be victims: refuse it
+    /// and keep the buffer unchanged.
+    RejectIncoming,
+}
+
+/// The paper's drop rule (Algorithm 1, lines 8-12), generalised to
+/// heterogeneous sizes: evict the lowest-`keep_priority` resident until
+/// the newcomer fits, but if at any point the newcomer itself has the
+/// lowest priority among the remaining candidates, reject it instead and
+/// evict nothing.
+///
+/// `free` is the buffer space currently available; `residents` the
+/// views of messages currently buffered.
+pub fn plan_admission(
+    policy: &mut dyn BufferPolicy,
+    now: SimTime,
+    incoming: &MessageView<'_>,
+    residents: &[MessageView<'_>],
+    free: Bytes,
+    capacity: Bytes,
+) -> AdmissionPlan {
+    if incoming.size > capacity {
+        // Can never fit, even with an empty buffer.
+        return AdmissionPlan::RejectIncoming;
+    }
+    if let Some(plan) = policy.admission_override(now, incoming, residents, free, capacity) {
+        return plan;
+    }
+    if incoming.size <= free {
+        return AdmissionPlan::Admit { evict: Vec::new() };
+    }
+
+    let incoming_priority = policy.keep_priority(now, incoming);
+    // Rank residents ascending by keep priority; ties broken towards
+    // evicting the older message id first (deterministic).
+    let mut ranked: Vec<(f64, MessageId, Bytes)> = residents
+        .iter()
+        .map(|m| (policy.keep_priority(now, m), m.id, m.size))
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN priority").then(a.1.cmp(&b.1)));
+
+    let mut evict = Vec::new();
+    let mut freed = free;
+    for (prio, id, size) in ranked {
+        if freed >= incoming.size {
+            break;
+        }
+        if incoming_priority <= prio {
+            // The newcomer is now the lowest-priority candidate: refuse
+            // it (Algorithm 1 line 10-11 with the comparison inverted).
+            return AdmissionPlan::RejectIncoming;
+        }
+        evict.push(id);
+        freed += size;
+    }
+    if freed >= incoming.size {
+        AdmissionPlan::Admit { evict }
+    } else {
+        // Even evicting everything cheaper than the newcomer is not
+        // enough.
+        AdmissionPlan::RejectIncoming
+    }
+}
+
+/// Sorts message ids by descending send priority (scheduling order for a
+/// fresh contact). Ties broken by ascending id for determinism.
+pub fn schedule_order(
+    policy: &mut dyn BufferPolicy,
+    now: SimTime,
+    msgs: &[MessageView<'_>],
+) -> Vec<MessageId> {
+    let mut ranked: Vec<(f64, MessageId)> = msgs
+        .iter()
+        .map(|m| (policy.send_priority(now, m), m.id))
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN priority").then(a.1.cmp(&b.1)));
+    ranked.into_iter().map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::TestMessage;
+
+    /// Keep/send priority equal to the message id (higher id = higher
+    /// priority) — a transparent policy for exercising the algorithms.
+    struct ById;
+    impl BufferPolicy for ById {
+        fn name(&self) -> &'static str {
+            "by-id"
+        }
+        fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+            msg.id.0 as f64
+        }
+    }
+
+    fn msgs(ids: &[u64]) -> Vec<TestMessage> {
+        ids.iter().map(|&i| TestMessage::sample(i)).collect()
+    }
+
+    #[test]
+    fn admit_when_space_available() {
+        let mut p = ById;
+        let incoming = TestMessage::sample(10);
+        let residents = msgs(&[1, 2]);
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::from_mb(1.0),
+            Bytes::from_mb(2.0),
+        );
+        assert_eq!(plan, AdmissionPlan::Admit { evict: vec![] });
+    }
+
+    #[test]
+    fn evicts_lowest_priority_first() {
+        let mut p = ById;
+        let incoming = TestMessage::sample(10); // 0.5 MB
+        let residents = msgs(&[3, 1, 2]);
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        // No free space: must evict exactly one 0.5 MB message -> id 1.
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.5),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(1)]
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_incoming_when_it_ranks_lowest() {
+        let mut p = ById;
+        let incoming = TestMessage::sample(0); // lowest possible priority
+        let residents = msgs(&[1, 2, 3]);
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.5),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+
+    #[test]
+    fn evicts_multiple_small_messages_for_large_incoming() {
+        let mut p = ById;
+        let mut incoming = TestMessage::sample(10);
+        incoming.size = Bytes::from_mb(1.0);
+        let mut residents = msgs(&[1, 2, 3]);
+        for r in &mut residents {
+            r.size = Bytes::from_mb(0.5);
+        }
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.5),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(1), MessageId(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_message_larger_than_capacity() {
+        let mut p = ById;
+        let mut incoming = TestMessage::sample(10);
+        incoming.size = Bytes::from_mb(3.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &[],
+            Bytes::from_mb(2.5),
+            Bytes::from_mb(2.5),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+
+    #[test]
+    fn rejects_when_evictable_mass_insufficient() {
+        // Incoming (high priority) needs 1 MB; only one 0.4 MB resident
+        // exists and capacity is 1.2 MB with 0.5 free: evicting all
+        // residents frees 0.9 < 1.0 -> reject.
+        let mut p = ById;
+        let mut incoming = TestMessage::sample(10);
+        incoming.size = Bytes::from_mb(1.0);
+        let mut resident = TestMessage::sample(1);
+        resident.size = Bytes::from_mb(0.4);
+        let views = vec![resident.view()];
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::from_mb(0.5),
+            Bytes::from_mb(1.2),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+
+    #[test]
+    fn equal_priority_favours_resident() {
+        // Incoming ties with the lowest resident: paper keeps residents
+        // (drop the newcomer only when strictly lower? Algorithm 1 drops
+        // the newcomer when Priority_m < Priority_l; on a tie the
+        // resident wins).
+        let mut p = ById;
+        let incoming = TestMessage::sample(1);
+        let residents = msgs(&[1, 5]);
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+
+    #[test]
+    fn schedule_order_is_descending_priority() {
+        let mut p = ById;
+        let residents = msgs(&[2, 9, 4]);
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let order = schedule_order(&mut p, SimTime::ZERO, &views);
+        assert_eq!(order, vec![MessageId(9), MessageId(4), MessageId(2)]);
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        let mut p = ById;
+        assert!(p.accepts(SimTime::ZERO, MessageId(1)));
+        assert_eq!(p.export_gossip(SimTime::ZERO), None);
+        p.import_gossip(SimTime::ZERO, b"garbage");
+        p.on_contact_up(SimTime::ZERO, NodeId(1));
+        p.on_contact_down(SimTime::ZERO, NodeId(1));
+        p.on_drop(SimTime::ZERO, MessageId(1));
+    }
+}

@@ -1,0 +1,141 @@
+//! TTL-based policies.
+//!
+//! [`TtlRatio`] is the paper's **"Spray and Wait-O"**: the priority of a
+//! message is the ratio between its remaining TTL and its initial TTL —
+//! fresher messages are replicated first and stale messages dropped
+//! first.
+//!
+//! [`Shli`] ("smallest hop... lifetime", Lindgren & Phanse's
+//! evict-shortest-lifetime-first) is a literature baseline: drop the
+//! message closest to expiry; scheduling stays FIFO-like.
+
+use crate::policy::BufferPolicy;
+use crate::view::MessageView;
+use dtn_core::time::SimTime;
+
+/// Spray and Wait-O: `priority = R_i / TTL_i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TtlRatio;
+
+impl BufferPolicy for TtlRatio {
+    fn name(&self) -> &'static str {
+        "SprayAndWait-O"
+    }
+
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        msg.ttl_fraction()
+    }
+}
+
+/// Evict-shortest-remaining-lifetime-first; FIFO scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Shli;
+
+impl BufferPolicy for Shli {
+    fn name(&self) -> &'static str {
+        "SHLI"
+    }
+
+    /// FIFO service order.
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        -msg.received.as_secs()
+    }
+
+    /// Shortest remaining lifetime evicted first.
+    fn keep_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        msg.remaining_ttl.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{plan_admission, schedule_order, AdmissionPlan};
+    use crate::view::TestMessage;
+    use dtn_core::ids::MessageId;
+    use dtn_core::time::SimDuration;
+    use dtn_core::units::Bytes;
+
+    fn with_ttl(id: u64, remaining_mins: f64) -> TestMessage {
+        let mut m = TestMessage::sample(id);
+        m.remaining_ttl = SimDuration::from_mins(remaining_mins);
+        m
+    }
+
+    #[test]
+    fn ttl_ratio_prefers_fresh_messages() {
+        let mut p = TtlRatio;
+        let msgs = [with_ttl(1, 100.0), with_ttl(2, 250.0), with_ttl(3, 10.0)];
+        let views: Vec<_> = msgs.iter().map(|m| m.view()).collect();
+        let order = schedule_order(&mut p, SimTime::ZERO, &views);
+        assert_eq!(order, vec![MessageId(2), MessageId(1), MessageId(3)]);
+    }
+
+    #[test]
+    fn ttl_ratio_drops_stalest() {
+        let mut p = TtlRatio;
+        let residents = [with_ttl(1, 100.0), with_ttl(2, 10.0)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = with_ttl(9, 290.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn ttl_ratio_rejects_stale_newcomer() {
+        let mut p = TtlRatio;
+        let residents = [with_ttl(1, 100.0), with_ttl(2, 200.0)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = with_ttl(9, 5.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+
+    #[test]
+    fn shli_drops_by_lifetime_but_serves_fifo() {
+        let mut p = Shli;
+        let mut a = with_ttl(1, 50.0);
+        a.received = SimTime::from_secs(100.0);
+        let mut b = with_ttl(2, 5.0);
+        b.received = SimTime::from_secs(10.0);
+        let views = vec![a.view(), b.view()];
+        // FIFO: b first (older receive).
+        let order = schedule_order(&mut p, SimTime::from_secs(200.0), &views);
+        assert_eq!(order, vec![MessageId(2), MessageId(1)]);
+        // Drop: b first (shorter lifetime).
+        let incoming = with_ttl(9, 100.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::from_secs(200.0),
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(2)]
+            }
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The read-only view of a buffered message that policies rank on.
+
+use dtn_core::ids::{MessageId, NodeId};
+use dtn_core::time::{SimDuration, SimTime};
+use dtn_core::units::Bytes;
+
+/// Everything a buffer policy may inspect about one buffered message
+/// copy. Borrowed from the owning node's buffer for the duration of one
+/// ranking call.
+///
+/// Field names follow the paper's Table I notation where applicable.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageView<'a> {
+    /// Message id (shared by every copy of the message).
+    pub id: MessageId,
+    /// Payload size.
+    pub size: Bytes,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// When the message was generated at the source.
+    pub created: SimTime,
+    /// When this node received its copy.
+    pub received: SimTime,
+    /// Initial time-to-live (`TTL_i`).
+    pub initial_ttl: SimDuration,
+    /// Remaining time-to-live at `now` (`R_i`).
+    pub remaining_ttl: SimDuration,
+    /// Copy tokens held by this node (`C_i`). In binary Spray-and-Wait a
+    /// node in the wait phase holds exactly 1.
+    pub copies: u32,
+    /// Copy tokens the source started with (`C`, the initial copies
+    /// number / spray budget `L`).
+    pub initial_copies: u32,
+    /// Hops this copy travelled from the source.
+    pub hops: u32,
+    /// Times this node has forwarded/replicated this message (MOFO).
+    pub forward_count: u32,
+    /// Timestamps of every binary-spray event along this copy's path,
+    /// oldest first (paper Fig. 6; input to the Eq. 15 `m_i` estimator).
+    pub spray_times: &'a [SimTime],
+    /// Oracle data (global-knowledge ablations only): number of nodes
+    /// that have seen the message excluding the source (`m_i`).
+    pub oracle_seen: Option<u32>,
+    /// Oracle data: number of nodes currently holding a copy (`n_i`).
+    pub oracle_holders: Option<u32>,
+}
+
+impl<'a> MessageView<'a> {
+    /// Elapsed time since generation (`T_i = TTL_i - R_i`).
+    pub fn elapsed(&self) -> SimDuration {
+        self.initial_ttl - self.remaining_ttl
+    }
+
+    /// Fraction of lifetime remaining, `R_i / TTL_i` in `[0, 1]`.
+    pub fn ttl_fraction(&self) -> f64 {
+        let init = self.initial_ttl.as_secs();
+        if init <= 0.0 {
+            0.0
+        } else {
+            (self.remaining_ttl.as_secs() / init).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Fraction of copy tokens remaining, `C_i / C` in `(0, 1]`.
+    pub fn copies_fraction(&self) -> f64 {
+        if self.initial_copies == 0 {
+            0.0
+        } else {
+            (self.copies as f64 / self.initial_copies as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// True once the TTL has run out.
+    pub fn expired(&self) -> bool {
+        self.remaining_ttl.as_secs() <= 0.0
+    }
+}
+
+/// A convenience owned builder for tests (policies only ever see the
+/// borrowed view).
+#[derive(Debug, Clone)]
+pub struct TestMessage {
+    /// Backing storage for spray timestamps.
+    pub spray_times: Vec<SimTime>,
+    /// All scalar fields.
+    pub id: MessageId,
+    /// Payload size.
+    pub size: Bytes,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Generation time.
+    pub created: SimTime,
+    /// Receive time at this node.
+    pub received: SimTime,
+    /// Initial TTL.
+    pub initial_ttl: SimDuration,
+    /// Remaining TTL.
+    pub remaining_ttl: SimDuration,
+    /// Copies held.
+    pub copies: u32,
+    /// Initial copies.
+    pub initial_copies: u32,
+    /// Hop count.
+    pub hops: u32,
+    /// Forward count.
+    pub forward_count: u32,
+    /// Oracle `m_i`.
+    pub oracle_seen: Option<u32>,
+    /// Oracle `n_i`.
+    pub oracle_holders: Option<u32>,
+}
+
+impl TestMessage {
+    /// A plausible default message for unit tests.
+    pub fn sample(id: u64) -> Self {
+        TestMessage {
+            spray_times: Vec::new(),
+            id: MessageId(id),
+            size: Bytes::from_mb(0.5),
+            source: NodeId(0),
+            destination: NodeId(1),
+            created: SimTime::ZERO,
+            received: SimTime::ZERO,
+            initial_ttl: SimDuration::from_mins(300.0),
+            remaining_ttl: SimDuration::from_mins(300.0),
+            copies: 16,
+            initial_copies: 32,
+            hops: 1,
+            forward_count: 0,
+            oracle_seen: None,
+            oracle_holders: None,
+        }
+    }
+
+    /// Borrows as the policy-facing view.
+    pub fn view(&self) -> MessageView<'_> {
+        MessageView {
+            id: self.id,
+            size: self.size,
+            source: self.source,
+            destination: self.destination,
+            created: self.created,
+            received: self.received,
+            initial_ttl: self.initial_ttl,
+            remaining_ttl: self.remaining_ttl,
+            copies: self.copies,
+            initial_copies: self.initial_copies,
+            hops: self.hops,
+            forward_count: self.forward_count,
+            spray_times: &self.spray_times,
+            oracle_seen: self.oracle_seen,
+            oracle_holders: self.oracle_holders,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let mut m = TestMessage::sample(1);
+        m.initial_ttl = SimDuration::from_secs(100.0);
+        m.remaining_ttl = SimDuration::from_secs(25.0);
+        m.copies = 8;
+        m.initial_copies = 32;
+        let v = m.view();
+        assert_eq!(v.elapsed().as_secs(), 75.0);
+        assert_eq!(v.ttl_fraction(), 0.25);
+        assert_eq!(v.copies_fraction(), 0.25);
+        assert!(!v.expired());
+    }
+
+    #[test]
+    fn expiry_and_clamping() {
+        let mut m = TestMessage::sample(2);
+        m.remaining_ttl = SimDuration::from_secs(0.0);
+        assert!(m.view().expired());
+        m.remaining_ttl = SimDuration::from_secs(-5.0);
+        assert!(m.view().expired());
+        assert_eq!(m.view().ttl_fraction(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_denominators() {
+        let mut m = TestMessage::sample(3);
+        m.initial_copies = 0;
+        assert_eq!(m.view().copies_fraction(), 0.0);
+        m.initial_ttl = SimDuration::from_secs(0.0);
+        assert_eq!(m.view().ttl_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! A minimal discrete-event run loop.
+//!
+//! The engine owns the clock and the [`EventQueue`]; domain logic lives in
+//! an [`EventHandler`] implementation. Handlers receive a [`Scheduler`]
+//! through which they push follow-up events — this keeps the borrow of the
+//! queue disjoint from the borrow of the handler state.
+//!
+//! ```
+//! use dtn_core::engine::{Engine, EventHandler, Scheduler};
+//! use dtn_core::time::{SimDuration, SimTime};
+//!
+//! struct Counter { fired: u32 }
+//!
+//! impl EventHandler for Counter {
+//!     type Event = ();
+//!     fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+//!         self.fired += 1;
+//!         if self.fired < 5 {
+//!             sched.schedule_in(now, SimDuration::from_secs(1.0), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Counter { fired: 0 });
+//! engine.schedule(SimTime::ZERO, ());
+//! engine.run_until(SimTime::from_secs(100.0));
+//! assert_eq!(engine.handler().fired, 5);
+//! // The clock advances to the horizon even after the last event at t=4.
+//! assert_eq!(engine.now(), SimTime::from_secs(100.0));
+//! ```
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling facade handed to [`EventHandler::handle`]; wraps the event
+/// queue so handlers can enqueue without owning it.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the event being processed —
+    /// scheduling into the past would silently corrupt causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` at `base + delay`.
+    pub fn schedule_in(&mut self, base: SimTime, delay: SimDuration, event: E) {
+        self.schedule(base + delay, event);
+    }
+
+    /// The timestamp of the event currently being handled.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// Domain logic driven by the engine.
+pub trait EventHandler {
+    /// Event payload type.
+    type Event;
+
+    /// Processes one event at time `now`, possibly scheduling more.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// The discrete-event engine: clock + queue + handler.
+pub struct Engine<H: EventHandler> {
+    queue: EventQueue<H::Event>,
+    handler: H,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<H: EventHandler> Engine<H> {
+    /// A fresh engine at `t = 0`.
+    pub fn new(handler: H) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            handler,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Seeds an initial event (callable before or between runs).
+    pub fn schedule(&mut self, at: SimTime, event: H::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, event);
+    }
+
+    /// Runs until the queue drains or the next event would be later than
+    /// `end`; events exactly at `end` are processed. Returns the number of
+    /// events processed by this call.
+    pub fn run_until(&mut self, end: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some((t, ev)) = self.queue.pop_until(end) {
+            self.now = t;
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: t,
+            };
+            self.handler.handle(t, ev, &mut sched);
+            self.processed += 1;
+        }
+        // The clock advances to `end` even if the tail of the interval was
+        // quiet, so repeated `run_until` calls are monotone.
+        self.now = self.now.max(end.min(SimTime::INFINITY));
+        self.processed - before
+    }
+
+    /// Processes exactly one event if one is pending; returns its time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, ev) = self.queue.pop()?;
+        self.now = t;
+        let mut sched = Scheduler {
+            queue: &mut self.queue,
+            now: t,
+        };
+        self.handler.handle(t, ev, &mut sched);
+        self.processed += 1;
+        Some(t)
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed since construction.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Borrow the domain handler.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutably borrow the domain handler.
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+
+    /// Consumes the engine, returning the handler.
+    pub fn into_handler(self) -> H {
+        self.handler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(f64, u32)>,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+            self.seen.push((now.as_secs(), ev));
+            // Event 1 spawns a chain of follow-ups.
+            if ev == 1 && self.seen.len() < 4 {
+                sched.schedule_in(now, SimDuration::from_secs(2.0), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_runs_in_order() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::from_secs(1.0), 1);
+        e.schedule(SimTime::from_secs(2.0), 9);
+        let n = e.run_until(SimTime::from_secs(10.0));
+        assert_eq!(n, 4);
+        assert_eq!(
+            e.handler().seen,
+            vec![(1.0, 1), (2.0, 9), (3.0, 1), (5.0, 1)]
+        );
+        assert_eq!(e.now(), SimTime::from_secs(10.0));
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::from_secs(1.0), 7);
+        e.schedule(SimTime::from_secs(5.0), 8);
+        let n = e.run_until(SimTime::from_secs(3.0));
+        assert_eq!(n, 1);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.now(), SimTime::from_secs(3.0));
+        // Resume.
+        let n2 = e.run_until(SimTime::from_secs(5.0));
+        assert_eq!(n2, 1);
+        assert_eq!(e.processed(), 2);
+    }
+
+    #[test]
+    fn step_processes_single_event() {
+        let mut e = Engine::new(Recorder::default());
+        assert_eq!(e.step(), None);
+        e.schedule(SimTime::from_secs(2.0), 3);
+        assert_eq!(e.step(), Some(SimTime::from_secs(2.0)));
+        assert_eq!(e.handler().seen, vec![(2.0, 3)]);
+    }
+
+    #[test]
+    fn handler_access_and_consumption() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::from_secs(1.0), 2);
+        e.handler_mut().seen.push((0.0, 0));
+        assert_eq!(e.handler().seen.len(), 1);
+        e.run_until(SimTime::from_secs(2.0));
+        let recorder = e.into_handler();
+        assert_eq!(recorder.seen, vec![(0.0, 0), (1.0, 2)]);
+    }
+
+    #[test]
+    fn scheduler_now_matches_event_time() {
+        struct Check;
+        impl EventHandler for Check {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+                assert_eq!(sched.now(), now);
+            }
+        }
+        let mut e = Engine::new(Check);
+        e.schedule(SimTime::from_secs(3.5), ());
+        assert_eq!(e.run_until(SimTime::from_secs(10.0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl EventHandler for Bad {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+                sched.schedule(SimTime::ZERO, ());
+            }
+        }
+        let mut e = Engine::new(Bad);
+        e.schedule(SimTime::from_secs(5.0), ());
+        e.run_until(SimTime::from_secs(6.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic future-event list.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(SimTime, sequence)`, so events
+//! scheduled for the same instant pop in the order they were pushed
+//! (FIFO). That stability is what makes whole simulation runs a pure
+//! function of `(scenario, seed)` — an unordered heap would let hash-map
+//! iteration order leak into results.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: payload `E` due at `time`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse both keys for earliest-first,
+        // FIFO-within-instant ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of future events.
+///
+/// ```
+/// use dtn_core::event::EventQueue;
+/// use dtn_core::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2.0), "late");
+/// q.push(SimTime::from_secs(1.0), "early");
+/// q.push(SimTime::from_secs(1.0), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`. Events at equal times pop in push
+    /// order.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Removes and returns the earliest event only if it is due at or
+    /// before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (the sequence counter keeps increasing so
+    /// determinism is preserved across clears).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Total number of events ever pushed (diagnostic).
+    pub fn pushed_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), 5);
+        q.push(t(1.0), 1);
+        q.push(t(3.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert_eq!(q.pop_until(t(1.5)), Some((t(1.0), "a")));
+        assert_eq!(q.pop_until(t(1.5)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(t(2.0)), Some((t(2.0), "b")));
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(4.0), ());
+        q.push(t(2.0), ());
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pushed_total(), 2);
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and at
+        /// equal times the insertion order is preserved.
+        #[test]
+        fn prop_sorted_stable(times in prop::collection::vec(0u32..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &tt) in times.iter().enumerate() {
+                q.push(t(tt as f64), (tt, i));
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((time, (_, idx))) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(time >= lt);
+                    if time == lt {
+                        prop_assert!(idx > lidx, "FIFO violated at equal time");
+                    }
+                }
+                last = Some((time, idx));
+            }
+        }
+    }
+}

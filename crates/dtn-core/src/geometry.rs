@@ -1,0 +1,309 @@
+//! 2-D geometry: points, vectors and axis-aligned rectangles.
+//!
+//! All coordinates are metres in a flat plane — the paper's scenarios are
+//! a 4500 m x 3400 m playground (Table II) and a city-scale taxi area, for
+//! which planar geometry is entirely adequate.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A position in the plane, metres.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Easting, metres.
+    pub x: f64,
+    /// Northing, metres.
+    pub y: f64,
+}
+
+/// A displacement in the plane, metres.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X component, metres.
+    pub x: f64,
+    /// Y component, metres.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Constructs a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt in range tests).
+    #[inline]
+    pub fn distance_sq(self, other: Point2) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Linear interpolation: `self` at `f = 0`, `other` at `f = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point2, f: f64) -> Point2 {
+        self + (other - self) * f
+    }
+}
+
+impl Vec2 {
+    /// Constructs a vector.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn length_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Unit vector in the same direction; the zero vector stays zero.
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let len = self.length();
+        if len == 0.0 {
+            Vec2::default()
+        } else {
+            Vec2::new(self.x / len, self.y / len)
+        }
+    }
+
+    /// Unit vector at `angle` radians from the +x axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Vec2 {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, v: Vec2) -> Point2 {
+        Point2::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    #[inline]
+    fn add_assign(&mut self, v: Vec2) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, other: Point2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// An axis-aligned rectangle `[0-anchored or arbitrary]`, used as the
+/// simulation playground.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point2,
+    /// Upper-right corner.
+    pub max: Point2,
+}
+
+impl Rect {
+    /// Rectangle spanning `min..max`.
+    ///
+    /// # Panics
+    /// Panics if the rectangle would be inverted or degenerate.
+    pub fn new(min: Point2, max: Point2) -> Self {
+        assert!(
+            max.x > min.x && max.y > min.y,
+            "Rect must have positive area: {min:?}..{max:?}"
+        );
+        Rect { min, max }
+    }
+
+    /// Rectangle anchored at the origin with the given extent (the form
+    /// used by the paper's "4500m x 3400m" playground).
+    pub fn from_size(width: f64, height: f64) -> Self {
+        Rect::new(Point2::new(0.0, 0.0), Point2::new(width, height))
+    }
+
+    /// Width, metres.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height, metres.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area, square metres.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` to the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        Point2::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distances() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, -4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point2::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_sq(), 25.0);
+        let u = v.normalized();
+        assert!((u.length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::default().normalized(), Vec2::default());
+        assert_eq!(v.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(-v, Vec2::new(-3.0, -4.0));
+        assert_eq!(v + v, Vec2::new(6.0, 8.0));
+        assert_eq!(v - v, Vec2::default());
+    }
+
+    #[test]
+    fn from_angle_is_unit() {
+        for i in 0..16 {
+            let a = i as f64 * std::f64::consts::TAU / 16.0;
+            let v = Vec2::from_angle(a);
+            assert!((v.length() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::from_size(4500.0, 3400.0);
+        assert_eq!(r.width(), 4500.0);
+        assert_eq!(r.height(), 3400.0);
+        assert_eq!(r.area(), 4500.0 * 3400.0);
+        assert!(r.contains(Point2::new(0.0, 0.0)));
+        assert!(r.contains(Point2::new(4500.0, 3400.0)));
+        assert!(!r.contains(Point2::new(-1.0, 5.0)));
+        assert_eq!(r.center(), Point2::new(2250.0, 1700.0));
+        assert_eq!(
+            r.clamp(Point2::new(9999.0, -5.0)),
+            Point2::new(4500.0, 0.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn degenerate_rect_rejected() {
+        let _ = Rect::new(Point2::new(0.0, 0.0), Point2::new(0.0, 5.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_clamp_is_inside(x in -1e4f64..2e4, y in -1e4f64..2e4) {
+            let r = Rect::from_size(4500.0, 3400.0);
+            prop_assert!(r.contains(r.clamp(Point2::new(x, y))));
+        }
+
+        #[test]
+        fn prop_distance_symmetric(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                                   bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+            prop_assert!(a.distance(b) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Reproducible randomness.
+//!
+//! Every simulation run is a pure function of `(scenario, master seed)`.
+//! To keep subsystems statistically independent *and* stable under code
+//! reorganisation, each consumer derives its own RNG stream from the
+//! master seed and a fixed stream label via SplitMix64 — adding a new
+//! consumer never perturbs the draws seen by existing ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Well-known stream labels, so call sites don't sprinkle magic numbers.
+pub mod streams {
+    /// Node mobility (one sub-stream per node is derived from this).
+    pub const MOBILITY: u64 = 0x01;
+    /// Message generation (sources, destinations, intervals).
+    pub const TRAFFIC: u64 = 0x02;
+    /// Buffer policies that randomise (e.g. random drop).
+    pub const BUFFER: u64 = 0x03;
+    /// Scenario/topology setup (initial placement, hotspot layout).
+    pub const TOPOLOGY: u64 = 0x04;
+    /// Anything benchmark-local.
+    pub const BENCH: u64 = 0x05;
+}
+
+/// SplitMix64 step — the standard 64-bit mixer (Steele et al.), used here
+/// purely for seed derivation, never for simulation draws.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a 32-byte seed for `(master, stream, substream)`.
+fn derive_seed(master: u64, stream: u64, substream: u64) -> [u8; 32] {
+    let mut state = master
+        ^ stream.wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ substream.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    let mut seed = [0u8; 32];
+    for chunk in seed.chunks_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    seed
+}
+
+/// A deterministic RNG for `(master seed, stream)`.
+pub fn stream_rng(master: u64, stream: u64) -> StdRng {
+    StdRng::from_seed(derive_seed(master, stream, 0))
+}
+
+/// A deterministic RNG for `(master seed, stream, substream)` — e.g. one
+/// independent mobility stream per node.
+pub fn substream_rng(master: u64, stream: u64, substream: u64) -> StdRng {
+    StdRng::from_seed(derive_seed(master, stream, substream))
+}
+
+/// Draws uniformly from the closed interval `[lo, hi]`; degenerate
+/// intervals (`lo == hi`) return `lo`.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn uniform_range<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "uniform_range requires lo <= hi ({lo} > {hi})");
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Draws from the exponential distribution with the given `rate`
+/// (λ, events per second) by inversion.
+///
+/// # Panics
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    // U in (0, 1]; -ln(U)/λ.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Samples an index from `weights` proportionally (weights need not be
+/// normalised). Zero-total weights fall back to index 0.
+///
+/// # Panics
+/// Panics if `weights` is empty or any weight is negative.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0, "weights must be non-negative");
+            w
+        })
+        .sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = stream_rng(42, streams::MOBILITY);
+        let mut b = stream_rng(42, streams::MOBILITY);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = stream_rng(42, streams::MOBILITY);
+        let mut b = stream_rng(42, streams::TRAFFIC);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let mut a = substream_rng(7, streams::MOBILITY, 0);
+        let mut b = substream_rng(7, streams::MOBILITY, 1);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        let mut a = stream_rng(1, streams::TRAFFIC);
+        let mut b = stream_rng(2, streams::TRAFFIC);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = stream_rng(3, streams::BENCH);
+        for _ in 0..1000 {
+            let v = uniform_range(&mut rng, 10.0, 15.0);
+            assert!((10.0..=15.0).contains(&v));
+        }
+        assert_eq!(uniform_range(&mut rng, 4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn uniform_range_rejects_inverted() {
+        let mut rng = stream_rng(3, streams::BENCH);
+        let _ = uniform_range(&mut rng, 5.0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = stream_rng(9, streams::BENCH);
+        let rate = 0.25;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        let expect = 1.0 / rate;
+        assert!(
+            (mean - expect).abs() < 0.1 * expect,
+            "mean {mean} far from {expect}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_non_negative() {
+        let mut rng = stream_rng(10, streams::BENCH);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 2.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = stream_rng(11, streams::BENCH);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_zero_total_falls_back() {
+        let mut rng = stream_rng(12, streams::BENCH);
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut s1 = 123u64;
+        let mut s2 = 123u64;
+        assert_eq!(splitmix64(&mut s1), splitmix64(&mut s2));
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Simulation clock primitives.
+//!
+//! Simulation time is a non-negative number of seconds stored as `f64`.
+//! The paper's scenarios span 18 000 s with sub-second transfer events, so
+//! `f64` (53-bit mantissa) gives far more than enough resolution while
+//! keeping the arithmetic natural. [`SimTime`] is totally ordered; the
+//! constructors reject NaN so `Ord` can be implemented safely.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in seconds since the start of the
+/// simulation.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+/// A span between two [`SimTime`] instants, in seconds. May be produced
+/// negative by subtraction; use [`SimDuration::max(ZERO)`](SimDuration::max)
+/// when a non-negative span is required.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The simulation origin, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than every real event; useful as a sentinel.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative: simulation time never runs
+    /// backwards past the origin, and NaN would poison the event queue
+    /// ordering.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        assert!(secs >= 0.0, "SimTime cannot be negative: {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since the simulation origin.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Span from `earlier` to `self` (may be negative if `earlier` is
+    /// actually later).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// True for the `INFINITY` sentinel.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// An unbounded span; useful as a sentinel for "never".
+    pub const INFINITY: SimDuration = SimDuration(f64::INFINITY);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimDuration cannot be NaN");
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from whole minutes (the paper quotes TTLs in
+    /// minutes, e.g. `TTL = 300 mins`).
+    #[inline]
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// The span in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// True if the span is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// Clamps a (possibly negative) span to zero.
+    #[inline]
+    pub fn clamp_non_negative(self) -> SimDuration {
+        SimDuration(self.0.max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Constructors reject NaN, so partial_cmp never fails.
+        self.partial_cmp(other).expect("SimTime is never NaN")
+    }
+}
+
+impl Eq for SimDuration {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimDuration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("SimDuration is never NaN")
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+impl Default for SimDuration {
+    fn default() -> Self {
+        SimDuration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(1.5).as_secs(), 1.5);
+        assert_eq!(SimDuration::from_secs(-2.0).as_secs(), -2.0);
+        assert_eq!(SimDuration::from_mins(300.0).as_secs(), 18_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_duration_rejected() {
+        let _ = SimDuration::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(2.5);
+        assert_eq!((t + d).as_secs(), 12.5);
+        assert_eq!((t - d).as_secs(), 7.5);
+        assert_eq!((t - SimTime::from_secs(4.0)).as_secs(), 6.0);
+        assert_eq!((d + d).as_secs(), 5.0);
+        assert_eq!((d - d).as_secs(), 0.0);
+        assert_eq!((d * 4.0).as_secs(), 10.0);
+        assert_eq!((d / 2.0).as_secs(), 1.25);
+        assert_eq!(d / SimDuration::from_secs(0.5), 5.0);
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::INFINITY > b);
+        assert!(!SimTime::INFINITY.is_finite());
+        assert!(a.is_finite());
+        let d = SimDuration::from_secs(-1.0);
+        assert!(d.is_negative());
+        assert_eq!(d.clamp_non_negative(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn since_is_signed() {
+        let a = SimTime::from_secs(5.0);
+        let b = SimTime::from_secs(8.0);
+        assert_eq!(b.since(a).as_secs(), 3.0);
+        assert_eq!(a.since(b).as_secs(), -3.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(3.0);
+        assert_eq!(t.as_secs(), 3.0);
+        let mut d = SimDuration::from_secs(1.0);
+        d += SimDuration::from_secs(2.0);
+        d -= SimDuration::from_secs(0.5);
+        assert_eq!(d.as_secs(), 2.5);
+    }
+}

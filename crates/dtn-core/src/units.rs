@@ -1,0 +1,232 @@
+//! Storage and bandwidth units.
+//!
+//! The paper quotes buffers in megabytes (2–5 MB), message sizes in
+//! megabytes (0.5 MB) and the radio bitrate in kilobits per second
+//! (250 kbps). Mixing bytes and bits by hand is a classic source of 8x
+//! errors, so both quantities get newtypes and the conversion lives in
+//! exactly one place ([`DataRate::transfer_time`]).
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A byte count (buffer capacities, message sizes).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// From raw bytes.
+    #[inline]
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    /// From kilobytes (1 kB = 1000 B, the convention ONE uses).
+    #[inline]
+    pub fn from_kb(kb: f64) -> Self {
+        Bytes((kb * 1_000.0).round() as u64)
+    }
+
+    /// From megabytes (1 MB = 1 000 000 B).
+    #[inline]
+    pub fn from_mb(mb: f64) -> Self {
+        Bytes((mb * 1_000_000.0).round() as u64)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// As megabytes.
+    #[inline]
+    pub fn as_mb(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, other: Bytes) -> Option<Bytes> {
+        self.0.checked_sub(other.0).map(Bytes)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, other: Bytes) -> Bytes {
+        Bytes(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, other: Bytes) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, other: Bytes) -> Bytes {
+        Bytes(
+            self.0
+                .checked_sub(other.0)
+                .expect("Bytes subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, other: Bytes) {
+        *self = *self - other;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}MB", self.as_mb())
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A link bitrate, bits per second.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Serialize, Deserialize)]
+pub struct DataRate {
+    bits_per_sec: f64,
+}
+
+impl DataRate {
+    /// From bits per second.
+    ///
+    /// # Panics
+    /// Panics unless the rate is strictly positive and finite.
+    #[inline]
+    pub fn from_bps(bps: f64) -> Self {
+        assert!(
+            bps > 0.0 && bps.is_finite(),
+            "data rate must be positive and finite"
+        );
+        DataRate { bits_per_sec: bps }
+    }
+
+    /// From kilobits per second (the paper's "250Kbps").
+    #[inline]
+    pub fn from_kbps(kbps: f64) -> Self {
+        Self::from_bps(kbps * 1_000.0)
+    }
+
+    /// Bits per second.
+    #[inline]
+    pub fn as_bps(self) -> f64 {
+        self.bits_per_sec
+    }
+
+    /// Bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bits_per_sec / 8.0
+    }
+
+    /// Time to push `size` through this link.
+    ///
+    /// 0.5 MB at 250 kbps = 4 000 000 bits / 250 000 bps = 16 s — the
+    /// paper's single-message transfer time.
+    #[inline]
+    pub fn transfer_time(self, size: Bytes) -> SimDuration {
+        SimDuration::from_secs(size.as_u64() as f64 * 8.0 / self.bits_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::from_mb(2.5).as_u64(), 2_500_000);
+        assert_eq!(Bytes::from_kb(1.5).as_u64(), 1_500);
+        assert_eq!(Bytes::from_mb(0.5).as_mb(), 0.5);
+    }
+
+    #[test]
+    fn byte_arithmetic() {
+        let a = Bytes::new(100);
+        let b = Bytes::new(30);
+        assert_eq!(a + b, Bytes::new(130));
+        assert_eq!(a - b, Bytes::new(70));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(Bytes::new(70)));
+        let mut c = a;
+        c += b;
+        c -= Bytes::new(10);
+        assert_eq!(c, Bytes::new(120));
+        let total: Bytes = [a, b, b].into_iter().sum();
+        assert_eq!(total, Bytes::new(160));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn byte_sub_underflow_panics() {
+        let _ = Bytes::new(1) - Bytes::new(2);
+    }
+
+    #[test]
+    fn paper_transfer_time() {
+        // Table II: 0.5 MB message over 250 kbps takes 16 s.
+        let rate = DataRate::from_kbps(250.0);
+        let t = rate.transfer_time(Bytes::from_mb(0.5));
+        assert!((t.as_secs() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_accessors() {
+        let r = DataRate::from_kbps(250.0);
+        assert_eq!(r.as_bps(), 250_000.0);
+        assert_eq!(r.bytes_per_sec(), 31_250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = DataRate::from_bps(0.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Bytes::from_mb(2.5)), "2.50MB");
+        assert_eq!(format!("{}", Bytes::new(512)), "512B");
+    }
+}

@@ -1,0 +1,330 @@
+//! Declarative mobility configuration and fleet construction.
+//!
+//! Scenario files describe mobility with [`MobilityConfig`]; the
+//! simulator turns it into one [`Mobility`] instance per node with
+//! [`build_fleet`]. Every node receives an independent RNG substream so
+//! fleets are reproducible and order-independent.
+
+use crate::clustered::{ClusteredWaypointConfig, ClusteredWaypointPlanner, CommunityLayout};
+use crate::hotspot::{HotspotLayout, HotspotTaxiConfig, HotspotTaxiPlanner};
+use crate::model::{LegMover, Mobility};
+use crate::random_direction::{RandomDirectionConfig, RandomDirectionPlanner};
+use crate::random_walk::{RandomWalkConfig, RandomWalkPlanner};
+use crate::random_waypoint::{RandomWaypointConfig, RandomWaypointPlanner};
+use crate::stationary::Stationary;
+use crate::trace::MobilityTrace;
+use dtn_core::geometry::{Point2, Rect};
+use dtn_core::rng::{stream_rng, substream_rng, streams};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which mobility model a scenario uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MobilityConfig {
+    /// Random waypoint (paper Table II).
+    RandomWaypoint(RandomWaypointConfig),
+    /// Random walk.
+    RandomWalk(RandomWalkConfig),
+    /// Random direction.
+    RandomDirection(RandomDirectionConfig),
+    /// Hotspot taxi — the EPFL trace substitute (paper Table III).
+    HotspotTaxi {
+        /// City extent.
+        area_width: f64,
+        /// City extent.
+        area_height: f64,
+        /// Number of hotspots.
+        hotspots: usize,
+        /// Hotspot scatter range `(sigma_min, sigma_max)` in metres.
+        sigma_range: (f64, f64),
+        /// Taxi behaviour parameters.
+        taxi: HotspotTaxiConfig,
+    },
+    /// Community-based waypoint movement (extension): nodes favour a
+    /// home cluster, producing heterogeneous pairwise meeting rates.
+    ClusteredWaypoint(ClusteredWaypointConfig),
+    /// All nodes pinned at explicit positions (tests/infrastructure).
+    Stationary {
+        /// One `(x, y)` per node.
+        positions: Vec<(f64, f64)>,
+    },
+    /// Replay a trace from an inline text body (the file-based path uses
+    /// [`MobilityTrace::load`] and this variant).
+    TraceText {
+        /// The trace in the `dtn-mobility` text format.
+        body: String,
+    },
+}
+
+impl MobilityConfig {
+    /// The paper's random-waypoint scenario.
+    pub fn paper_random_waypoint() -> Self {
+        MobilityConfig::RandomWaypoint(RandomWaypointConfig::paper())
+    }
+
+    /// The EPFL-substitute taxi scenario: an 8 km x 8 km city with 12
+    /// hotspots.
+    pub fn paper_taxi() -> Self {
+        MobilityConfig::HotspotTaxi {
+            area_width: 8000.0,
+            area_height: 8000.0,
+            hotspots: 12,
+            sigma_range: (150.0, 400.0),
+            taxi: HotspotTaxiConfig::default_taxi(),
+        }
+    }
+
+    /// The playground rectangle the model moves in (used for contact-grid
+    /// sizing). Trace-based configs derive it from the sample bounding
+    /// box.
+    pub fn area(&self) -> Rect {
+        match self {
+            MobilityConfig::RandomWaypoint(c) => c.area,
+            MobilityConfig::RandomWalk(c) => c.area,
+            MobilityConfig::RandomDirection(c) => c.area,
+            MobilityConfig::HotspotTaxi {
+                area_width,
+                area_height,
+                ..
+            } => Rect::from_size(*area_width, *area_height),
+            MobilityConfig::ClusteredWaypoint(c) => c.area(),
+            MobilityConfig::Stationary { positions } => bounding_box(
+                positions
+                    .iter()
+                    .map(|&(x, y)| Point2::new(x, y)),
+            ),
+            MobilityConfig::TraceText { body } => {
+                let trace = MobilityTrace::parse(body.as_bytes())
+                    .expect("invalid inline trace");
+                bounding_box(
+                    (0..trace.node_count())
+                        .flat_map(|n| trace.node_samples(n).iter().map(|&(_, p)| p).collect::<Vec<_>>()),
+                )
+            }
+        }
+    }
+}
+
+/// Smallest rectangle containing all points, padded so it is never
+/// degenerate.
+fn bounding_box(points: impl Iterator<Item = Point2>) -> Rect {
+    let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let mut any = false;
+    for p in points {
+        any = true;
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    if !any {
+        return Rect::from_size(1.0, 1.0);
+    }
+    // Pad degenerate extents.
+    let pad = 1.0;
+    Rect::new(
+        Point2::new(min.x - pad, min.y - pad),
+        Point2::new(max.x + pad, max.y + pad),
+    )
+}
+
+/// Builds one mobility instance per node.
+///
+/// `master_seed` drives both the per-node movement streams and (for
+/// hotspot taxi) the shared city layout, so a `(config, seed)` pair fully
+/// determines every trajectory.
+///
+/// # Panics
+/// Panics if a `Stationary`/`TraceText` config provides data for fewer
+/// nodes than requested.
+pub fn build_fleet(
+    config: &MobilityConfig,
+    n_nodes: usize,
+    master_seed: u64,
+) -> Vec<Box<dyn Mobility>> {
+    match config {
+        MobilityConfig::RandomWaypoint(c) => (0..n_nodes)
+            .map(|i| {
+                Box::new(LegMover::new(
+                    RandomWaypointPlanner::new(*c),
+                    substream_rng(master_seed, streams::MOBILITY, i as u64),
+                )) as Box<dyn Mobility>
+            })
+            .collect(),
+        MobilityConfig::RandomWalk(c) => (0..n_nodes)
+            .map(|i| {
+                Box::new(LegMover::new(
+                    RandomWalkPlanner::new(*c),
+                    substream_rng(master_seed, streams::MOBILITY, i as u64),
+                )) as Box<dyn Mobility>
+            })
+            .collect(),
+        MobilityConfig::RandomDirection(c) => (0..n_nodes)
+            .map(|i| {
+                Box::new(LegMover::new(
+                    RandomDirectionPlanner::new(*c),
+                    substream_rng(master_seed, streams::MOBILITY, i as u64),
+                )) as Box<dyn Mobility>
+            })
+            .collect(),
+        MobilityConfig::HotspotTaxi {
+            area_width,
+            area_height,
+            hotspots,
+            sigma_range,
+            taxi,
+        } => {
+            let mut layout_rng = stream_rng(master_seed, streams::TOPOLOGY);
+            let layout = Arc::new(HotspotLayout::generate(
+                Rect::from_size(*area_width, *area_height),
+                *hotspots,
+                *sigma_range,
+                &mut layout_rng,
+            ));
+            (0..n_nodes)
+                .map(|i| {
+                    Box::new(LegMover::new(
+                        HotspotTaxiPlanner::new(layout.clone(), *taxi),
+                        substream_rng(master_seed, streams::MOBILITY, i as u64),
+                    )) as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityConfig::ClusteredWaypoint(c) => {
+            let mut layout_rng = stream_rng(master_seed, streams::TOPOLOGY);
+            let layout = Arc::new(CommunityLayout::generate(
+                c.area(),
+                c.clusters,
+                &mut layout_rng,
+            ));
+            (0..n_nodes)
+                .map(|i| {
+                    Box::new(LegMover::new(
+                        ClusteredWaypointPlanner::new(layout.clone(), *c, layout.home_of(i)),
+                        substream_rng(master_seed, streams::MOBILITY, i as u64),
+                    )) as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityConfig::Stationary { positions } => {
+            assert!(
+                positions.len() >= n_nodes,
+                "stationary config has {} positions for {} nodes",
+                positions.len(),
+                n_nodes
+            );
+            positions[..n_nodes]
+                .iter()
+                .map(|&(x, y)| Box::new(Stationary::new(Point2::new(x, y))) as Box<dyn Mobility>)
+                .collect()
+        }
+        MobilityConfig::TraceText { body } => {
+            let trace = MobilityTrace::parse(body.as_bytes()).expect("invalid inline trace");
+            assert!(
+                trace.node_count() >= n_nodes,
+                "trace has {} nodes, scenario wants {}",
+                trace.node_count(),
+                n_nodes
+            );
+            trace
+                .replay()
+                .into_iter()
+                .take(n_nodes)
+                .map(|m| Box::new(m) as Box<dyn Mobility>)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_core::time::SimTime;
+
+    #[test]
+    fn builds_each_kind() {
+        let n = 4;
+        let seed = 1;
+        for cfg in [
+            MobilityConfig::paper_random_waypoint(),
+            MobilityConfig::RandomWalk(RandomWalkConfig::paper_area()),
+            MobilityConfig::RandomDirection(RandomDirectionConfig::paper_area()),
+            MobilityConfig::paper_taxi(),
+            MobilityConfig::ClusteredWaypoint(ClusteredWaypointConfig::default_communities()),
+        ] {
+            let mut fleet = build_fleet(&cfg, n, seed);
+            assert_eq!(fleet.len(), n);
+            let area = cfg.area();
+            for m in &mut fleet {
+                assert!(area.contains(m.position_at(SimTime::from_secs(123.0))));
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_fleet() {
+        let cfg = MobilityConfig::Stationary {
+            positions: vec![(0.0, 0.0), (5.0, 5.0)],
+        };
+        let mut fleet = build_fleet(&cfg, 2, 0);
+        assert_eq!(
+            fleet[1].position_at(SimTime::ZERO),
+            Point2::new(5.0, 5.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positions for")]
+    fn stationary_too_few_positions() {
+        let cfg = MobilityConfig::Stationary {
+            positions: vec![(0.0, 0.0)],
+        };
+        let _ = build_fleet(&cfg, 2, 0);
+    }
+
+    #[test]
+    fn trace_text_fleet() {
+        let body = "0 0 1 1\n0 10 2 2\n1 0 3 3\n".to_string();
+        let cfg = MobilityConfig::TraceText { body };
+        let mut fleet = build_fleet(&cfg, 2, 0);
+        assert_eq!(fleet[0].position_at(SimTime::from_secs(5.0)), Point2::new(1.5, 1.5));
+        assert_eq!(fleet[1].position_at(SimTime::ZERO), Point2::new(3.0, 3.0));
+        let area = cfg.area();
+        assert!(area.contains(Point2::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn same_seed_same_fleet() {
+        let cfg = MobilityConfig::paper_taxi();
+        let mut a = build_fleet(&cfg, 3, 77);
+        let mut b = build_fleet(&cfg, 3, 77);
+        for t in [0.0, 100.0, 5000.0] {
+            for i in 0..3 {
+                assert_eq!(
+                    a[i].position_at(SimTime::from_secs(t)),
+                    b[i].position_at(SimTime::from_secs(t))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seed_different_layout() {
+        let cfg = MobilityConfig::paper_taxi();
+        let mut a = build_fleet(&cfg, 1, 1);
+        let mut b = build_fleet(&cfg, 1, 2);
+        assert_ne!(
+            a[0].position_at(SimTime::ZERO),
+            b[0].position_at(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = MobilityConfig::paper_taxi();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MobilityConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

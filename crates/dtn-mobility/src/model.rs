@@ -1,0 +1,217 @@
+//! The mobility abstraction: planners, legs and the analytic integrator.
+
+use dtn_core::geometry::Point2;
+use dtn_core::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+/// Any source of a node trajectory.
+///
+/// `position_at` must be called with **non-decreasing** timestamps; this
+/// lets implementations advance internal state lazily instead of storing
+/// an entire trajectory.
+pub trait Mobility: Send {
+    /// Position of the node at simulation time `t`.
+    fn position_at(&mut self, t: SimTime) -> Point2;
+}
+
+/// One decision by a [`WaypointPlanner`]: travel to `dest` at `speed`,
+/// then stay put for `pause`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaypointDecision {
+    /// Where to go next.
+    pub dest: Point2,
+    /// Travel speed in m/s (must be > 0 unless `dest == from`).
+    pub speed: f64,
+    /// Pause duration after arriving.
+    pub pause: SimDuration,
+}
+
+/// Strategy deciding *where to go next*; the shared [`LegMover`] turns the
+/// decisions into an exact piecewise-linear trajectory.
+pub trait WaypointPlanner: Send {
+    /// The node's position at `t = 0`.
+    fn initial_position(&mut self, rng: &mut StdRng) -> Point2;
+
+    /// The next movement decision, departing from `from`.
+    fn next_decision(&mut self, from: Point2, rng: &mut StdRng) -> WaypointDecision;
+}
+
+/// One straight-line movement leg followed by a pause.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    from: Point2,
+    to: Point2,
+    depart: SimTime,
+    arrive: SimTime,
+    /// End of the post-arrival pause == departure time of the next leg.
+    pause_end: SimTime,
+}
+
+impl Leg {
+    fn position_at(&self, t: SimTime) -> Point2 {
+        if t <= self.depart {
+            self.from
+        } else if t >= self.arrive {
+            self.to
+        } else {
+            let f = (t - self.depart).as_secs() / (self.arrive - self.depart).as_secs();
+            self.from.lerp(self.to, f)
+        }
+    }
+}
+
+/// Drives a [`WaypointPlanner`] into a [`Mobility`] trajectory.
+///
+/// The mover owns the node's RNG so every node's movement is an
+/// independent reproducible stream.
+pub struct LegMover<P: WaypointPlanner> {
+    planner: P,
+    rng: StdRng,
+    leg: Leg,
+}
+
+impl<P: WaypointPlanner> LegMover<P> {
+    /// Builds the mover and materialises the first leg.
+    pub fn new(mut planner: P, mut rng: StdRng) -> Self {
+        let start = planner.initial_position(&mut rng);
+        let leg = Self::make_leg(&mut planner, &mut rng, start, SimTime::ZERO);
+        LegMover { planner, rng, leg }
+    }
+
+    fn make_leg(planner: &mut P, rng: &mut StdRng, from: Point2, depart: SimTime) -> Leg {
+        let d = planner.next_decision(from, rng);
+        let dist = from.distance(d.dest);
+        let travel = if dist == 0.0 {
+            SimDuration::ZERO
+        } else {
+            assert!(
+                d.speed > 0.0,
+                "planner returned non-positive speed {} for a non-zero leg",
+                d.speed
+            );
+            SimDuration::from_secs(dist / d.speed)
+        };
+        let arrive = depart + travel;
+        let pause = d.pause.clamp_non_negative();
+        Leg {
+            from,
+            to: d.dest,
+            depart,
+            arrive,
+            pause_end: arrive + pause,
+        }
+    }
+
+    /// Access the planner (e.g. for inspecting hotspot layouts in tests).
+    pub fn planner(&self) -> &P {
+        &self.planner
+    }
+}
+
+impl<P: WaypointPlanner> Mobility for LegMover<P> {
+    fn position_at(&mut self, t: SimTime) -> Point2 {
+        // Advance through however many legs `t` has passed. Guard against
+        // planners that produce zero-duration legs forever by bounding
+        // the number of zero-time advances per query.
+        let mut zero_steps = 0;
+        while t > self.leg.pause_end {
+            let prev_end = self.leg.pause_end;
+            self.leg = Self::make_leg(&mut self.planner, &mut self.rng, self.leg.to, prev_end);
+            if self.leg.pause_end == prev_end {
+                zero_steps += 1;
+                assert!(
+                    zero_steps < 10_000,
+                    "planner produced 10000 zero-duration legs in a row"
+                );
+            } else {
+                zero_steps = 0;
+            }
+        }
+        self.leg.position_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_core::rng::{stream_rng, streams};
+
+    /// A planner that bounces between two fixed points at 1 m/s with a
+    /// 2 s pause — lets us verify the integrator analytically.
+    struct PingPong;
+
+    impl WaypointPlanner for PingPong {
+        fn initial_position(&mut self, _rng: &mut StdRng) -> Point2 {
+            Point2::new(0.0, 0.0)
+        }
+        fn next_decision(&mut self, from: Point2, _rng: &mut StdRng) -> WaypointDecision {
+            let dest = if from.x < 5.0 {
+                Point2::new(10.0, 0.0)
+            } else {
+                Point2::new(0.0, 0.0)
+            };
+            WaypointDecision {
+                dest,
+                speed: 1.0,
+                pause: SimDuration::from_secs(2.0),
+            }
+        }
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn interpolates_exactly() {
+        let mut m = LegMover::new(PingPong, stream_rng(1, streams::MOBILITY));
+        // Leg 1: 0 -> 10 over t in [0, 10], pause until 12.
+        assert_eq!(m.position_at(t(0.0)), Point2::new(0.0, 0.0));
+        assert_eq!(m.position_at(t(2.5)), Point2::new(2.5, 0.0));
+        assert_eq!(m.position_at(t(10.0)), Point2::new(10.0, 0.0));
+        // Pause.
+        assert_eq!(m.position_at(t(11.5)), Point2::new(10.0, 0.0));
+        // Leg 2 departs at 12: back towards 0.
+        assert_eq!(m.position_at(t(13.0)), Point2::new(9.0, 0.0));
+        assert_eq!(m.position_at(t(22.0)), Point2::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn skips_many_legs_in_one_query() {
+        let mut m = LegMover::new(PingPong, stream_rng(1, streams::MOBILITY));
+        // Each round trip is 24 s. Jump straight to t = 100 s:
+        // 100 = 4 * 24 + 4 -> mid-leg of the 5th leg (0 -> 10 at depart 96).
+        let p = m.position_at(t(100.0));
+        assert_eq!(p, Point2::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn queries_at_same_time_are_stable() {
+        let mut m = LegMover::new(PingPong, stream_rng(1, streams::MOBILITY));
+        let a = m.position_at(t(7.0));
+        let b = m.position_at(t(7.0));
+        assert_eq!(a, b);
+    }
+
+    /// A planner that never moves (dest == from, zero pause except first).
+    struct Frozen;
+    impl WaypointPlanner for Frozen {
+        fn initial_position(&mut self, _rng: &mut StdRng) -> Point2 {
+            Point2::new(3.0, 4.0)
+        }
+        fn next_decision(&mut self, from: Point2, _rng: &mut StdRng) -> WaypointDecision {
+            WaypointDecision {
+                dest: from,
+                speed: 0.0, // allowed because the leg has zero length
+                pause: SimDuration::from_secs(60.0),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_legs_are_fine() {
+        let mut m = LegMover::new(Frozen, stream_rng(2, streams::MOBILITY));
+        assert_eq!(m.position_at(t(0.0)), Point2::new(3.0, 4.0));
+        assert_eq!(m.position_at(t(500.0)), Point2::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Random-direction mobility.
+//!
+//! Each step: pick a uniformly random heading, travel in that direction
+//! **until hitting the playground boundary**, pause, repeat. Compared to
+//! random waypoint this removes the centre-of-area density bias; the
+//! paper lists it among the models with exponential intermeeting tails.
+
+use crate::model::{WaypointDecision, WaypointPlanner};
+use dtn_core::geometry::{Point2, Rect, Vec2};
+use dtn_core::rng::uniform_range;
+use dtn_core::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for random-direction movement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomDirectionConfig {
+    /// Playground rectangle.
+    pub area: Rect,
+    /// Minimum speed, m/s.
+    pub min_speed: f64,
+    /// Maximum speed, m/s.
+    pub max_speed: f64,
+    /// Pause at the boundary, seconds (uniform `[0, max_pause]`).
+    pub max_pause: f64,
+}
+
+impl RandomDirectionConfig {
+    /// Defaults matching the paper's playground and speed.
+    pub fn paper_area() -> Self {
+        RandomDirectionConfig {
+            area: Rect::from_size(4500.0, 3400.0),
+            min_speed: 2.0,
+            max_speed: 2.0,
+            max_pause: 0.0,
+        }
+    }
+}
+
+/// The random-direction planner (see module docs).
+#[derive(Debug, Clone)]
+pub struct RandomDirectionPlanner {
+    cfg: RandomDirectionConfig,
+}
+
+impl RandomDirectionPlanner {
+    /// Creates a planner; panics on invalid parameters.
+    pub fn new(cfg: RandomDirectionConfig) -> Self {
+        assert!(
+            cfg.min_speed > 0.0 && cfg.max_speed >= cfg.min_speed,
+            "invalid speed range"
+        );
+        assert!(cfg.max_pause >= 0.0, "pause must be non-negative");
+        RandomDirectionPlanner { cfg }
+    }
+
+    /// First intersection of the ray `from + s*dir` (s > 0) with the area
+    /// boundary.
+    fn boundary_hit(&self, from: Point2, dir: Vec2) -> Point2 {
+        let a = &self.cfg.area;
+        let mut s = f64::INFINITY;
+        if dir.x > 1e-12 {
+            s = s.min((a.max.x - from.x) / dir.x);
+        } else if dir.x < -1e-12 {
+            s = s.min((a.min.x - from.x) / dir.x);
+        }
+        if dir.y > 1e-12 {
+            s = s.min((a.max.y - from.y) / dir.y);
+        } else if dir.y < -1e-12 {
+            s = s.min((a.min.y - from.y) / dir.y);
+        }
+        if !s.is_finite() || s <= 0.0 {
+            // Degenerate direction or already on the boundary heading out:
+            // stay put for this leg.
+            return from;
+        }
+        a.clamp(from + dir * s)
+    }
+}
+
+impl WaypointPlanner for RandomDirectionPlanner {
+    fn initial_position(&mut self, rng: &mut StdRng) -> Point2 {
+        Point2::new(
+            uniform_range(rng, self.cfg.area.min.x, self.cfg.area.max.x),
+            uniform_range(rng, self.cfg.area.min.y, self.cfg.area.max.y),
+        )
+    }
+
+    fn next_decision(&mut self, from: Point2, rng: &mut StdRng) -> WaypointDecision {
+        let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let dest = self.boundary_hit(from, Vec2::from_angle(angle));
+        WaypointDecision {
+            dest,
+            speed: uniform_range(rng, self.cfg.min_speed, self.cfg.max_speed),
+            pause: SimDuration::from_secs(uniform_range(rng, 0.0, self.cfg.max_pause)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LegMover, Mobility};
+    use dtn_core::rng::{substream_rng, streams};
+    use dtn_core::time::SimTime;
+
+    #[test]
+    fn destinations_are_on_boundary() {
+        let cfg = RandomDirectionConfig::paper_area();
+        let planner = RandomDirectionPlanner::new(cfg);
+        let from = Point2::new(1000.0, 1000.0);
+        for i in 0..64 {
+            let angle = i as f64 * std::f64::consts::TAU / 64.0;
+            let hit = planner.boundary_hit(from, Vec2::from_angle(angle));
+            let a = cfg.area;
+            let on_boundary = (hit.x - a.min.x).abs() < 1e-6
+                || (hit.x - a.max.x).abs() < 1e-6
+                || (hit.y - a.min.y).abs() < 1e-6
+                || (hit.y - a.max.y).abs() < 1e-6;
+            assert!(on_boundary, "hit {hit:?} not on boundary");
+        }
+    }
+
+    #[test]
+    fn stays_inside_area() {
+        let cfg = RandomDirectionConfig::paper_area();
+        let mut m = LegMover::new(
+            RandomDirectionPlanner::new(cfg),
+            substream_rng(8, streams::MOBILITY, 0),
+        );
+        for i in 0..2000 {
+            let p = m.position_at(SimTime::from_secs(i as f64 * 13.0));
+            assert!(cfg.area.contains(p), "escaped at {p:?}");
+        }
+    }
+
+    #[test]
+    fn corner_start_does_not_loop_forever() {
+        // A node exactly in a corner can draw outward angles: those legs
+        // degrade to zero-length and the planner must recover.
+        let cfg = RandomDirectionConfig {
+            max_pause: 1.0,
+            ..RandomDirectionConfig::paper_area()
+        };
+        let planner = RandomDirectionPlanner::new(cfg);
+        let corner = Point2::new(0.0, 0.0);
+        let hit = planner.boundary_hit(corner, Vec2::from_angle(std::f64::consts::PI));
+        assert_eq!(hit, corner);
+    }
+}

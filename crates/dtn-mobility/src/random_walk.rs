@@ -1,0 +1,158 @@
+//! Random-walk (Brownian-style) mobility.
+//!
+//! Each step: choose a uniformly random direction, walk a fixed step
+//! length at a speed from `[min_speed, max_speed]`; steps that would leave
+//! the playground are reflected back inside. The paper cites random walk
+//! as one of the mobility patterns with exponentially-tailed intermeeting
+//! times (\[22\] in the paper); we ship it so the Fig. 3 claim can be
+//! checked against more than one synthetic model.
+
+use crate::model::{WaypointDecision, WaypointPlanner};
+use dtn_core::geometry::{Point2, Rect, Vec2};
+use dtn_core::rng::uniform_range;
+use dtn_core::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for random-walk movement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalkConfig {
+    /// Playground rectangle.
+    pub area: Rect,
+    /// Length of each straight segment, metres.
+    pub step_length: f64,
+    /// Minimum speed, m/s.
+    pub min_speed: f64,
+    /// Maximum speed, m/s.
+    pub max_speed: f64,
+    /// Pause between steps, seconds (uniform `[0, max_pause]`).
+    pub max_pause: f64,
+}
+
+impl RandomWalkConfig {
+    /// A sensible default matching the paper's playground and speed.
+    pub fn paper_area() -> Self {
+        RandomWalkConfig {
+            area: Rect::from_size(4500.0, 3400.0),
+            step_length: 100.0,
+            min_speed: 2.0,
+            max_speed: 2.0,
+            max_pause: 0.0,
+        }
+    }
+}
+
+/// The random-walk planner (see module docs).
+#[derive(Debug, Clone)]
+pub struct RandomWalkPlanner {
+    cfg: RandomWalkConfig,
+}
+
+impl RandomWalkPlanner {
+    /// Creates a planner; panics on invalid parameters.
+    pub fn new(cfg: RandomWalkConfig) -> Self {
+        assert!(cfg.step_length > 0.0, "step length must be positive");
+        assert!(
+            cfg.min_speed > 0.0 && cfg.max_speed >= cfg.min_speed,
+            "invalid speed range"
+        );
+        assert!(cfg.max_pause >= 0.0, "pause must be non-negative");
+        RandomWalkPlanner { cfg }
+    }
+
+    /// Reflects `p` into the area (mirror at each boundary once; the step
+    /// length is assumed smaller than the playground so one reflection per
+    /// axis suffices).
+    fn reflect(&self, p: Point2) -> Point2 {
+        let a = &self.cfg.area;
+        let mut x = p.x;
+        let mut y = p.y;
+        if x < a.min.x {
+            x = 2.0 * a.min.x - x;
+        } else if x > a.max.x {
+            x = 2.0 * a.max.x - x;
+        }
+        if y < a.min.y {
+            y = 2.0 * a.min.y - y;
+        } else if y > a.max.y {
+            y = 2.0 * a.max.y - y;
+        }
+        a.clamp(Point2::new(x, y))
+    }
+}
+
+impl WaypointPlanner for RandomWalkPlanner {
+    fn initial_position(&mut self, rng: &mut StdRng) -> Point2 {
+        Point2::new(
+            uniform_range(rng, self.cfg.area.min.x, self.cfg.area.max.x),
+            uniform_range(rng, self.cfg.area.min.y, self.cfg.area.max.y),
+        )
+    }
+
+    fn next_decision(&mut self, from: Point2, rng: &mut StdRng) -> WaypointDecision {
+        let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let dest = self.reflect(from + Vec2::from_angle(angle) * self.cfg.step_length);
+        WaypointDecision {
+            dest,
+            speed: uniform_range(rng, self.cfg.min_speed, self.cfg.max_speed),
+            pause: SimDuration::from_secs(uniform_range(rng, 0.0, self.cfg.max_pause)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LegMover, Mobility};
+    use dtn_core::rng::{substream_rng, streams};
+    use dtn_core::time::SimTime;
+
+    #[test]
+    fn stays_inside_area() {
+        let cfg = RandomWalkConfig::paper_area();
+        let mut m = LegMover::new(
+            RandomWalkPlanner::new(cfg),
+            substream_rng(5, streams::MOBILITY, 0),
+        );
+        for i in 0..3000 {
+            let p = m.position_at(SimTime::from_secs(i as f64 * 7.0));
+            assert!(cfg.area.contains(p), "escaped at {p:?}");
+        }
+    }
+
+    #[test]
+    fn step_length_bounds_leg() {
+        let cfg = RandomWalkConfig::paper_area();
+        let mut m = LegMover::new(
+            RandomWalkPlanner::new(cfg),
+            substream_rng(6, streams::MOBILITY, 1),
+        );
+        // Over 50 s at 2 m/s the node can cover exactly 100 m = one step.
+        let mut prev = m.position_at(SimTime::ZERO);
+        for i in 1..500 {
+            let now = m.position_at(SimTime::from_secs(i as f64 * 50.0));
+            // displacement between samples can never exceed distance travelled
+            assert!(prev.distance(now) <= 100.0 + 1e-9);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn reflection_keeps_point_inside() {
+        let planner = RandomWalkPlanner::new(RandomWalkConfig::paper_area());
+        let inside = planner.reflect(Point2::new(-30.0, 3500.0));
+        assert!(RandomWalkConfig::paper_area().area.contains(inside));
+        // Interior points are untouched.
+        let p = Point2::new(100.0, 100.0);
+        assert_eq!(planner.reflect(p), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "step length")]
+    fn rejects_zero_step() {
+        let mut cfg = RandomWalkConfig::paper_area();
+        cfg.step_length = 0.0;
+        let _ = RandomWalkPlanner::new(cfg);
+    }
+}

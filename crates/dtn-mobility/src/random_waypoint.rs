@@ -1,0 +1,179 @@
+//! Random-waypoint mobility (the paper's synthetic scenario, Table II).
+//!
+//! Each node repeatedly: picks a destination uniformly at random in the
+//! playground, travels there in a straight line at a speed drawn from
+//! `[min_speed, max_speed]`, pauses for a time drawn from
+//! `[min_pause, max_pause]`, and repeats. The paper uses a fixed 2 m/s
+//! speed and (implicitly, ONE's default) no pause; both are configurable.
+
+use crate::model::{WaypointDecision, WaypointPlanner};
+use dtn_core::geometry::{Point2, Rect};
+use dtn_core::rng::uniform_range;
+use dtn_core::time::SimDuration;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for random-waypoint movement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypointConfig {
+    /// Playground rectangle.
+    pub area: Rect,
+    /// Minimum travel speed, m/s.
+    pub min_speed: f64,
+    /// Maximum travel speed, m/s.
+    pub max_speed: f64,
+    /// Minimum pause at each waypoint, seconds.
+    pub min_pause: f64,
+    /// Maximum pause at each waypoint, seconds.
+    pub max_pause: f64,
+}
+
+impl RandomWaypointConfig {
+    /// The paper's Table II settings: 4500 m x 3400 m, fixed 2 m/s, no
+    /// pause.
+    pub fn paper() -> Self {
+        RandomWaypointConfig {
+            area: Rect::from_size(4500.0, 3400.0),
+            min_speed: 2.0,
+            max_speed: 2.0,
+            min_pause: 0.0,
+            max_pause: 0.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.min_speed > 0.0 && self.max_speed >= self.min_speed,
+            "invalid speed range [{}, {}]",
+            self.min_speed,
+            self.max_speed
+        );
+        assert!(
+            self.min_pause >= 0.0 && self.max_pause >= self.min_pause,
+            "invalid pause range [{}, {}]",
+            self.min_pause,
+            self.max_pause
+        );
+    }
+}
+
+/// The random-waypoint planner (see module docs).
+#[derive(Debug, Clone)]
+pub struct RandomWaypointPlanner {
+    cfg: RandomWaypointConfig,
+}
+
+impl RandomWaypointPlanner {
+    /// Creates a planner; panics on inconsistent speed/pause ranges.
+    pub fn new(cfg: RandomWaypointConfig) -> Self {
+        cfg.validate();
+        RandomWaypointPlanner { cfg }
+    }
+
+    fn random_point(&self, rng: &mut StdRng) -> Point2 {
+        Point2::new(
+            uniform_range(rng, self.cfg.area.min.x, self.cfg.area.max.x),
+            uniform_range(rng, self.cfg.area.min.y, self.cfg.area.max.y),
+        )
+    }
+}
+
+impl WaypointPlanner for RandomWaypointPlanner {
+    fn initial_position(&mut self, rng: &mut StdRng) -> Point2 {
+        self.random_point(rng)
+    }
+
+    fn next_decision(&mut self, _from: Point2, rng: &mut StdRng) -> WaypointDecision {
+        WaypointDecision {
+            dest: self.random_point(rng),
+            speed: uniform_range(rng, self.cfg.min_speed, self.cfg.max_speed),
+            pause: SimDuration::from_secs(uniform_range(
+                rng,
+                self.cfg.min_pause,
+                self.cfg.max_pause,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LegMover, Mobility};
+    use dtn_core::rng::{substream_rng, streams};
+    use dtn_core::time::SimTime;
+
+    #[test]
+    fn stays_inside_area() {
+        let cfg = RandomWaypointConfig::paper();
+        let mut m = LegMover::new(
+            RandomWaypointPlanner::new(cfg),
+            substream_rng(42, streams::MOBILITY, 0),
+        );
+        for i in 0..2000 {
+            let p = m.position_at(SimTime::from_secs(i as f64 * 10.0));
+            assert!(cfg.area.contains(p), "escaped playground at {p:?}");
+        }
+    }
+
+    #[test]
+    fn moves_at_configured_speed() {
+        let cfg = RandomWaypointConfig::paper();
+        let mut m = LegMover::new(
+            RandomWaypointPlanner::new(cfg),
+            substream_rng(7, streams::MOBILITY, 3),
+        );
+        // With zero pause and fixed speed, displacement over a short dt is
+        // at most speed * dt (less when a turn happens inside dt).
+        let dt = 1.0;
+        let mut prev = m.position_at(SimTime::ZERO);
+        for i in 1..5000 {
+            let now = m.position_at(SimTime::from_secs(i as f64 * dt));
+            let d = prev.distance(now);
+            assert!(d <= 2.0 * dt + 1e-9, "moved {d} m in {dt} s at step {i}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn different_nodes_get_different_paths() {
+        let cfg = RandomWaypointConfig::paper();
+        let mut a = LegMover::new(
+            RandomWaypointPlanner::new(cfg),
+            substream_rng(42, streams::MOBILITY, 0),
+        );
+        let mut b = LegMover::new(
+            RandomWaypointPlanner::new(cfg),
+            substream_rng(42, streams::MOBILITY, 1),
+        );
+        let pa = a.position_at(SimTime::from_secs(100.0));
+        let pb = b.position_at(SimTime::from_secs(100.0));
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let cfg = RandomWaypointConfig::paper();
+        let mk = || {
+            LegMover::new(
+                RandomWaypointPlanner::new(cfg),
+                substream_rng(9, streams::MOBILITY, 5),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..200 {
+            let t = SimTime::from_secs(i as f64 * 37.0);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed range")]
+    fn rejects_zero_speed() {
+        let mut cfg = RandomWaypointConfig::paper();
+        cfg.min_speed = 0.0;
+        cfg.max_speed = 0.0;
+        let _ = RandomWaypointPlanner::new(cfg);
+    }
+}

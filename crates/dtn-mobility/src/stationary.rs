@@ -1,0 +1,115 @@
+//! Stationary "mobility": nodes that never move.
+//!
+//! Useful as infrastructure (throwboxes, base stations) and for unit
+//! tests that need fully predictable contact geometry.
+
+use crate::model::Mobility;
+use dtn_core::geometry::Point2;
+use dtn_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A node pinned at a fixed position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stationary {
+    /// The fixed position.
+    pub position: Point2,
+}
+
+impl Stationary {
+    /// A node at `position`.
+    pub fn new(position: Point2) -> Self {
+        Stationary { position }
+    }
+}
+
+impl Mobility for Stationary {
+    fn position_at(&mut self, _t: SimTime) -> Point2 {
+        self.position
+    }
+}
+
+/// A scripted trajectory defined by explicit `(time, position)` keyframes
+/// with linear interpolation — mainly for deterministic tests of contact
+/// detection and transfer timing.
+#[derive(Debug, Clone)]
+pub struct Scripted {
+    keyframes: Vec<(SimTime, Point2)>,
+}
+
+impl Scripted {
+    /// Builds a scripted trajectory.
+    ///
+    /// # Panics
+    /// Panics if `keyframes` is empty or timestamps are not strictly
+    /// increasing.
+    pub fn new(keyframes: Vec<(SimTime, Point2)>) -> Self {
+        assert!(!keyframes.is_empty(), "scripted mobility needs keyframes");
+        for w in keyframes.windows(2) {
+            assert!(w[0].0 < w[1].0, "keyframes must be strictly increasing");
+        }
+        Scripted { keyframes }
+    }
+}
+
+impl Mobility for Scripted {
+    fn position_at(&mut self, t: SimTime) -> Point2 {
+        let ks = &self.keyframes;
+        if t <= ks[0].0 {
+            return ks[0].1;
+        }
+        if t >= ks[ks.len() - 1].0 {
+            return ks[ks.len() - 1].1;
+        }
+        // Find the bracketing pair.
+        let idx = ks.partition_point(|&(kt, _)| kt <= t);
+        let (t0, p0) = ks[idx - 1];
+        let (t1, p1) = ks[idx];
+        let f = (t - t0).as_secs() / (t1 - t0).as_secs();
+        p0.lerp(p1, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut s = Stationary::new(Point2::new(5.0, 6.0));
+        assert_eq!(s.position_at(t(0.0)), Point2::new(5.0, 6.0));
+        assert_eq!(s.position_at(t(1e6)), Point2::new(5.0, 6.0));
+    }
+
+    #[test]
+    fn scripted_interpolates() {
+        let mut s = Scripted::new(vec![
+            (t(0.0), Point2::new(0.0, 0.0)),
+            (t(10.0), Point2::new(10.0, 0.0)),
+            (t(20.0), Point2::new(10.0, 20.0)),
+        ]);
+        assert_eq!(s.position_at(t(0.0)), Point2::new(0.0, 0.0));
+        assert_eq!(s.position_at(t(5.0)), Point2::new(5.0, 0.0));
+        assert_eq!(s.position_at(t(15.0)), Point2::new(10.0, 10.0));
+        // Clamped outside the script.
+        assert_eq!(s.position_at(t(99.0)), Point2::new(10.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn scripted_rejects_unsorted() {
+        let _ = Scripted::new(vec![
+            (t(5.0), Point2::new(0.0, 0.0)),
+            (t(5.0), Point2::new(1.0, 0.0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs keyframes")]
+    fn scripted_rejects_empty() {
+        let _ = Scripted::new(vec![]);
+    }
+}

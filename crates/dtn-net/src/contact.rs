@@ -1,0 +1,239 @@
+//! Contact detection over sampled node positions.
+//!
+//! Every movement tick the simulator samples all node positions and feeds
+//! them to [`ContactTracker::update`], which diffs the current in-range
+//! pair set against the previous tick and emits [`ContactEvent`]s. Events
+//! are emitted in deterministic (sorted pair) order so simulation runs
+//! are reproducible.
+
+use dtn_core::geometry::{Point2, Rect};
+use dtn_core::grid::SpatialGrid;
+use dtn_core::ids::{NodeId, NodePair};
+use dtn_core::time::SimTime;
+use std::collections::BTreeSet;
+
+/// A contact state change between a pair of nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContactEvent {
+    /// The pair moved into radio range at `time`.
+    Up {
+        /// The pair.
+        pair: NodePair,
+        /// When.
+        time: SimTime,
+    },
+    /// The pair moved out of radio range at `time`.
+    Down {
+        /// The pair.
+        pair: NodePair,
+        /// When.
+        time: SimTime,
+    },
+}
+
+impl ContactEvent {
+    /// The pair involved.
+    pub fn pair(&self) -> NodePair {
+        match *self {
+            ContactEvent::Up { pair, .. } | ContactEvent::Down { pair, .. } => pair,
+        }
+    }
+
+    /// The event timestamp.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            ContactEvent::Up { time, .. } | ContactEvent::Down { time, .. } => time,
+        }
+    }
+}
+
+/// Tracks which node pairs are currently in range and diffs tick over
+/// tick.
+#[derive(Debug, Clone)]
+pub struct ContactTracker {
+    grid: SpatialGrid,
+    range: f64,
+    /// Currently-connected pairs (ordered for deterministic iteration).
+    current: BTreeSet<NodePair>,
+    scratch_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl ContactTracker {
+    /// Creates a tracker for a playground `bounds` and radio `range`.
+    pub fn new(bounds: Rect, range: f64) -> Self {
+        assert!(range > 0.0, "radio range must be positive");
+        // Cell size = range gives the classic 3x3-neighbourhood query.
+        ContactTracker {
+            grid: SpatialGrid::new(bounds, range),
+            range,
+            current: BTreeSet::new(),
+            scratch_pairs: Vec::new(),
+        }
+    }
+
+    /// Ingests the positions sampled at `time` (indexed by node id) and
+    /// appends the resulting Up/Down events to `out` in sorted-pair order
+    /// (Down events first, then Up events).
+    pub fn update(&mut self, time: SimTime, positions: &[Point2], out: &mut Vec<ContactEvent>) {
+        self.grid.rebuild(positions);
+        self.scratch_pairs.clear();
+        self.grid.pairs_within(self.range, &mut self.scratch_pairs);
+        let fresh: BTreeSet<NodePair> = self
+            .scratch_pairs
+            .iter()
+            .map(|&(a, b)| NodePair::new(a, b))
+            .collect();
+
+        for &pair in self.current.difference(&fresh) {
+            out.push(ContactEvent::Down { pair, time });
+        }
+        for &pair in fresh.difference(&self.current) {
+            out.push(ContactEvent::Up { pair, time });
+        }
+        self.current = fresh;
+    }
+
+    /// Whether `pair` is currently in range.
+    pub fn connected(&self, pair: NodePair) -> bool {
+        self.current.contains(&pair)
+    }
+
+    /// Currently connected pairs in sorted order.
+    pub fn current_contacts(&self) -> impl Iterator<Item = NodePair> + '_ {
+        self.current.iter().copied()
+    }
+
+    /// Number of live contacts.
+    pub fn contact_count(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Emits a final Down event for every live contact (end of
+    /// simulation), clearing the state.
+    pub fn close_all(&mut self, time: SimTime, out: &mut Vec<ContactEvent>) {
+        for &pair in &self.current {
+            out.push(ContactEvent::Down { pair, time });
+        }
+        self.current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn tracker() -> ContactTracker {
+        ContactTracker::new(Rect::from_size(1000.0, 1000.0), 100.0)
+    }
+
+    #[test]
+    fn up_then_down() {
+        let mut tr = tracker();
+        let mut out = Vec::new();
+
+        // Tick 1: apart.
+        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(500.0, 0.0)], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(tr.contact_count(), 0);
+
+        // Tick 2: together.
+        tr.update(t(1.0), &[Point2::new(0.0, 0.0), Point2::new(50.0, 0.0)], &mut out);
+        let pair = NodePair::new(NodeId(0), NodeId(1));
+        assert_eq!(out, vec![ContactEvent::Up { pair, time: t(1.0) }]);
+        assert!(tr.connected(pair));
+
+        // Tick 3: still together — no event.
+        out.clear();
+        tr.update(t(2.0), &[Point2::new(10.0, 0.0), Point2::new(50.0, 0.0)], &mut out);
+        assert!(out.is_empty());
+
+        // Tick 4: apart again.
+        tr.update(t(3.0), &[Point2::new(0.0, 0.0), Point2::new(900.0, 0.0)], &mut out);
+        assert_eq!(out, vec![ContactEvent::Down { pair, time: t(3.0) }]);
+        assert!(!tr.connected(pair));
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut tr = tracker();
+        let mut out = Vec::new();
+        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], &mut out);
+        assert_eq!(out.len(), 1, "exactly at range counts as in contact");
+    }
+
+    #[test]
+    fn multiple_pairs_sorted_order() {
+        let mut tr = tracker();
+        let mut out = Vec::new();
+        // Three nodes in a line, each 50 m apart: pairs (0,1), (1,2), (0,2).
+        tr.update(
+            t(0.0),
+            &[
+                Point2::new(0.0, 0.0),
+                Point2::new(50.0, 0.0),
+                Point2::new(100.0, 0.0),
+            ],
+            &mut out,
+        );
+        let pairs: Vec<NodePair> = out.iter().map(|e| e.pair()).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                NodePair::new(NodeId(0), NodeId(1)),
+                NodePair::new(NodeId(0), NodeId(2)),
+                NodePair::new(NodeId(1), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn down_events_precede_up_events_in_one_tick() {
+        let mut tr = tracker();
+        let mut out = Vec::new();
+        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(50.0, 0.0), Point2::new(500.0, 500.0)], &mut out);
+        out.clear();
+        // Node 1 leaves node 0, node 2 arrives at node 0.
+        tr.update(t(1.0), &[Point2::new(0.0, 0.0), Point2::new(400.0, 0.0), Point2::new(60.0, 0.0)], &mut out);
+        assert!(matches!(out[0], ContactEvent::Down { .. }));
+        assert!(matches!(out[1], ContactEvent::Up { .. }));
+    }
+
+    #[test]
+    fn close_all_emits_downs() {
+        let mut tr = tracker();
+        let mut out = Vec::new();
+        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)], &mut out);
+        out.clear();
+        tr.close_all(t(9.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], ContactEvent::Down { time, .. } if time == t(9.0)));
+        assert_eq!(tr.contact_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let positions = |tick: usize| -> Vec<Point2> {
+            (0..20)
+                .map(|i| {
+                    Point2::new(
+                        ((i * 37 + tick * 13) % 500) as f64,
+                        ((i * 91 + tick * 7) % 500) as f64,
+                    )
+                })
+                .collect()
+        };
+        let run = || {
+            let mut tr = ContactTracker::new(Rect::from_size(500.0, 500.0), 80.0);
+            let mut all = Vec::new();
+            for tick in 0..50 {
+                tr.update(t(tick as f64), &positions(tick), &mut all);
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,61 @@
+//! Radio link parameters.
+//!
+//! The paper models the ONE simulator's default interface: a disc radio
+//! (two nodes are connected iff within `range` metres) with a fixed
+//! bitrate shared by every node (Table II: 100 m, 250 kbps).
+
+use dtn_core::time::SimDuration;
+use dtn_core::units::{Bytes, DataRate};
+use serde::{Deserialize, Serialize};
+
+/// Disc-model radio parameters, uniform across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Radio range, metres.
+    pub range: f64,
+    /// Link bitrate.
+    pub rate: DataRate,
+}
+
+impl LinkConfig {
+    /// Table II / III settings: 100 m range, 250 kbps.
+    pub fn paper() -> Self {
+        LinkConfig {
+            range: 100.0,
+            rate: DataRate::from_kbps(250.0),
+        }
+    }
+
+    /// Creates a link config.
+    ///
+    /// # Panics
+    /// Panics if `range` is not strictly positive.
+    pub fn new(range: f64, rate: DataRate) -> Self {
+        assert!(range > 0.0, "radio range must be positive");
+        LinkConfig { range, rate }
+    }
+
+    /// Time to transfer a message of `size` over this link.
+    #[inline]
+    pub fn transfer_time(&self, size: Bytes) -> SimDuration {
+        self.rate.transfer_time(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings() {
+        let l = LinkConfig::paper();
+        assert_eq!(l.range, 100.0);
+        assert!((l.transfer_time(Bytes::from_mb(0.5)).as_secs() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_rejected() {
+        let _ = LinkConfig::new(0.0, DataRate::from_kbps(250.0));
+    }
+}

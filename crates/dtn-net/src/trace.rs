@@ -1,0 +1,281 @@
+//! Contact traces and intermeeting-time statistics.
+//!
+//! A [`ContactTrace`] records closed contact intervals. From it we derive
+//! the quantities the paper's model needs:
+//!
+//! * **Intermeeting times** `I` (Definition 1): gaps between the end of
+//!   one contact and the start of the next *for the same node pair*.
+//!   Fig. 3 plots their distribution and fits an exponential.
+//! * **Minimum intermeeting times** `I_min` (Definition 2): for a
+//!   specific node, the gap between the end of a contact with anyone and
+//!   the start of the next contact with anyone. Its mean `E(I_min)`
+//!   drives the binary-spray interval in Eqs. 6 and 15; the paper uses
+//!   `E(I_min) = E(I)/(N-1)` (Eq. 3).
+
+use crate::contact::ContactEvent;
+use dtn_core::ids::{NodeId, NodePair};
+use dtn_core::stats::OnlineStats;
+use dtn_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One closed contact interval between a node pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContactInterval {
+    /// The pair.
+    pub pair: NodePair,
+    /// Contact start.
+    pub start: SimTime,
+    /// Contact end.
+    pub end: SimTime,
+}
+
+impl ContactInterval {
+    /// Contact duration, seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.end - self.start).as_secs()
+    }
+}
+
+/// An append-only record of contact intervals, built from
+/// [`ContactEvent`] streams.
+#[derive(Debug, Clone, Default)]
+pub struct ContactTrace {
+    intervals: Vec<ContactInterval>,
+    open: HashMap<NodePair, SimTime>,
+}
+
+impl ContactTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one contact event.
+    ///
+    /// # Panics
+    /// Panics on a Down without a matching Up, or a duplicate Up —
+    /// either indicates a bug in the contact tracker.
+    pub fn record(&mut self, event: ContactEvent) {
+        match event {
+            ContactEvent::Up { pair, time } => {
+                let prev = self.open.insert(pair, time);
+                assert!(prev.is_none(), "duplicate ContactUp for {pair:?}");
+            }
+            ContactEvent::Down { pair, time } => {
+                let start = self
+                    .open
+                    .remove(&pair)
+                    .unwrap_or_else(|| panic!("ContactDown without Up for {pair:?}"));
+                self.intervals.push(ContactInterval {
+                    pair,
+                    start,
+                    end: time,
+                });
+            }
+        }
+    }
+
+    /// All closed intervals, in completion order.
+    pub fn intervals(&self) -> &[ContactInterval] {
+        &self.intervals
+    }
+
+    /// Number of closed intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True if no interval has closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Number of still-open contacts (unclosed Ups).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Per-pair intermeeting times (Definition 1): for each pair, the
+    /// gaps `start[k+1] - end[k]` between consecutive contacts.
+    pub fn intermeeting_times(&self) -> Vec<f64> {
+        let mut per_pair: HashMap<NodePair, Vec<(SimTime, SimTime)>> = HashMap::new();
+        for iv in &self.intervals {
+            per_pair
+                .entry(iv.pair)
+                .or_default()
+                .push((iv.start, iv.end));
+        }
+        let mut gaps = Vec::new();
+        // Sort pairs for deterministic output order.
+        let mut pairs: Vec<_> = per_pair.keys().copied().collect();
+        pairs.sort();
+        for pair in pairs {
+            let ivs = per_pair.get_mut(&pair).expect("key exists");
+            ivs.sort_by_key(|&(start, _)| start);
+            for w in ivs.windows(2) {
+                gaps.push((w[1].0 - w[0].1).as_secs());
+            }
+        }
+        gaps
+    }
+
+    /// Per-node minimum intermeeting times (Definition 2): for each node,
+    /// gaps between the end of any contact and the start of the *next*
+    /// contact with any node.
+    pub fn min_intermeeting_times(&self, n_nodes: usize) -> Vec<f64> {
+        // Collect each node's contact intervals as (start, end).
+        let mut per_node: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); n_nodes];
+        for iv in &self.intervals {
+            per_node[iv.pair.lo().index()].push((iv.start, iv.end));
+            per_node[iv.pair.hi().index()].push((iv.start, iv.end));
+        }
+        let mut gaps = Vec::new();
+        for ivs in &mut per_node {
+            ivs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            // Walk in start order, tracking the end of the last contact
+            // seen; a gap opens only when the node is contact-free.
+            let mut last_end: Option<SimTime> = None;
+            for &(start, end) in ivs.iter() {
+                if let Some(le) = last_end {
+                    if start > le {
+                        gaps.push((start - le).as_secs());
+                    }
+                }
+                last_end = Some(match last_end {
+                    Some(le) => le.max(end),
+                    None => end,
+                });
+            }
+        }
+        gaps
+    }
+
+    /// Mean contact duration stats.
+    pub fn duration_stats(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for iv in &self.intervals {
+            s.push(iv.duration_secs());
+        }
+        s
+    }
+
+    /// Total contacts seen by `node`.
+    pub fn contacts_of(&self, node: NodeId) -> usize {
+        self.intervals
+            .iter()
+            .filter(|iv| iv.pair.lo() == node || iv.pair.hi() == node)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    fn up(p: NodePair, s: f64) -> ContactEvent {
+        ContactEvent::Up { pair: p, time: t(s) }
+    }
+
+    fn down(p: NodePair, s: f64) -> ContactEvent {
+        ContactEvent::Down { pair: p, time: t(s) }
+    }
+
+    #[test]
+    fn records_intervals() {
+        let mut tr = ContactTrace::new();
+        tr.record(up(pair(0, 1), 10.0));
+        tr.record(down(pair(0, 1), 25.0));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.intervals()[0].duration_secs(), 15.0);
+        assert_eq!(tr.open_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ContactUp")]
+    fn duplicate_up_panics() {
+        let mut tr = ContactTrace::new();
+        tr.record(up(pair(0, 1), 1.0));
+        tr.record(up(pair(0, 1), 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ContactDown without Up")]
+    fn orphan_down_panics() {
+        let mut tr = ContactTrace::new();
+        tr.record(down(pair(0, 1), 2.0));
+    }
+
+    #[test]
+    fn intermeeting_per_pair() {
+        let mut tr = ContactTrace::new();
+        // Pair (0,1): contacts [0,10], [40,50], [90,95] -> gaps 30, 40.
+        tr.record(up(pair(0, 1), 0.0));
+        tr.record(down(pair(0, 1), 10.0));
+        tr.record(up(pair(0, 1), 40.0));
+        tr.record(down(pair(0, 1), 50.0));
+        tr.record(up(pair(0, 1), 90.0));
+        tr.record(down(pair(0, 1), 95.0));
+        // Pair (0,2): single contact -> no gap.
+        tr.record(up(pair(0, 2), 5.0));
+        tr.record(down(pair(0, 2), 6.0));
+        let mut gaps = tr.intermeeting_times();
+        gaps.sort_by(f64::total_cmp);
+        assert_eq!(gaps, vec![30.0, 40.0]);
+    }
+
+    #[test]
+    fn min_intermeeting_across_peers() {
+        let mut tr = ContactTrace::new();
+        // Node 0 meets node 1 over [0,10] and node 2 over [18,20]:
+        // node 0's min-intermeeting gap is 8.
+        tr.record(up(pair(0, 1), 0.0));
+        tr.record(down(pair(0, 1), 10.0));
+        tr.record(up(pair(0, 2), 18.0));
+        tr.record(down(pair(0, 2), 20.0));
+        let mut gaps = tr.min_intermeeting_times(3);
+        gaps.sort_by(f64::total_cmp);
+        // Node 0 contributes 8. Nodes 1 and 2 each saw one contact -> none.
+        assert_eq!(gaps, vec![8.0]);
+    }
+
+    #[test]
+    fn min_intermeeting_ignores_overlapping_contacts() {
+        let mut tr = ContactTrace::new();
+        // Node 0 in contact with 1 over [0,30] and with 2 over [10,20]
+        // (fully nested): no contact-free gap until [30,35].
+        tr.record(up(pair(0, 1), 0.0));
+        tr.record(up(pair(0, 2), 10.0));
+        tr.record(down(pair(0, 2), 20.0));
+        tr.record(down(pair(0, 1), 30.0));
+        tr.record(up(pair(0, 2), 35.0));
+        tr.record(down(pair(0, 2), 36.0));
+        let gaps = tr.min_intermeeting_times(3);
+        // Node 0: gap 5 (30 -> 35). Node 2: gap 15 (20 -> 35). Node 1: none.
+        let mut sorted = gaps.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![5.0, 15.0]);
+    }
+
+    #[test]
+    fn duration_stats_and_contact_counts() {
+        let mut tr = ContactTrace::new();
+        tr.record(up(pair(0, 1), 0.0));
+        tr.record(down(pair(0, 1), 10.0));
+        tr.record(up(pair(1, 2), 0.0));
+        tr.record(down(pair(1, 2), 30.0));
+        let s = tr.duration_stats();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(tr.contacts_of(NodeId(1)), 2);
+        assert_eq!(tr.contacts_of(NodeId(0)), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Direct delivery: the source holds its message until it meets the
+//! destination. Zero overhead, minimal delivery ratio — the floor every
+//! multi-copy scheme is measured against.
+
+use crate::protocol::{delivery_if_destination, RoutingCtx, RoutingProtocol, TransferKind};
+use dtn_buffer::view::MessageView;
+
+/// The direct-delivery protocol (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectDelivery;
+
+impl RoutingProtocol for DirectDelivery {
+    fn name(&self) -> &'static str {
+        "DirectDelivery"
+    }
+
+    fn eligibility(
+        &self,
+        ctx: &RoutingCtx,
+        msg: &MessageView<'_>,
+        peer_has: bool,
+    ) -> Option<TransferKind> {
+        delivery_if_destination(ctx, msg, peer_has)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_buffer::view::TestMessage;
+    use dtn_core::ids::NodeId;
+    use dtn_core::time::SimTime;
+
+    #[test]
+    fn only_destination_receives() {
+        let p = DirectDelivery;
+        let mut m = TestMessage::sample(1);
+        m.copies = 32;
+        m.destination = NodeId(9);
+        let mk = |peer: u32| RoutingCtx {
+            me: NodeId(0),
+            peer: NodeId(peer),
+            now: SimTime::ZERO,
+        };
+        assert_eq!(p.eligibility(&mk(3), &m.view(), false), None);
+        assert_eq!(
+            p.eligibility(&mk(9), &m.view(), false),
+            Some(TransferKind::Delivery)
+        );
+        assert_eq!(p.eligibility(&mk(9), &m.view(), true), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Epidemic routing (Vahdat & Becker, 2000): replicate every message to
+//! every node that lacks it. Maximal delivery ratio with unconstrained
+//! resources; the congestion baseline the paper's introduction motivates
+//! Spray-and-Wait against.
+
+use crate::protocol::{delivery_if_destination, RoutingCtx, RoutingProtocol, TransferKind};
+use dtn_buffer::view::MessageView;
+
+/// The Epidemic protocol (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epidemic;
+
+impl RoutingProtocol for Epidemic {
+    fn name(&self) -> &'static str {
+        "Epidemic"
+    }
+
+    fn eligibility(
+        &self,
+        ctx: &RoutingCtx,
+        msg: &MessageView<'_>,
+        peer_has: bool,
+    ) -> Option<TransferKind> {
+        if let Some(d) = delivery_if_destination(ctx, msg, peer_has) {
+            return Some(d);
+        }
+        if peer_has {
+            return None;
+        }
+        // Copies are not token-limited: the sender's count is untouched
+        // and the receiver starts its own single-token copy.
+        Some(TransferKind::Replicate {
+            sender_keeps: msg.copies,
+            receiver_gets: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_buffer::view::TestMessage;
+    use dtn_core::ids::NodeId;
+    use dtn_core::time::SimTime;
+
+    fn ctx(peer: u32) -> RoutingCtx {
+        RoutingCtx {
+            me: NodeId(0),
+            peer: NodeId(peer),
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn replicates_to_anyone_lacking() {
+        let p = Epidemic;
+        let mut m = TestMessage::sample(1);
+        m.copies = 1;
+        m.destination = NodeId(9);
+        assert_eq!(
+            p.eligibility(&ctx(3), &m.view(), false),
+            Some(TransferKind::Replicate {
+                sender_keeps: 1,
+                receiver_gets: 1
+            })
+        );
+        assert_eq!(p.eligibility(&ctx(3), &m.view(), true), None);
+        assert_eq!(
+            p.eligibility(&ctx(9), &m.view(), false),
+            Some(TransferKind::Delivery)
+        );
+    }
+}

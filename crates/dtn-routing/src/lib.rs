@@ -1,0 +1,39 @@
+//! # dtn-routing
+//!
+//! DTN routing protocols for the SDSRP simulator.
+//!
+//! A routing protocol answers one question per buffered message whenever
+//! a contact is available: *may this message be transferred to this peer,
+//! and with what copy semantics?* ([`RoutingProtocol::eligibility`]).
+//! The buffer policy (from `dtn-buffer` / `sdsrp-core`) then orders the
+//! eligible messages — the separation mirrors the paper, which keeps
+//! Spray-and-Wait's forwarding rule fixed and varies only the
+//! scheduling/drop strategy.
+//!
+//! Protocols:
+//!
+//! * [`spray_and_wait::SprayAndWait`] — the paper's
+//!   router: binary (or source) token spraying, direct delivery in the
+//!   wait phase.
+//! * [`Epidemic`](epidemic::Epidemic) — replicate everything to
+//!   everyone; the classic flooding baseline.
+//! * [`DirectDelivery`](direct::DirectDelivery) — source holds the
+//!   message until it meets the destination; the lower bound.
+//! * [`Prophet`](prophet::Prophet) — extension: delivery-predictability
+//!   routing with transitivity (PRoPHET, Lindgren et al. 2003).
+//! * [`SprayAndFocus`](spray_and_focus::SprayAndFocus) — extension
+//!   (paper's related work \[18\]): wait phase replaced by utility-based
+//!   single-copy *handoff* using last-encounter timers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod direct;
+pub mod epidemic;
+pub mod prophet;
+pub mod protocol;
+pub mod spray_and_focus;
+pub mod spray_and_wait;
+
+pub use protocol::{RoutingCtx, RoutingProtocol, TransferKind};
+pub use spray_and_wait::{SprayAndWait, SprayMode};

@@ -1,0 +1,195 @@
+//! Spray-and-Wait (Spyropoulos et al., WDTN 2005) — the paper's router.
+//!
+//! Every message starts with `L` copy tokens at its source.
+//!
+//! * **Spray phase** (`C_i > 1`): on meeting a node without the message,
+//!   hand over tokens. *Binary* mode gives `⌊C_i/2⌋` and keeps
+//!   `⌈C_i/2⌉`; *source* mode gives exactly one token and only lets the
+//!   source spray.
+//! * **Wait phase** (`C_i = 1`): hold the message and transfer it only on
+//!   meeting the destination ("direct transmission").
+//!
+//! The binary-spray timestamps the SDSRP estimator consumes (Eq. 15) are
+//! appended by the simulator whenever a `Replicate` decided here
+//! completes.
+
+use crate::protocol::{delivery_if_destination, RoutingCtx, RoutingProtocol, TransferKind};
+use dtn_buffer::view::MessageView;
+use serde::{Deserialize, Serialize};
+
+/// Token-distribution flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SprayMode {
+    /// Binary spray: split tokens in half at every spray (the paper's
+    /// setting; optimal for homogeneous mobility per the original
+    /// Spray-and-Wait analysis).
+    Binary,
+    /// Source spray: only the source distributes, one token at a time.
+    Source,
+}
+
+/// The Spray-and-Wait protocol state for one node.
+#[derive(Debug, Clone, Copy)]
+pub struct SprayAndWait {
+    mode: SprayMode,
+}
+
+impl SprayAndWait {
+    /// Binary spray-and-wait (the paper's configuration).
+    pub fn binary() -> Self {
+        SprayAndWait {
+            mode: SprayMode::Binary,
+        }
+    }
+
+    /// Source spray-and-wait.
+    pub fn source() -> Self {
+        SprayAndWait {
+            mode: SprayMode::Source,
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> SprayMode {
+        self.mode
+    }
+}
+
+impl RoutingProtocol for SprayAndWait {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            SprayMode::Binary => "SprayAndWait(binary)",
+            SprayMode::Source => "SprayAndWait(source)",
+        }
+    }
+
+    fn eligibility(
+        &self,
+        ctx: &RoutingCtx,
+        msg: &MessageView<'_>,
+        peer_has: bool,
+    ) -> Option<TransferKind> {
+        if let Some(d) = delivery_if_destination(ctx, msg, peer_has) {
+            return Some(d);
+        }
+        if peer_has || msg.copies <= 1 {
+            // Wait phase: direct transmission only.
+            return None;
+        }
+        match self.mode {
+            SprayMode::Binary => Some(TransferKind::Replicate {
+                sender_keeps: msg.copies - msg.copies / 2, // ceil
+                receiver_gets: msg.copies / 2,             // floor
+            }),
+            SprayMode::Source => {
+                if msg.source == ctx.me {
+                    Some(TransferKind::Replicate {
+                        sender_keeps: msg.copies - 1,
+                        receiver_gets: 1,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_buffer::view::TestMessage;
+    use dtn_core::ids::NodeId;
+    use dtn_core::time::SimTime;
+
+    fn ctx(me: u32, peer: u32) -> RoutingCtx {
+        RoutingCtx {
+            me: NodeId(me),
+            peer: NodeId(peer),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn msg(copies: u32, source: u32, dest: u32) -> TestMessage {
+        let mut m = TestMessage::sample(1);
+        m.copies = copies;
+        m.source = NodeId(source);
+        m.destination = NodeId(dest);
+        m
+    }
+
+    #[test]
+    fn binary_splits_tokens_floor_ceil() {
+        let p = SprayAndWait::binary();
+        for (c, keep, give) in [(16u32, 8u32, 8u32), (7, 4, 3), (2, 1, 1), (3, 2, 1)] {
+            let m = msg(c, 0, 9);
+            assert_eq!(
+                p.eligibility(&ctx(0, 1), &m.view(), false),
+                Some(TransferKind::Replicate {
+                    sender_keeps: keep,
+                    receiver_gets: give
+                }),
+                "C = {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_phase_only_delivers() {
+        let p = SprayAndWait::binary();
+        let m = msg(1, 0, 9);
+        // Non-destination peer: nothing.
+        assert_eq!(p.eligibility(&ctx(0, 1), &m.view(), false), None);
+        // Destination: delivery.
+        assert_eq!(
+            p.eligibility(&ctx(0, 9), &m.view(), false),
+            Some(TransferKind::Delivery)
+        );
+    }
+
+    #[test]
+    fn delivery_takes_precedence_over_spray() {
+        let p = SprayAndWait::binary();
+        let m = msg(16, 0, 9);
+        assert_eq!(
+            p.eligibility(&ctx(0, 9), &m.view(), false),
+            Some(TransferKind::Delivery)
+        );
+    }
+
+    #[test]
+    fn never_resends_to_holder() {
+        let p = SprayAndWait::binary();
+        let m = msg(16, 0, 9);
+        assert_eq!(p.eligibility(&ctx(0, 1), &m.view(), true), None);
+        assert_eq!(p.eligibility(&ctx(0, 9), &m.view(), true), None);
+    }
+
+    #[test]
+    fn source_mode_only_source_sprays() {
+        let p = SprayAndWait::source();
+        let m = msg(8, 0, 9);
+        // At the source: give exactly one token.
+        assert_eq!(
+            p.eligibility(&ctx(0, 1), &m.view(), false),
+            Some(TransferKind::Replicate {
+                sender_keeps: 7,
+                receiver_gets: 1
+            })
+        );
+        // At a relay (me != source): wait phase regardless of tokens.
+        assert_eq!(p.eligibility(&ctx(3, 1), &m.view(), false), None);
+        // Relay still delivers.
+        assert_eq!(
+            p.eligibility(&ctx(3, 9), &m.view(), false),
+            Some(TransferKind::Delivery)
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SprayAndWait::binary().name(), "SprayAndWait(binary)");
+        assert_eq!(SprayAndWait::source().name(), "SprayAndWait(source)");
+        assert_eq!(SprayAndWait::binary().mode(), SprayMode::Binary);
+    }
+}

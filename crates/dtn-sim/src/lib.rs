@@ -1,0 +1,45 @@
+//! # dtn-sim
+//!
+//! The assembled DTN simulator: scenarios in, the paper's three metrics
+//! out.
+//!
+//! * [`config`] — [`config::ScenarioConfig`] with the
+//!   paper's Table II (random waypoint) and Table III (EPFL substitute)
+//!   presets; [`config::PolicyKind`] /
+//!   [`config::RoutingKind`] factories.
+//! * [`message`] — message descriptors and per-node buffered copies.
+//! * [`node`] — a node: buffer + buffer policy + routing protocol.
+//! * [`report`] — delivery ratio, average hopcount, overhead ratio and
+//!   the supporting counters, with the paper's exact definitions.
+//! * [`world`] — the event-driven simulation itself.
+//! * [`sweep`] — parallel parameter sweeps (policies x axis x seeds)
+//!   used by every Fig. 8 / Fig. 9 series.
+//! * [`output`] — CSV and markdown emitters for the figure harnesses.
+//!
+//! ## Model fidelity notes (vs. the ONE simulator)
+//!
+//! * Movement is sampled on a fixed tick (default 1 s, like ONE's 0.1-1 s
+//!   step) and contacts are disc-model with inclusive range.
+//! * One transfer at a time per contact (the link is half-duplex and
+//!   serialises), `duration = size / bitrate`; a contact ending mid
+//!   transfer aborts it with no partial delivery.
+//! * No ACKs / immunity: delivered messages keep circulating until TTL
+//!   expiry (paper Section III-A). TTL expiry purges copies everywhere.
+//! * Deliverable messages always preempt relay traffic, then the buffer
+//!   policy's scheduling order decides (paper Algorithm 1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod message;
+pub mod node;
+pub mod output;
+pub mod report;
+pub mod sweep;
+pub mod timeseries;
+pub mod world;
+
+pub use config::{PolicyKind, RoutingKind, ScenarioConfig};
+pub use report::Report;
+pub use world::World;

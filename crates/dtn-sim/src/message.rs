@@ -1,0 +1,114 @@
+//! Messages and buffered copies.
+
+use dtn_core::ids::{MessageId, NodeId};
+use dtn_core::time::{SimDuration, SimTime};
+use dtn_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The immutable descriptor of a generated message (shared by all
+/// copies; the world keeps the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Unique id.
+    pub id: MessageId,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Payload size.
+    pub size: Bytes,
+    /// Generation time.
+    pub created: SimTime,
+    /// Initial time-to-live.
+    pub ttl: SimDuration,
+    /// Initial copy tokens (`L` / `C` in the paper).
+    pub initial_copies: u32,
+}
+
+impl Message {
+    /// Absolute expiry instant.
+    pub fn expires_at(&self) -> SimTime {
+        self.created + self.ttl
+    }
+
+    /// Remaining TTL at `now` (can go negative after expiry).
+    pub fn remaining_ttl(&self, now: SimTime) -> SimDuration {
+        self.expires_at() - now
+    }
+
+    /// True once the TTL has elapsed at `now`.
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.expires_at()
+    }
+}
+
+/// One node's copy of a message: the mutable, per-holder state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferedCopy {
+    /// Which message.
+    pub msg: MessageId,
+    /// When this node received the copy.
+    pub received: SimTime,
+    /// Copy tokens held (`C_i`).
+    pub copies: u32,
+    /// Hops from the source to this node (source holds 0).
+    pub hops: u32,
+    /// Times this node forwarded/replicated the message.
+    pub forward_count: u32,
+    /// Binary-spray timestamps along this copy's path (paper Fig. 6).
+    pub spray_times: Vec<SimTime>,
+}
+
+impl BufferedCopy {
+    /// The copy held by the source right after generation.
+    pub fn at_source(msg: &Message) -> Self {
+        BufferedCopy {
+            msg: msg.id,
+            received: msg.created,
+            copies: msg.initial_copies,
+            hops: 0,
+            forward_count: 0,
+            spray_times: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Message {
+        Message {
+            id: MessageId(1),
+            source: NodeId(0),
+            destination: NodeId(5),
+            size: Bytes::from_mb(0.5),
+            created: SimTime::from_secs(100.0),
+            ttl: SimDuration::from_mins(300.0),
+            initial_copies: 32,
+        }
+    }
+
+    #[test]
+    fn expiry_arithmetic() {
+        let m = msg();
+        assert_eq!(m.expires_at(), SimTime::from_secs(18_100.0));
+        assert_eq!(
+            m.remaining_ttl(SimTime::from_secs(10_100.0)).as_secs(),
+            8000.0
+        );
+        assert!(!m.expired(SimTime::from_secs(18_099.0)));
+        assert!(m.expired(SimTime::from_secs(18_100.0)));
+        assert!(m.remaining_ttl(SimTime::from_secs(20_000.0)).is_negative());
+    }
+
+    #[test]
+    fn source_copy() {
+        let m = msg();
+        let c = BufferedCopy::at_source(&m);
+        assert_eq!(c.copies, 32);
+        assert_eq!(c.hops, 0);
+        assert_eq!(c.received, m.created);
+        assert!(c.spray_times.is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Simulation metrics with the paper's exact definitions (Section IV-A).
+
+use dtn_core::ids::MessageId;
+use dtn_core::stats::OnlineStats;
+use dtn_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Aggregated run statistics.
+///
+/// * **Delivery ratio** — messages delivered at least once / messages
+///   generated.
+/// * **Average hopcounts** — mean hop count over *first* deliveries.
+/// * **Overhead ratio** — (completed transmissions − unique deliveries)
+///   / unique deliveries. Transmissions count every completed transfer:
+///   replications, handoffs and (possibly duplicate) deliveries — ONE's
+///   "relayed" counter.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Report {
+    created: u64,
+    transmissions: u64,
+    delivered_events: u64,
+    delivered_unique: HashSet<MessageId>,
+    hops: OnlineStats,
+    latency: OnlineStats,
+    /// First-delivery latencies (seconds) for percentile queries.
+    latencies: Vec<f64>,
+    buffer_drops: u64,
+    incoming_rejects: u64,
+    expirations: u64,
+    aborted_transfers: u64,
+    refused_receipts: u64,
+    immunity_purges: u64,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A message was generated.
+    pub fn on_created(&mut self) {
+        self.created += 1;
+    }
+
+    /// A transfer completed (any kind).
+    pub fn on_transmission(&mut self) {
+        self.transmissions += 1;
+    }
+
+    /// The destination received `msg` (hop count of the delivering copy,
+    /// including the final hop).
+    pub fn on_delivered(&mut self, msg: MessageId, hops: u32, created: SimTime, now: SimTime) {
+        self.delivered_events += 1;
+        if self.delivered_unique.insert(msg) {
+            self.hops.push(hops as f64);
+            let lat = (now - created).as_secs();
+            self.latency.push(lat);
+            self.latencies.push(lat);
+        }
+    }
+
+    /// A buffered message was evicted by the drop policy.
+    pub fn on_buffer_drop(&mut self) {
+        self.buffer_drops += 1;
+    }
+
+    /// An incoming message was refused by the admission rule
+    /// (Algorithm 1 chose to drop the newcomer).
+    pub fn on_incoming_reject(&mut self) {
+        self.incoming_rejects += 1;
+    }
+
+    /// A copy expired (TTL).
+    pub fn on_expired(&mut self) {
+        self.expirations += 1;
+    }
+
+    /// A transfer was aborted by the contact closing.
+    pub fn on_aborted_transfer(&mut self) {
+        self.aborted_transfers += 1;
+    }
+
+    /// A receiver refused a message (dropped-list rejection) before
+    /// transmission started.
+    pub fn on_refused_receipt(&mut self) {
+        self.refused_receipts += 1;
+    }
+
+    /// A buffered copy was purged because its message is acknowledged
+    /// (immunity extension; never fires in the paper's configuration).
+    pub fn on_immunity_purge(&mut self) {
+        self.immunity_purges += 1;
+    }
+
+    /// Immunity purges.
+    pub fn immunity_purges(&self) -> u64 {
+        self.immunity_purges
+    }
+
+    /// Generated message count.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Unique delivered message count.
+    pub fn delivered(&self) -> u64 {
+        self.delivered_unique.len() as u64
+    }
+
+    /// All delivery events including duplicates.
+    pub fn delivered_events(&self) -> u64 {
+        self.delivered_events
+    }
+
+    /// Completed transmissions (ONE's "relayed").
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Buffer-overflow evictions.
+    pub fn buffer_drops(&self) -> u64 {
+        self.buffer_drops
+    }
+
+    /// Newcomer rejections.
+    pub fn incoming_rejects(&self) -> u64 {
+        self.incoming_rejects
+    }
+
+    /// TTL expirations.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Aborted transfers.
+    pub fn aborted_transfers(&self) -> u64 {
+        self.aborted_transfers
+    }
+
+    /// Dropped-list receive refusals.
+    pub fn refused_receipts(&self) -> u64 {
+        self.refused_receipts
+    }
+
+    /// Whether `msg` was delivered.
+    pub fn is_delivered(&self, msg: MessageId) -> bool {
+        self.delivered_unique.contains(&msg)
+    }
+
+    /// Delivery ratio (paper metric 1). Zero when nothing was generated.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.created == 0 {
+            0.0
+        } else {
+            self.delivered() as f64 / self.created as f64
+        }
+    }
+
+    /// Average hopcounts over first deliveries (paper metric 2).
+    pub fn avg_hopcount(&self) -> f64 {
+        self.hops.mean().unwrap_or(0.0)
+    }
+
+    /// Overhead ratio (paper metric 3). Zero when nothing was delivered.
+    pub fn overhead_ratio(&self) -> f64 {
+        let d = self.delivered();
+        if d == 0 {
+            0.0
+        } else {
+            (self.transmissions.saturating_sub(d)) as f64 / d as f64
+        }
+    }
+
+    /// Mean delivery latency (seconds) over first deliveries.
+    pub fn avg_latency(&self) -> f64 {
+        self.latency.mean().unwrap_or(0.0)
+    }
+
+    /// Delivery-latency percentile (`q` in `[0, 1]`, nearest rank) over
+    /// first deliveries; `None` before the first delivery.
+    pub fn latency_percentile(&self, q: f64) -> Option<f64> {
+        let mut v = self.latencies.clone();
+        dtn_core::stats::percentile(&mut v, q)
+    }
+
+    /// Median delivery latency (seconds).
+    pub fn median_latency(&self) -> Option<f64> {
+        self.latency_percentile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = Report::new();
+        assert_eq!(r.delivery_ratio(), 0.0);
+        assert_eq!(r.avg_hopcount(), 0.0);
+        assert_eq!(r.overhead_ratio(), 0.0);
+        assert_eq!(r.avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn paper_metric_definitions() {
+        let mut r = Report::new();
+        for _ in 0..10 {
+            r.on_created();
+        }
+        // 7 relay transmissions + 3 delivery transmissions.
+        for _ in 0..10 {
+            r.on_transmission();
+        }
+        r.on_delivered(MessageId(1), 3, t(0.0), t(50.0));
+        r.on_delivered(MessageId(2), 1, t(0.0), t(150.0));
+        // Duplicate delivery of message 1: counts as event, not unique.
+        r.on_delivered(MessageId(1), 5, t(0.0), t(60.0));
+
+        assert_eq!(r.created(), 10);
+        assert_eq!(r.delivered(), 2);
+        assert_eq!(r.delivered_events(), 3);
+        assert_eq!(r.delivery_ratio(), 0.2);
+        // Hops over FIRST deliveries only: (3 + 1) / 2.
+        assert_eq!(r.avg_hopcount(), 2.0);
+        // Overhead: (10 - 2) / 2.
+        assert_eq!(r.overhead_ratio(), 4.0);
+        assert_eq!(r.avg_latency(), 100.0);
+        assert!(r.is_delivered(MessageId(1)));
+        assert!(!r.is_delivered(MessageId(3)));
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut r = Report::new();
+        for (i, lat) in [10.0, 20.0, 30.0, 40.0, 50.0].iter().enumerate() {
+            r.on_created();
+            r.on_transmission();
+            r.on_delivered(MessageId(i as u64), 1, t(0.0), t(*lat));
+        }
+        assert_eq!(r.median_latency(), Some(30.0));
+        assert_eq!(r.latency_percentile(0.0), Some(10.0));
+        assert_eq!(r.latency_percentile(1.0), Some(50.0));
+        assert_eq!(Report::new().median_latency(), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Report::new();
+        r.on_buffer_drop();
+        r.on_buffer_drop();
+        r.on_incoming_reject();
+        r.on_expired();
+        r.on_aborted_transfer();
+        r.on_refused_receipt();
+        assert_eq!(r.buffer_drops(), 2);
+        assert_eq!(r.incoming_rejects(), 1);
+        assert_eq!(r.expirations(), 1);
+        assert_eq!(r.aborted_transfers(), 1);
+        assert_eq!(r.refused_receipts(), 1);
+    }
+
+    #[test]
+    fn overhead_never_negative() {
+        let mut r = Report::new();
+        r.on_created();
+        r.on_delivered(MessageId(1), 1, t(0.0), t(1.0));
+        // Delivery without any recorded transmission (can't happen in the
+        // world, but the metric must not underflow).
+        assert_eq!(r.overhead_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Parallel parameter sweeps — the engine behind every Fig. 8 / Fig. 9
+//! series.
+//!
+//! A sweep is `axis points x policies x seeds` independent simulations.
+//! Runs are embarrassingly parallel and fully deterministic, so the
+//! runner just spreads the job list over a crossbeam scoped-thread pool
+//! (guide-recommended for fork-join parallelism without lifetime
+//! contortions) and averages the per-seed reports.
+
+use crate::config::{PolicyKind, ScenarioConfig};
+use crate::report::Report;
+use crate::world::World;
+use dtn_core::stats::OnlineStats;
+use dtn_core::units::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The swept parameter — the paper's three x-axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Initial copies `L` (Fig. 8/9 a-c): 16, 20, ..., 64.
+    InitialCopies(Vec<u32>),
+    /// Buffer size in MB (Fig. 8/9 d-f): 2, 2.5, ..., 5.
+    BufferMb(Vec<f64>),
+    /// Message generation interval `[lo, hi]` seconds (Fig. 8/9 g-i):
+    /// `[10,15]`, `[15,20]`, ..., `[45,50]`.
+    GenInterval(Vec<(f64, f64)>),
+}
+
+impl SweepAxis {
+    /// The paper's initial-copies sweep.
+    pub fn paper_copies() -> Self {
+        SweepAxis::InitialCopies((16..=64).step_by(4).collect())
+    }
+
+    /// The paper's buffer-size sweep.
+    pub fn paper_buffers() -> Self {
+        SweepAxis::BufferMb(vec![2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0])
+    }
+
+    /// The paper's generation-rate sweep.
+    pub fn paper_gen_rates() -> Self {
+        SweepAxis::GenInterval((0..8).map(|i| (10.0 + 5.0 * i as f64, 15.0 + 5.0 * i as f64)).collect())
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::InitialCopies(v) => v.len(),
+            SweepAxis::BufferMb(v) => v.len(),
+            SweepAxis::GenInterval(v) => v.len(),
+        }
+    }
+
+    /// True when the axis has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Axis display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepAxis::InitialCopies(_) => "initial copies L",
+            SweepAxis::BufferMb(_) => "buffer size (MB)",
+            SweepAxis::GenInterval(_) => "generation interval (s)",
+        }
+    }
+
+    /// Label of point `i`.
+    pub fn label(&self, i: usize) -> String {
+        match self {
+            SweepAxis::InitialCopies(v) => v[i].to_string(),
+            SweepAxis::BufferMb(v) => format!("{}", v[i]),
+            SweepAxis::GenInterval(v) => format!("{}-{}", v[i].0, v[i].1),
+        }
+    }
+
+    /// Numeric x value of point `i` (for plotting).
+    pub fn value(&self, i: usize) -> f64 {
+        match self {
+            SweepAxis::InitialCopies(v) => v[i] as f64,
+            SweepAxis::BufferMb(v) => v[i],
+            SweepAxis::GenInterval(v) => (v[i].0 + v[i].1) / 2.0,
+        }
+    }
+
+    /// Applies point `i` to a scenario.
+    pub fn apply(&self, cfg: &mut ScenarioConfig, i: usize) {
+        match self {
+            SweepAxis::InitialCopies(v) => cfg.initial_copies = v[i],
+            SweepAxis::BufferMb(v) => cfg.buffer_capacity = Bytes::from_mb(v[i]),
+            SweepAxis::GenInterval(v) => cfg.gen_interval = v[i],
+        }
+    }
+}
+
+/// A full sweep specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// The scenario template (its `policy`, `seed` and the swept field
+    /// are overwritten per run).
+    pub base: ScenarioConfig,
+    /// The x-axis.
+    pub axis: SweepAxis,
+    /// The strategies to compare.
+    pub policies: Vec<PolicyKind>,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+}
+
+/// Averaged metrics for one `(axis point, policy)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Axis point index.
+    pub axis_index: usize,
+    /// Axis point label (e.g. "2.5" or "25-35").
+    pub axis_label: String,
+    /// Numeric axis value for plotting.
+    pub axis_value: f64,
+    /// Policy legend label.
+    pub policy: String,
+    /// Mean delivery ratio across seeds.
+    pub delivery_ratio: f64,
+    /// Std-dev of delivery ratio across seeds (0 for one seed).
+    pub delivery_ratio_std: f64,
+    /// Mean average hopcount.
+    pub avg_hopcount: f64,
+    /// Mean overhead ratio.
+    pub overhead_ratio: f64,
+    /// Mean delivery latency, seconds.
+    pub avg_latency: f64,
+    /// Mean generated messages per run.
+    pub created: f64,
+    /// Seeds aggregated.
+    pub runs: usize,
+}
+
+/// Runs the sweep on `threads` worker threads (pass 0 to use the
+/// available parallelism). Returns one cell per `(axis point, policy)`,
+/// ordered axis-major then policy.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
+    assert!(!spec.axis.is_empty(), "sweep axis has no points");
+    assert!(!spec.policies.is_empty(), "sweep needs at least one policy");
+    assert!(!spec.seeds.is_empty(), "sweep needs at least one seed");
+
+    // Materialise the job list: (axis i, policy j, seed) -> config.
+    struct Job {
+        axis: usize,
+        policy: usize,
+        cfg: ScenarioConfig,
+    }
+    let mut jobs = Vec::new();
+    for ai in 0..spec.axis.len() {
+        for (pi, policy) in spec.policies.iter().enumerate() {
+            for &seed in &spec.seeds {
+                let mut cfg = spec.base.clone();
+                spec.axis.apply(&mut cfg, ai);
+                cfg.policy = *policy;
+                cfg.seed = seed;
+                if matches!(policy, PolicyKind::SdsrpOracle { .. }) {
+                    cfg.oracle = true;
+                }
+                jobs.push(Job {
+                    axis: ai,
+                    policy: pi,
+                    cfg,
+                });
+            }
+        }
+    }
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(usize, usize, Report)>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let report = World::build(&job.cfg).run();
+                results.lock()[i] = Some((job.axis, job.policy, report));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    // Aggregate per (axis, policy).
+    let mut agg: Vec<Vec<CellAgg>> =
+        vec![vec![CellAgg::default(); spec.policies.len()]; spec.axis.len()];
+    for slot in results.into_inner() {
+        let (ai, pi, report) = slot.expect("job not executed");
+        let a = &mut agg[ai][pi];
+        a.delivery.push(report.delivery_ratio());
+        a.hops.push(report.avg_hopcount());
+        a.overhead.push(report.overhead_ratio());
+        a.latency.push(report.avg_latency());
+        a.created.push(report.created() as f64);
+    }
+
+    let mut cells = Vec::with_capacity(spec.axis.len() * spec.policies.len());
+    for (ai, row) in agg.into_iter().enumerate() {
+        for (pi, a) in row.into_iter().enumerate() {
+            cells.push(SweepCell {
+                axis_index: ai,
+                axis_label: spec.axis.label(ai),
+                axis_value: spec.axis.value(ai),
+                policy: spec.policies[pi].label().to_string(),
+                delivery_ratio: a.delivery.mean().unwrap_or(0.0),
+                delivery_ratio_std: a.delivery.std_dev().unwrap_or(0.0),
+                avg_hopcount: a.hops.mean().unwrap_or(0.0),
+                overhead_ratio: a.overhead.mean().unwrap_or(0.0),
+                avg_latency: a.latency.mean().unwrap_or(0.0),
+                created: a.created.mean().unwrap_or(0.0),
+                runs: a.delivery.count() as usize,
+            });
+        }
+    }
+    cells
+}
+
+#[derive(Clone, Default)]
+struct CellAgg {
+    delivery: OnlineStats,
+    hops: OnlineStats,
+    overhead: OnlineStats,
+    latency: OnlineStats,
+    created: OnlineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::presets;
+
+    fn quick_spec() -> SweepSpec {
+        let mut base = presets::smoke();
+        base.duration_secs = 600.0;
+        base.n_nodes = 20;
+        SweepSpec {
+            base,
+            axis: SweepAxis::InitialCopies(vec![8, 16]),
+            policies: vec![PolicyKind::Fifo, PolicyKind::Sdsrp],
+            seeds: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn axis_accessors() {
+        let a = SweepAxis::paper_copies();
+        assert_eq!(a.len(), 13);
+        assert_eq!(a.label(0), "16");
+        assert_eq!(a.value(12), 64.0);
+        let b = SweepAxis::paper_buffers();
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.label(1), "2.5");
+        let g = SweepAxis::paper_gen_rates();
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.label(0), "10-15");
+        assert_eq!(g.label(7), "45-50");
+        assert_eq!(g.value(0), 12.5);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn axis_apply() {
+        let mut cfg = presets::smoke();
+        SweepAxis::paper_copies().apply(&mut cfg, 2);
+        assert_eq!(cfg.initial_copies, 24);
+        SweepAxis::paper_buffers().apply(&mut cfg, 0);
+        assert_eq!(cfg.buffer_capacity, Bytes::from_mb(2.0));
+        SweepAxis::paper_gen_rates().apply(&mut cfg, 3);
+        assert_eq!(cfg.gen_interval, (25.0, 30.0));
+    }
+
+    #[test]
+    fn sweep_runs_and_aggregates() {
+        let spec = quick_spec();
+        let cells = run_sweep(&spec, 4);
+        assert_eq!(cells.len(), 2 * 2);
+        for c in &cells {
+            assert_eq!(c.runs, 2);
+            assert!(c.created > 0.0);
+            assert!((0.0..=1.0).contains(&c.delivery_ratio));
+        }
+        // Ordering: axis-major, then policy.
+        assert_eq!(cells[0].axis_label, "8");
+        assert_eq!(cells[0].policy, "SprayAndWait");
+        assert_eq!(cells[1].policy, "SDSRP");
+        assert_eq!(cells[2].axis_label, "16");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let spec = quick_spec();
+        let a = run_sweep(&spec, 1);
+        let b = run_sweep(&spec, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_policies_rejected() {
+        let mut spec = quick_spec();
+        spec.policies.clear();
+        let _ = run_sweep(&spec, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! `dtn-scenario` — run a DTN simulation scenario from the command line.
+//!
+//! ```text
+//! # run a preset
+//! dtn-scenario --preset rwp --policy sdsrp --seed 3
+//!
+//! # dump a preset's JSON, edit it, run it
+//! dtn-scenario --preset epfl --emit-config > my.json
+//! dtn-scenario --config my.json --json
+//!
+//! # sample a buffer-occupancy time series alongside
+//! dtn-scenario --preset smoke --timeseries occupancy.csv
+//! ```
+//!
+//! Flags: `--preset rwp|epfl|smoke`, `--config FILE`, `--policy NAME`,
+//! `--routing NAME`, `--seed N`, `--duration SECS`, `--copies L`,
+//! `--buffer-mb X`, `--immunity none|oracle|gossip`, `--json`,
+//! `--emit-config`, `--timeseries FILE`.
+
+use sdsrp::sim::config::{presets, ImmunityMode, PolicyKind, RoutingKind, ScenarioConfig};
+use sdsrp::sim::world::World;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtn-scenario [--preset rwp|epfl|smoke] [--config FILE]\n\
+         \t[--policy fifo|lifo|ttl|copies|mofo|shli|random|knapsack|sdsrp]\n\
+         \t[--routing saw|saw-source|epidemic|direct|focus|prophet]\n\
+         \t[--seed N] [--duration SECS] [--copies L] [--buffer-mb X]\n\
+         \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
+         \t[--timeseries FILE]"
+    );
+    exit(2);
+}
+
+fn parse_policy(s: &str) -> PolicyKind {
+    match s {
+        "fifo" => PolicyKind::Fifo,
+        "lifo" => PolicyKind::Lifo,
+        "ttl" => PolicyKind::TtlRatio,
+        "copies" => PolicyKind::CopiesRatio,
+        "mofo" => PolicyKind::Mofo,
+        "shli" => PolicyKind::Shli,
+        "random" => PolicyKind::Random,
+        "knapsack" => PolicyKind::Knapsack,
+        "sdsrp" => PolicyKind::Sdsrp,
+        _ => {
+            eprintln!("unknown policy {s:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_routing(s: &str) -> RoutingKind {
+    match s {
+        "saw" => RoutingKind::SprayAndWaitBinary,
+        "saw-source" => RoutingKind::SprayAndWaitSource,
+        "epidemic" => RoutingKind::Epidemic,
+        "direct" => RoutingKind::Direct,
+        "focus" => RoutingKind::SprayAndFocus {
+            handoff_threshold: 60.0,
+        },
+        "prophet" => RoutingKind::Prophet,
+        _ => {
+            eprintln!("unknown routing {s:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg: Option<ScenarioConfig> = None;
+    let mut json_out = false;
+    let mut emit_config = false;
+    let mut timeseries_path: Option<String> = None;
+    type Override = Box<dyn Fn(&mut ScenarioConfig)>;
+    let mut overrides: Vec<Override> = Vec::new();
+
+    let mut i = 0;
+    let next = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--preset" => {
+                let name = next(&args, &mut i);
+                cfg = Some(match name.as_str() {
+                    "rwp" => presets::random_waypoint_paper(),
+                    "epfl" => presets::epfl_paper(),
+                    "smoke" => presets::smoke(),
+                    _ => {
+                        eprintln!("unknown preset {name:?}");
+                        usage()
+                    }
+                });
+            }
+            "--config" => {
+                let path = next(&args, &mut i);
+                let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1);
+                });
+                cfg = Some(serde_json::from_str(&body).unwrap_or_else(|e| {
+                    eprintln!("invalid scenario JSON: {e}");
+                    exit(1);
+                }));
+            }
+            "--policy" => {
+                let p = parse_policy(&next(&args, &mut i));
+                overrides.push(Box::new(move |c| c.policy = p));
+            }
+            "--routing" => {
+                let r = parse_routing(&next(&args, &mut i));
+                overrides.push(Box::new(move |c| c.routing = r));
+            }
+            "--seed" => {
+                let s: u64 = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                overrides.push(Box::new(move |c| c.seed = s));
+            }
+            "--duration" => {
+                let d: f64 = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                overrides.push(Box::new(move |c| c.duration_secs = d));
+            }
+            "--copies" => {
+                let l: u32 = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                overrides.push(Box::new(move |c| c.initial_copies = l));
+            }
+            "--buffer-mb" => {
+                let b: f64 = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                overrides.push(Box::new(move |c| {
+                    c.buffer_capacity = sdsrp::core::units::Bytes::from_mb(b)
+                }));
+            }
+            "--immunity" => {
+                let m = match next(&args, &mut i).as_str() {
+                    "none" => ImmunityMode::None,
+                    "oracle" => ImmunityMode::OracleFlood,
+                    "gossip" => ImmunityMode::AntipacketGossip,
+                    other => {
+                        eprintln!("unknown immunity {other:?}");
+                        usage()
+                    }
+                };
+                overrides.push(Box::new(move |c| c.immunity = m));
+            }
+            "--warmup" => {
+                let w: f64 = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                overrides.push(Box::new(move |c| c.warmup_secs = w));
+            }
+            "--json" => json_out = true,
+            "--emit-config" => emit_config = true,
+            "--timeseries" => timeseries_path = Some(next(&args, &mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = cfg.unwrap_or_else(presets::smoke);
+    for f in &overrides {
+        f(&mut cfg);
+    }
+
+    if emit_config {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&cfg).expect("config serialises")
+        );
+        return;
+    }
+
+    let mut world = World::build(&cfg);
+    let (report, timeseries) = if timeseries_path.is_some() {
+        world.enable_timeseries(cfg.tick_secs.max(1.0) * 10.0);
+        let (r, ts) = world.run_with_timeseries();
+        (r, Some(ts))
+    } else {
+        (world.run(), None)
+    };
+
+    if let (Some(path), Some(ts)) = (&timeseries_path, &timeseries) {
+        std::fs::write(path, ts.to_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("time series written to {path}");
+    }
+
+    if json_out {
+        #[derive(serde::Serialize)]
+        struct Out<'a> {
+            scenario: &'a str,
+            policy: &'a str,
+            seed: u64,
+            created: u64,
+            delivered: u64,
+            delivery_ratio: f64,
+            avg_hopcount: f64,
+            overhead_ratio: f64,
+            avg_latency: f64,
+            buffer_drops: u64,
+            incoming_rejects: u64,
+            expirations: u64,
+            immunity_purges: u64,
+        }
+        let out = Out {
+            scenario: &cfg.name,
+            policy: cfg.policy.label(),
+            seed: cfg.seed,
+            created: report.created(),
+            delivered: report.delivered(),
+            delivery_ratio: report.delivery_ratio(),
+            avg_hopcount: report.avg_hopcount(),
+            overhead_ratio: report.overhead_ratio(),
+            avg_latency: report.avg_latency(),
+            buffer_drops: report.buffer_drops(),
+            incoming_rejects: report.incoming_rejects(),
+            expirations: report.expirations(),
+            immunity_purges: report.immunity_purges(),
+        };
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialises"));
+    } else {
+        println!("scenario        : {}", cfg.name);
+        println!("policy          : {}", cfg.policy.label());
+        println!("seed            : {}", cfg.seed);
+        println!("created         : {}", report.created());
+        println!("delivered       : {}", report.delivered());
+        println!("delivery ratio  : {:.4}", report.delivery_ratio());
+        println!("avg hopcounts   : {:.2}", report.avg_hopcount());
+        println!("overhead ratio  : {:.2}", report.overhead_ratio());
+        println!("avg latency (s) : {:.0}", report.avg_latency());
+        println!("buffer drops    : {}", report.buffer_drops());
+        println!("incoming rejects: {}", report.incoming_rejects());
+        println!("expirations     : {}", report.expirations());
+        println!("immunity purges : {}", report.immunity_purges());
+    }
+}

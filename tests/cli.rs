@@ -1,0 +1,91 @@
+//! Integration tests for the `dtn-scenario` command-line runner.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dtn-scenario"))
+}
+
+#[test]
+fn emit_config_roundtrips_through_a_run() {
+    // --emit-config produces JSON that --config accepts.
+    let out = bin()
+        .args(["--preset", "smoke", "--emit-config"])
+        .output()
+        .expect("run dtn-scenario");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8 config");
+    assert!(json.contains("\"n_nodes\": 40"));
+
+    let dir = std::env::temp_dir().join("sdsrp_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("smoke.json");
+    std::fs::write(&path, &json).unwrap();
+
+    let out = bin()
+        .args([
+            "--config",
+            path.to_str().unwrap(),
+            "--duration",
+            "600",
+            "--json",
+        ])
+        .output()
+        .expect("run dtn-scenario from config");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("\"delivery_ratio\""));
+    assert!(report.contains("\"created\""));
+}
+
+#[test]
+fn json_output_is_parseable_and_deterministic() {
+    let run = || {
+        let out = bin()
+            .args([
+                "--preset", "smoke", "--policy", "sdsrp", "--seed", "4",
+                "--duration", "600", "--json",
+            ])
+            .output()
+            .expect("run dtn-scenario");
+        assert!(out.status.success());
+        let v: serde_json::Value =
+            serde_json::from_slice(&out.stdout).expect("valid JSON report");
+        (
+            v["created"].as_u64().unwrap(),
+            v["delivered"].as_u64().unwrap(),
+            v["policy"].as_str().unwrap().to_string(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed, different results");
+    assert_eq!(a.2, "SDSRP");
+}
+
+#[test]
+fn unknown_arguments_fail_with_usage() {
+    let out = bin().args(["--nonsense"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "no usage text in: {err}");
+}
+
+#[test]
+fn timeseries_flag_writes_csv() {
+    let dir = std::env::temp_dir().join("sdsrp_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("occupancy.csv");
+    let _ = std::fs::remove_file(&path);
+    let out = bin()
+        .args([
+            "--preset", "smoke", "--duration", "600",
+            "--timeseries", path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run dtn-scenario");
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&path).expect("timeseries file written");
+    assert!(csv.starts_with("t,mean_occupancy"));
+    assert!(csv.lines().count() > 10);
+}

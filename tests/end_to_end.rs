@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: full scenarios exercised through the
+//! public `sdsrp` facade.
+
+use sdsrp::core::time::SimDuration;
+use sdsrp::core::units::Bytes;
+use sdsrp::mobility::MobilityConfig;
+use sdsrp::sim::config::{presets, PolicyKind, RoutingKind, ScenarioConfig};
+use sdsrp::sim::world::World;
+
+fn short_smoke(policy: PolicyKind, seed: u64) -> ScenarioConfig {
+    let mut cfg = presets::smoke();
+    cfg.duration_secs = 1500.0;
+    cfg.policy = policy;
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn facade_exposes_the_whole_pipeline() {
+    let report = World::build(&short_smoke(PolicyKind::Sdsrp, 1)).run();
+    assert!(report.created() > 0);
+    assert!(report.delivered() <= report.created());
+    assert!(report.transmissions() >= report.delivered_events());
+}
+
+#[test]
+fn full_determinism_across_the_stack() {
+    let run = || {
+        let r = World::build(&short_smoke(PolicyKind::Sdsrp, 33)).run();
+        (
+            r.created(),
+            r.delivered(),
+            r.transmissions(),
+            r.buffer_drops(),
+            r.incoming_rejects(),
+            r.expirations(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn conservation_invariants_hold_for_every_policy() {
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::TtlRatio,
+        PolicyKind::CopiesRatio,
+        PolicyKind::Sdsrp,
+        PolicyKind::Mofo,
+        PolicyKind::Shli,
+        PolicyKind::Random,
+    ] {
+        let r = World::build(&short_smoke(policy, 5)).run();
+        assert!(
+            r.delivered() <= r.created(),
+            "{policy:?}: delivered more than created"
+        );
+        assert!(
+            r.delivered_events() >= r.delivered(),
+            "{policy:?}: fewer delivery events than unique deliveries"
+        );
+        assert!(
+            r.transmissions() >= r.delivered_events(),
+            "{policy:?}: deliveries without transmissions"
+        );
+        if r.delivered() > 0 {
+            assert!(r.avg_hopcount() >= 1.0, "{policy:?}: impossible hopcount");
+            assert!(r.avg_latency() > 0.0, "{policy:?}: zero latency");
+        }
+    }
+}
+
+#[test]
+fn bigger_buffers_never_hurt_much() {
+    // Delivery ratio should rise (or at least not collapse) as buffers
+    // grow — the paper's Fig. 8(d). Averaged over seeds to keep it
+    // robust.
+    let avg = |mb: f64| -> f64 {
+        let mut acc = 0.0;
+        for seed in 1..=3 {
+            let mut cfg = short_smoke(PolicyKind::Sdsrp, seed);
+            cfg.duration_secs = 2000.0;
+            cfg.buffer_capacity = Bytes::from_mb(mb);
+            acc += World::build(&cfg).run().delivery_ratio();
+        }
+        acc / 3.0
+    };
+    let small = avg(1.0);
+    let large = avg(10.0);
+    assert!(
+        large >= small - 0.03,
+        "delivery fell from {small} to {large} with 10x buffer"
+    );
+}
+
+#[test]
+fn slower_generation_improves_delivery() {
+    // Fig. 8(g): less congestion, better delivery.
+    let avg = |interval: (f64, f64)| -> f64 {
+        let mut acc = 0.0;
+        for seed in 1..=3 {
+            let mut cfg = short_smoke(PolicyKind::Fifo, seed);
+            cfg.duration_secs = 2000.0;
+            cfg.gen_interval = interval;
+            acc += World::build(&cfg).run().delivery_ratio();
+        }
+        acc / 3.0
+    };
+    let congested = avg((5.0, 8.0));
+    let relaxed = avg((60.0, 80.0));
+    assert!(
+        relaxed >= congested,
+        "relaxed {relaxed} < congested {congested}"
+    );
+}
+
+#[test]
+fn trace_replay_equals_live_mobility() {
+    // Record the smoke scenario's mobility to a trace, then re-run the
+    // exact same simulation over the replayed trace: with a sampling
+    // step equal to the simulation tick the contact sequence — and hence
+    // every metric — must match.
+    use sdsrp::core::time::SimTime;
+    use sdsrp::mobility::trace::MobilityTrace;
+
+    let mut cfg = presets::smoke();
+    cfg.duration_secs = 900.0;
+    cfg.seed = 11;
+
+    let live = World::build(&cfg).run();
+
+    let mut fleet = sdsrp::mobility::build_fleet(&cfg.mobility, cfg.n_nodes, cfg.seed);
+    let trace = MobilityTrace::record(
+        &mut fleet,
+        SimTime::from_secs(cfg.duration_secs),
+        cfg.tick_secs,
+    );
+    let mut replay_cfg = cfg.clone();
+    replay_cfg.mobility = MobilityConfig::TraceText {
+        body: trace.to_text(),
+    };
+    let replayed = World::build(&replay_cfg).run();
+
+    assert_eq!(live.created(), replayed.created());
+    assert_eq!(live.delivered(), replayed.delivered());
+    assert_eq!(live.transmissions(), replayed.transmissions());
+}
+
+#[test]
+fn spray_and_wait_limits_infection_scope() {
+    // With L tokens and no buffer pressure, a message reaches at most L
+    // holders — count transmissions per message indirectly: total
+    // non-delivery transmissions <= created * (L - 1) + deliveries.
+    let mut cfg = presets::smoke();
+    cfg.duration_secs = 2000.0;
+    cfg.buffer_capacity = Bytes::from_mb(100.0); // no drops
+    cfg.initial_copies = 8;
+    cfg.policy = PolicyKind::Fifo;
+    let r = World::build(&cfg).run();
+    let replications = r.transmissions() - r.delivered_events();
+    assert!(
+        replications <= r.created() * 7,
+        "{replications} replications exceed the L-1 spray budget"
+    );
+}
+
+#[test]
+fn relay_chain_delivers_multihop() {
+    // Three stationary nodes in a line: A(0,0) - B(80,0) - C(160,0) with
+    // a 100 m radio. A and C are never in direct contact, so every A<->C
+    // message must relay through B (2 hops); A<->B and B<->C messages go
+    // direct (1 hop). With permanent contacts and a long TTL, everything
+    // generated early enough must be delivered.
+    let mut cfg = presets::smoke();
+    cfg.name = "relay-chain".into();
+    cfg.n_nodes = 3;
+    cfg.duration_secs = 2000.0;
+    cfg.mobility = MobilityConfig::Stationary {
+        positions: vec![(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)],
+    };
+    cfg.gen_interval = (40.0, 60.0);
+    cfg.initial_copies = 4;
+    cfg.policy = PolicyKind::Fifo;
+    cfg.seed = 13;
+    let r = World::build(&cfg).run();
+    assert!(r.created() >= 20);
+    // Allow the last couple of messages to be in flight at the end.
+    assert!(
+        r.delivered() >= r.created() - 3,
+        "delivered {} of {}",
+        r.delivered(),
+        r.created()
+    );
+    // Hop counts: a mix of 1-hop (adjacent pairs) and 2-hop (A<->C).
+    let h = r.avg_hopcount();
+    assert!(
+        (1.0..=2.0).contains(&h),
+        "relay chain hopcount {h} outside [1, 2]"
+    );
+    assert!(h > 1.0, "no multi-hop delivery ever happened");
+}
+
+#[test]
+fn epidemic_with_tiny_ttl_expires_messages() {
+    let mut cfg = presets::smoke();
+    cfg.duration_secs = 1200.0;
+    cfg.routing = RoutingKind::Epidemic;
+    cfg.ttl = SimDuration::from_secs(120.0);
+    let r = World::build(&cfg).run();
+    assert!(r.expirations() > 0, "no TTL expirations despite 120 s TTL");
+}
+
+#[test]
+fn scenario_serde_roundtrip_runs_identically() {
+    let cfg = short_smoke(PolicyKind::Sdsrp, 21);
+    let json = serde_json::to_string(&cfg).expect("serialise");
+    let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialise");
+    let a = World::build(&cfg).run();
+    let b = World::build(&back).run();
+    assert_eq!(a.created(), b.created());
+    assert_eq!(a.delivered(), b.delivered());
+}

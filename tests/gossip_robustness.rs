@@ -1,0 +1,88 @@
+//! Failure injection: control-plane gossip arrives over a lossy radio,
+//! so every `import_gossip` implementation must shrug off arbitrary
+//! bytes — malformed, truncated, or adversarial — without panicking and
+//! without corrupting local state.
+
+use proptest::prelude::*;
+use sdsrp::buffer::policy::BufferPolicy;
+use sdsrp::core::ids::{MessageId, NodeId};
+use sdsrp::core::time::SimTime;
+use sdsrp::routing::prophet::{Prophet, ProphetConfig};
+use sdsrp::routing::protocol::RoutingProtocol;
+use sdsrp::routing::spray_and_focus::SprayAndFocus;
+use sdsrp::sdsrp::{Sdsrp, SdsrpConfig};
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sdsrp_survives_garbage_gossip(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut p = Sdsrp::new(NodeId(0), SdsrpConfig::paper(50));
+        p.on_drop(t(1.0), MessageId(7));
+        p.import_gossip(t(2.0), &bytes);
+        // Own records stay intact.
+        prop_assert!(p.dropped_list().own_dropped(MessageId(7)));
+        prop_assert!(!p.accepts(t(3.0), MessageId(7)));
+    }
+
+    #[test]
+    fn prophet_survives_garbage_gossip(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut p = Prophet::new(ProphetConfig::default());
+        p.on_contact_up(t(1.0), NodeId(3));
+        let before = p.predictability(NodeId(3));
+        p.import_gossip(t(1.0), NodeId(3), &bytes);
+        // Aging between identical timestamps is a no-op, and garbage
+        // must not invent predictability for unknown nodes.
+        prop_assert!((p.predictability(NodeId(3)) - before).abs() < 1e-9);
+        prop_assert_eq!(p.predictability(NodeId(42)), 0.0);
+    }
+
+    #[test]
+    fn spray_and_focus_survives_garbage_gossip(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut p = SprayAndFocus::new(60.0);
+        p.on_contact_up(t(1.0), NodeId(3));
+        p.import_gossip(t(1.0), NodeId(3), &bytes);
+        prop_assert_eq!(p.last_seen(NodeId(3)), Some(t(1.0)));
+    }
+
+    /// Truncations of *valid* payloads are the realistic corruption:
+    /// make sure a prefix of a real SDSRP gossip blob never panics.
+    #[test]
+    fn sdsrp_survives_truncated_valid_gossip(cut in 0usize..200) {
+        let mut a = Sdsrp::new(NodeId(0), SdsrpConfig::paper(50));
+        for i in 0..5 {
+            a.on_drop(t(i as f64), MessageId(i));
+        }
+        let payload = a.export_gossip(t(10.0)).expect("has records");
+        let cut = cut.min(payload.len());
+        let mut b = Sdsrp::new(NodeId(1), SdsrpConfig::paper(50));
+        b.import_gossip(t(11.0), &payload[..cut]);
+        // Only the complete payload may (and must) transfer knowledge.
+        if cut == payload.len() {
+            prop_assert!(!b.accepts(t(12.0), MessageId(0)));
+        }
+    }
+}
+
+#[test]
+fn cross_policy_gossip_is_harmless() {
+    // A Spray-and-Focus node receiving an SDSRP dropped list (protocol
+    // confusion) must ignore it; and vice versa.
+    let mut sdsrp = Sdsrp::new(NodeId(0), SdsrpConfig::paper(50));
+    sdsrp.on_drop(t(1.0), MessageId(1));
+    let dropped_payload = sdsrp.export_gossip(t(2.0)).unwrap();
+
+    let mut focus = SprayAndFocus::new(60.0);
+    focus.on_contact_down(t(3.0), NodeId(9));
+    let focus_payload = focus.export_gossip(t(3.0)).unwrap();
+
+    focus.import_gossip(t(4.0), NodeId(0), &dropped_payload);
+    sdsrp.import_gossip(t(4.0), &focus_payload);
+
+    assert_eq!(focus.last_seen(NodeId(9)), Some(t(3.0)));
+    assert!(sdsrp.dropped_list().own_dropped(MessageId(1)));
+}
