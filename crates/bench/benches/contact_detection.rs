@@ -6,8 +6,8 @@ use dtn_core::geometry::{Point2, Rect};
 use dtn_core::grid::SpatialGrid;
 use dtn_core::ids::NodeId;
 use dtn_core::rng::{stream_rng, streams, uniform_range};
-use dtn_net::contact::ContactTracker;
 use dtn_core::time::SimTime;
+use dtn_net::contact::ContactTracker;
 use std::hint::black_box;
 
 fn positions(n: usize, seed: u64) -> Vec<Point2> {
@@ -49,7 +49,11 @@ fn bench_grid(c: &mut Criterion) {
         b.iter(|| {
             t += 1.0;
             events.clear();
-            let pos = if (t as u64).is_multiple_of(2) { &a } else { &b_pos };
+            let pos = if (t as u64).is_multiple_of(2) {
+                &a
+            } else {
+                &b_pos
+            };
             tracker.update(SimTime::from_secs(t), pos, &mut events);
             black_box(events.len())
         })

@@ -39,7 +39,10 @@ fn bench_event_queue(c: &mut Criterion) {
                 for i in 0..9_000u32 {
                     let (t, ev) = q.pop().expect("queue never empties");
                     black_box(ev);
-                    q.push(t + dtn_core::time::SimDuration::from_secs((i % 17) as f64 + 1.0), i);
+                    q.push(
+                        t + dtn_core::time::SimDuration::from_secs((i % 17) as f64 + 1.0),
+                        i,
+                    );
                 }
             },
             BatchSize::SmallInput,

@@ -49,7 +49,9 @@ fn bench_priority(c: &mut Criterion) {
         });
     }
 
-    let spray_times: Vec<SimTime> = (0..6).map(|i| SimTime::from_secs(i as f64 * 500.0)).collect();
+    let spray_times: Vec<SimTime> = (0..6)
+        .map(|i| SimTime::from_secs(i as f64 * 500.0))
+        .collect();
     g.bench_function("eq15_estimate_m", |b| {
         b.iter(|| {
             black_box(estimate_m(

@@ -71,7 +71,13 @@ fn main() {
     // 1. Lambda source.
     header("1. intermeeting-rate (λ) source");
     for (label, lambda) in [
-        ("online (paper)", LambdaMode::Online { prior: 1.0 / 2000.0, min_samples: 5 }),
+        (
+            "online (paper)",
+            LambdaMode::Online {
+                prior: 1.0 / 2000.0,
+                min_samples: 5,
+            },
+        ),
         ("oracle 1/500s", LambdaMode::Oracle(1.0 / 500.0)),
         ("oracle 1/2000s", LambdaMode::Oracle(1.0 / 2000.0)),
         ("oracle 1/8000s", LambdaMode::Oracle(1.0 / 8000.0)),
@@ -96,7 +102,10 @@ fn main() {
     ] {
         let mut cfg = base.clone();
         cfg.policy = PolicyKind::SdsrpCustom {
-            lambda: LambdaMode::Online { prior: 1.0 / 2000.0, min_samples: 5 },
+            lambda: LambdaMode::Online {
+                prior: 1.0 / 2000.0,
+                min_samples: 5,
+            },
             taylor_terms: None,
             reject_dropped: reject,
             gossip,
@@ -114,7 +123,10 @@ fn main() {
     ] {
         let mut cfg = base.clone();
         cfg.policy = PolicyKind::SdsrpCustom {
-            lambda: LambdaMode::Online { prior: 1.0 / 2000.0, min_samples: 5 },
+            lambda: LambdaMode::Online {
+                prior: 1.0 / 2000.0,
+                min_samples: 5,
+            },
             taylor_terms: terms,
             reject_dropped: true,
             gossip: true,
@@ -129,7 +141,9 @@ fn main() {
         cfg.policy = PolicyKind::Sdsrp;
         row("distributed estimation (paper)", &cfg, seeds);
         let mut cfg = base.clone();
-        cfg.policy = PolicyKind::SdsrpOracle { lambda: 1.0 / 2000.0 };
+        cfg.policy = PolicyKind::SdsrpOracle {
+            lambda: 1.0 / 2000.0,
+        };
         cfg.oracle = true;
         row("oracle m_i/n_i", &cfg, seeds);
     }
@@ -157,7 +171,12 @@ fn main() {
     for (rlabel, routing) in [
         ("binary spray", RoutingKind::SprayAndWaitBinary),
         ("source spray", RoutingKind::SprayAndWaitSource),
-        ("spray-and-focus", RoutingKind::SprayAndFocus { handoff_threshold: 60.0 }),
+        (
+            "spray-and-focus",
+            RoutingKind::SprayAndFocus {
+                handoff_threshold: 60.0,
+            },
+        ),
         ("prophet", RoutingKind::Prophet),
         ("epidemic", RoutingKind::Epidemic),
         ("direct", RoutingKind::Direct),
@@ -174,8 +193,14 @@ fn main() {
     header("7. delivery acknowledgements (extension; paper = none)");
     for (label, immunity) in [
         ("none (paper)", dtn_sim::config::ImmunityMode::None),
-        ("antipacket gossip", dtn_sim::config::ImmunityMode::AntipacketGossip),
-        ("oracle flood (VACCINE)", dtn_sim::config::ImmunityMode::OracleFlood),
+        (
+            "antipacket gossip",
+            dtn_sim::config::ImmunityMode::AntipacketGossip,
+        ),
+        (
+            "oracle flood (VACCINE)",
+            dtn_sim::config::ImmunityMode::OracleFlood,
+        ),
     ] {
         for policy in [PolicyKind::Fifo, PolicyKind::Sdsrp] {
             let mut cfg = base.clone();
@@ -210,11 +235,17 @@ fn main() {
         for (label, lambda) in [
             (
                 "pooled λ (paper)",
-                LambdaMode::Online { prior: 1.0 / 2000.0, min_samples: 5 },
+                LambdaMode::Online {
+                    prior: 1.0 / 2000.0,
+                    min_samples: 5,
+                },
             ),
             (
                 "per-destination λ (SDSRP-H)",
-                LambdaMode::OnlinePerDestination { prior: 1.0 / 2000.0, min_samples: 3 },
+                LambdaMode::OnlinePerDestination {
+                    prior: 1.0 / 2000.0,
+                    min_samples: 3,
+                },
             ),
         ] {
             let mut cfg = base.clone();
@@ -233,5 +264,4 @@ fn main() {
         cfg.policy = PolicyKind::Fifo;
         row("FIFO reference", &cfg, seeds);
     }
-
 }

@@ -75,9 +75,7 @@ fn main() {
             "E(I) = {e_i:.1} s   lambda = {:.6}/s   CV = {:.3}   KS = {ks:.4}",
             fit.lambda, fit.cv
         );
-        println!(
-            "E(I_min): Eq. 3 predicts {e_i_min_eq3:.1} s, measured {e_i_min_measured:.1} s"
-        );
+        println!("E(I_min): Eq. 3 predicts {e_i_min_eq3:.1} s, measured {e_i_min_measured:.1} s");
 
         let x_max = e_i * 4.0;
         let rows = density_table(&gaps, &fit, x_max, 16);

@@ -1,13 +1,76 @@
 //! Quick single-point comparison of the paper's four policies at the
 //! Table II centre operating point (one seed) — a fast sanity check of
 //! the headline ordering before running the full sweeps.
+//!
+//! `--telemetry BASE` additionally writes one JSONL event log plus run
+//! manifest per policy (`BASE-<policy>.jsonl[.manifest.json]`).
+
+use dtn_telemetry::{hash_config_json, JsonlSink, Recorder, RunManifest};
+
 fn main() {
+    let mut telemetry_base: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry" => {
+                i += 1;
+                telemetry_base = Some(args.get(i).expect("--telemetry needs a path").clone());
+            }
+            other => eprintln!("warning: ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+
     for policy in dtn_sim::config::PolicyKind::paper_four() {
         let mut cfg = dtn_sim::config::presets::random_waypoint_paper();
         cfg.policy = policy;
-        let r = dtn_sim::world::World::build(&cfg).run();
-        println!("{:<16} ratio {:.3} overhead {:6.2} hops {:.2} drops {} rejects {}",
-            policy.label(), r.delivery_ratio(), r.overhead_ratio(), r.avg_hopcount(),
-            r.buffer_drops(), r.incoming_rejects());
+        let mut world = dtn_sim::world::World::build(&cfg);
+        let jsonl_path = telemetry_base
+            .as_ref()
+            .map(|base| format!("{base}-{}.jsonl", policy.label().to_lowercase()));
+        if let Some(path) = &jsonl_path {
+            let sink =
+                JsonlSink::create(std::path::Path::new(path)).expect("create telemetry file");
+            world.attach_recorder(Recorder::enabled(1024).with_sink(Box::new(sink)));
+        }
+        let started = std::time::Instant::now();
+        let (r, recorder) = world.run_with_recorder();
+        println!(
+            "{:<16} ratio {:.3} overhead {:6.2} hops {:.2} drops {} rejects {}",
+            policy.label(),
+            r.delivery_ratio(),
+            r.overhead_ratio(),
+            r.avg_hopcount(),
+            r.buffer_drops(),
+            r.incoming_rejects()
+        );
+        if let Some(path) = &jsonl_path {
+            if let Some(err) = recorder.sink_error() {
+                eprintln!("telemetry export to {path} failed: {err}");
+                std::process::exit(1);
+            }
+            let manifest = RunManifest {
+                scenario: cfg.name.clone(),
+                config_hash: hash_config_json(
+                    &serde_json::to_string(&cfg).expect("config serialises"),
+                ),
+                seed: cfg.seed,
+                policy: cfg.policy.label().to_string(),
+                routing: format!("{:?}", cfg.routing),
+                sim_duration_secs: cfg.duration_secs,
+                wall_clock_secs: started.elapsed().as_secs_f64(),
+                created: r.created(),
+                delivered: r.delivered(),
+                dropped: r.buffer_drops() + r.incoming_rejects(),
+                events: recorder.totals().clone(),
+                events_recorded: recorder.totals().total(),
+                ring_overwritten: recorder.ring().overwritten(),
+                metrics: recorder.metrics().snapshot(),
+            };
+            let manifest_path = format!("{path}.manifest.json");
+            std::fs::write(&manifest_path, manifest.to_json()).expect("write manifest");
+            eprintln!("telemetry: {path} (manifest: {manifest_path})");
+        }
     }
 }

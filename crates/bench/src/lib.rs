@@ -20,7 +20,8 @@
 
 use dtn_sim::config::{PolicyKind, ScenarioConfig};
 use dtn_sim::output::{Metric, SeriesTable};
-use dtn_sim::sweep::{run_sweep, SweepAxis, SweepCell, SweepSpec};
+use dtn_sim::sweep::{run_sweep_observed, SweepAxis, SweepCell, SweepSpec};
+use std::io::Write;
 use std::path::PathBuf;
 
 /// Parsed common CLI options.
@@ -64,9 +65,7 @@ impl Cli {
                 }
                 "--out" => {
                     i += 1;
-                    cli.out = Some(PathBuf::from(
-                        args.get(i).expect("--out needs a directory"),
-                    ));
+                    cli.out = Some(PathBuf::from(args.get(i).expect("--out needs a directory")));
                 }
                 "--sweep" => {
                     i += 1;
@@ -125,7 +124,22 @@ pub fn run_figure_group(
         seeds: cli.seeds.clone(),
     };
     let xlabel = spec.axis.name().to_string();
-    let cells = run_sweep(&spec, 0);
+    // Live progress on stderr (stdout carries the markdown tables).
+    let (cells, totals) = run_sweep_observed(&spec, 0, &|p| {
+        eprint!(
+            "\r{fig}: {}/{} runs done (last: {} @ {})    ",
+            p.completed, p.total, p.policy, p.axis_label
+        );
+        let _ = std::io::stderr().flush();
+    });
+    eprintln!(
+        "\r{fig}: {} runs, {} events ({} delivered, {} dropped, {} contacts)",
+        cells.iter().map(|c| c.runs).sum::<usize>(),
+        totals.total(),
+        totals.delivered,
+        totals.dropped(),
+        totals.contacts_up,
+    );
     let mut panels = vec![
         (Metric::DeliveryRatio, panel_ids[0].to_string()),
         (Metric::AvgHopcount, panel_ids[1].to_string()),

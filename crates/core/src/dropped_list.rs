@@ -58,8 +58,9 @@ impl DroppedList {
 
     /// Merges a peer's records: per origin, the record with the newest
     /// record time wins; the owner's own record is never overwritten by
-    /// hearsay.
-    pub fn merge(&mut self, peer_records: &BTreeMap<NodeId, DroppedRecord>) {
+    /// hearsay. Returns the number of records adopted from the peer.
+    pub fn merge(&mut self, peer_records: &BTreeMap<NodeId, DroppedRecord>) -> usize {
+        let mut adopted = 0;
         for (&origin, rec) in peer_records {
             if origin == self.owner {
                 continue;
@@ -68,9 +69,11 @@ impl DroppedList {
                 Some(mine) if mine.record_time >= rec.record_time => {}
                 _ => {
                     self.records.insert(origin, rec.clone());
+                    adopted += 1;
                 }
             }
         }
+        adopted
     }
 
     /// `d_i`: how many distinct nodes are known to have dropped `msg`.
@@ -129,10 +132,11 @@ impl DroppedList {
     /// Merges a gossip payload produced by
     /// [`to_gossip_bytes`](Self::to_gossip_bytes); malformed payloads are
     /// ignored (a real radio would checksum, but robustness over panic
-    /// here).
-    pub fn merge_gossip_bytes(&mut self, bytes: &[u8]) {
-        if let Ok(records) = serde_json::from_slice::<BTreeMap<NodeId, DroppedRecord>>(bytes) {
-            self.merge(&records);
+    /// here). Returns the number of records adopted.
+    pub fn merge_gossip_bytes(&mut self, bytes: &[u8]) -> usize {
+        match serde_json::from_slice::<BTreeMap<NodeId, DroppedRecord>>(bytes) {
+            Ok(records) => self.merge(&records),
+            Err(_) => 0,
         }
     }
 }
@@ -238,6 +242,56 @@ mod tests {
         // Garbage is ignored.
         b.merge_gossip_bytes(b"definitely not json");
         assert_eq!(b.drop_count(MessageId(4)), 1);
+    }
+
+    #[test]
+    fn merge_adopts_same_timestamp_records_from_two_sources() {
+        // Two distinct origins whose records carry the *same* record
+        // time must both be adopted — the newest-wins rule compares per
+        // origin, never across origins.
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        let mut c = DroppedList::new(NodeId(2));
+        b.record_own_drop(t(7.0), MessageId(10));
+        c.record_own_drop(t(7.0), MessageId(11));
+        assert_eq!(a.merge(b.records()), 1);
+        assert_eq!(a.merge(c.records()), 1);
+        assert!(a.anyone_dropped(MessageId(10)));
+        assert!(a.anyone_dropped(MessageId(11)));
+
+        // An equal-timestamp copy of an origin we already know is a tie:
+        // ours is kept and nothing counts as adopted.
+        assert_eq!(a.merge(b.records()), 0);
+    }
+
+    #[test]
+    fn merge_counts_zero_for_forged_self_records() {
+        let mut a = DroppedList::new(NodeId(0));
+        let mut forged = BTreeMap::new();
+        forged.insert(
+            NodeId(0),
+            DroppedRecord {
+                dropped: BTreeSet::from([MessageId(99)]),
+                record_time: t(100.0),
+            },
+        );
+        assert_eq!(a.merge(&forged), 0);
+        assert!(!a.anyone_dropped(MessageId(99)));
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        b.record_own_drop(t(4.0), MessageId(6));
+        b.record_own_drop(t(5.0), MessageId(7));
+        let payload = b.to_gossip_bytes();
+        assert_eq!(a.merge_gossip_bytes(&payload), 1);
+        let snapshot = a.clone();
+        // Re-merging the identical payload adopts nothing and changes
+        // nothing.
+        assert_eq!(a.merge_gossip_bytes(&payload), 0);
+        assert_eq!(a, snapshot);
     }
 
     #[test]

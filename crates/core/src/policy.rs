@@ -160,9 +160,9 @@ impl Sdsrp {
     pub fn utility(&self, now: SimTime, msg: &MessageView<'_>) -> f64 {
         let model = self.model();
         // m_i: oracle if provided, else the Eq. 15 spray-tree estimate.
-        let seen = msg.oracle_seen.unwrap_or_else(|| {
-            estimate_m(msg.spray_times, now, model.e_i_min(), self.cfg.n_nodes)
-        });
+        let seen = msg
+            .oracle_seen
+            .unwrap_or_else(|| estimate_m(msg.spray_times, now, model.e_i_min(), self.cfg.n_nodes));
         // n_i: oracle if provided, else Eq. 14 with the gossiped d_i.
         let holders = msg
             .oracle_holders
@@ -215,9 +215,11 @@ impl BufferPolicy for Sdsrp {
         }
     }
 
-    fn import_gossip(&mut self, _now: SimTime, bytes: &[u8]) {
+    fn import_gossip(&mut self, _now: SimTime, bytes: &[u8]) -> usize {
         if self.cfg.gossip {
-            self.dropped.merge_gossip_bytes(bytes);
+            self.dropped.merge_gossip_bytes(bytes)
+        } else {
+            0
         }
     }
 }
@@ -250,7 +252,13 @@ mod tests {
 
     /// Builds a message with the spray history implied by "sprayed once
     /// `ago` seconds before now".
-    fn msg_with(id: u64, copies: u32, remaining_mins: f64, spray_ago: &[f64], now: f64) -> TestMessage {
+    fn msg_with(
+        id: u64,
+        copies: u32,
+        remaining_mins: f64,
+        spray_ago: &[f64],
+        now: f64,
+    ) -> TestMessage {
         let mut m = TestMessage::sample(id);
         m.copies = copies;
         m.remaining_ttl = SimDuration::from_mins(remaining_mins);

@@ -233,9 +233,7 @@ impl PriorityModel {
     pub fn peak_condition_residual(&self, holders: u32, copies: u32, remaining_ttl: f64) -> f64 {
         let l = log2_copies(copies) as u32;
         let e_min = self.e_i_min();
-        let sum: f64 = (0..=l)
-            .map(|k| remaining_ttl - k as f64 * e_min)
-            .sum();
+        let sum: f64 = (0..=l).map(|k| remaining_ttl - k as f64 * e_min).sum();
         1.0 / (self.lambda * holders.max(1) as f64) - sum
     }
 }

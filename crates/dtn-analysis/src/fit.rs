@@ -104,7 +104,12 @@ pub struct DensityRow {
 
 /// Bins `samples` into `bins` buckets over `[0, x_max)` and tabulates
 /// empirical vs fitted density — exactly what Fig. 3 plots.
-pub fn density_table(samples: &[f64], fit: &ExponentialFit, x_max: f64, bins: usize) -> Vec<DensityRow> {
+pub fn density_table(
+    samples: &[f64],
+    fit: &ExponentialFit,
+    x_max: f64,
+    bins: usize,
+) -> Vec<DensityRow> {
     let mut h = Histogram::new(0.0, x_max, bins);
     for &s in samples {
         h.push(s);
@@ -182,7 +187,10 @@ mod tests {
             .collect();
         let fit = fit_exponential(&samples).unwrap();
         let d = ks_distance_exponential(&mut samples, fit.lambda);
-        assert!(d > 0.1, "KS distance {d} suspiciously small for uniform data");
+        assert!(
+            d > 0.1,
+            "KS distance {d} suspiciously small for uniform data"
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub trait BufferPolicy: Send {
     /// Ingest a peer's gossip produced by
     /// [`export_gossip`](Self::export_gossip) of the *same* policy type.
     /// Implementations must tolerate garbage (version skew) gracefully.
-    fn import_gossip(&mut self, _now: SimTime, _bytes: &[u8]) {}
+    /// Returns the number of records adopted from the peer (telemetry;
+    /// `0` when nothing changed).
+    fn import_gossip(&mut self, _now: SimTime, _bytes: &[u8]) -> usize {
+        0
+    }
 
     /// Optional whole-buffer admission override. Policies that decide
     /// set-wise (e.g. the knapsack strategy) return `Some(plan)`;
@@ -125,7 +129,11 @@ pub fn plan_admission(
         .iter()
         .map(|m| (policy.keep_priority(now, m), m.id, m.size))
         .collect();
-    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN priority").then(a.1.cmp(&b.1)));
+    ranked.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("NaN priority")
+            .then(a.1.cmp(&b.1))
+    });
 
     let mut evict = Vec::new();
     let mut freed = free;
@@ -161,7 +169,11 @@ pub fn schedule_order(
         .iter()
         .map(|m| (policy.send_priority(now, m), m.id))
         .collect();
-    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN priority").then(a.1.cmp(&b.1)));
+    ranked.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("NaN priority")
+            .then(a.1.cmp(&b.1))
+    });
     ranked.into_iter().map(|(_, id)| id).collect()
 }
 
@@ -342,7 +354,7 @@ mod tests {
         let mut p = ById;
         assert!(p.accepts(SimTime::ZERO, MessageId(1)));
         assert_eq!(p.export_gossip(SimTime::ZERO), None);
-        p.import_gossip(SimTime::ZERO, b"garbage");
+        assert_eq!(p.import_gossip(SimTime::ZERO, b"garbage"), 0);
         p.on_contact_up(SimTime::ZERO, NodeId(1));
         p.on_contact_down(SimTime::ZERO, NodeId(1));
         p.on_drop(SimTime::ZERO, MessageId(1));

@@ -278,10 +278,7 @@ mod tests {
         assert!(r.contains(Point2::new(4500.0, 3400.0)));
         assert!(!r.contains(Point2::new(-1.0, 5.0)));
         assert_eq!(r.center(), Point2::new(2250.0, 1700.0));
-        assert_eq!(
-            r.clamp(Point2::new(9999.0, -5.0)),
-            Point2::new(4500.0, 0.0)
-        );
+        assert_eq!(r.clamp(Point2::new(9999.0, -5.0)), Point2::new(4500.0, 0.0));
     }
 
     #[test]

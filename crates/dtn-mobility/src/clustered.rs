@@ -169,12 +169,16 @@ impl WaypointPlanner for ClusteredWaypointPlanner {
 mod tests {
     use super::*;
     use crate::model::{LegMover, Mobility};
-    use dtn_core::rng::{stream_rng, substream_rng, streams};
+    use dtn_core::rng::{stream_rng, streams, substream_rng};
     use dtn_core::time::SimTime;
 
     fn layout(cfg: &ClusteredWaypointConfig) -> Arc<CommunityLayout> {
         let mut rng = stream_rng(11, streams::TOPOLOGY);
-        Arc::new(CommunityLayout::generate(cfg.area(), cfg.clusters, &mut rng))
+        Arc::new(CommunityLayout::generate(
+            cfg.area(),
+            cfg.clusters,
+            &mut rng,
+        ))
     }
 
     #[test]

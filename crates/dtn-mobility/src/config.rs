@@ -14,7 +14,7 @@ use crate::random_waypoint::{RandomWaypointConfig, RandomWaypointPlanner};
 use crate::stationary::Stationary;
 use crate::trace::MobilityTrace;
 use dtn_core::geometry::{Point2, Rect};
-use dtn_core::rng::{stream_rng, substream_rng, streams};
+use dtn_core::rng::{stream_rng, streams, substream_rng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -88,18 +88,18 @@ impl MobilityConfig {
                 ..
             } => Rect::from_size(*area_width, *area_height),
             MobilityConfig::ClusteredWaypoint(c) => c.area(),
-            MobilityConfig::Stationary { positions } => bounding_box(
-                positions
-                    .iter()
-                    .map(|&(x, y)| Point2::new(x, y)),
-            ),
+            MobilityConfig::Stationary { positions } => {
+                bounding_box(positions.iter().map(|&(x, y)| Point2::new(x, y)))
+            }
             MobilityConfig::TraceText { body } => {
-                let trace = MobilityTrace::parse(body.as_bytes())
-                    .expect("invalid inline trace");
-                bounding_box(
-                    (0..trace.node_count())
-                        .flat_map(|n| trace.node_samples(n).iter().map(|&(_, p)| p).collect::<Vec<_>>()),
-                )
+                let trace = MobilityTrace::parse(body.as_bytes()).expect("invalid inline trace");
+                bounding_box((0..trace.node_count()).flat_map(|n| {
+                    trace
+                        .node_samples(n)
+                        .iter()
+                        .map(|&(_, p)| p)
+                        .collect::<Vec<_>>()
+                }))
             }
         }
     }
@@ -268,10 +268,7 @@ mod tests {
             positions: vec![(0.0, 0.0), (5.0, 5.0)],
         };
         let mut fleet = build_fleet(&cfg, 2, 0);
-        assert_eq!(
-            fleet[1].position_at(SimTime::ZERO),
-            Point2::new(5.0, 5.0)
-        );
+        assert_eq!(fleet[1].position_at(SimTime::ZERO), Point2::new(5.0, 5.0));
     }
 
     #[test]
@@ -288,7 +285,10 @@ mod tests {
         let body = "0 0 1 1\n0 10 2 2\n1 0 3 3\n".to_string();
         let cfg = MobilityConfig::TraceText { body };
         let mut fleet = build_fleet(&cfg, 2, 0);
-        assert_eq!(fleet[0].position_at(SimTime::from_secs(5.0)), Point2::new(1.5, 1.5));
+        assert_eq!(
+            fleet[0].position_at(SimTime::from_secs(5.0)),
+            Point2::new(1.5, 1.5)
+        );
         assert_eq!(fleet[1].position_at(SimTime::ZERO), Point2::new(3.0, 3.0));
         let area = cfg.area();
         assert!(area.contains(Point2::new(2.0, 2.0)));

@@ -199,7 +199,7 @@ impl WaypointPlanner for HotspotTaxiPlanner {
 mod tests {
     use super::*;
     use crate::model::{LegMover, Mobility};
-    use dtn_core::rng::{stream_rng, substream_rng, streams};
+    use dtn_core::rng::{stream_rng, streams, substream_rng};
     use dtn_core::time::SimTime;
 
     fn layout() -> Arc<HotspotLayout> {

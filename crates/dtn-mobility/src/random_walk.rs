@@ -105,7 +105,7 @@ impl WaypointPlanner for RandomWalkPlanner {
 mod tests {
     use super::*;
     use crate::model::{LegMover, Mobility};
-    use dtn_core::rng::{substream_rng, streams};
+    use dtn_core::rng::{streams, substream_rng};
     use dtn_core::time::SimTime;
 
     #[test]

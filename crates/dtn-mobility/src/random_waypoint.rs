@@ -100,7 +100,7 @@ impl WaypointPlanner for RandomWaypointPlanner {
 mod tests {
     use super::*;
     use crate::model::{LegMover, Mobility};
-    use dtn_core::rng::{substream_rng, streams};
+    use dtn_core::rng::{streams, substream_rng};
     use dtn_core::time::SimTime;
 
     #[test]

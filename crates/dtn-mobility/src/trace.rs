@@ -36,6 +36,9 @@ pub struct MobilityTrace {
 pub enum TraceError {
     /// A line did not have exactly four numeric fields.
     Malformed {
+        /// Source file, when parsing came through [`MobilityTrace::load`].
+        /// `None` for in-memory readers.
+        path: Option<String>,
         /// 1-based line number.
         line: usize,
         /// What was wrong.
@@ -53,9 +56,10 @@ pub enum TraceError {
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceError::Malformed { line, reason } => {
-                write!(f, "trace line {line}: {reason}")
-            }
+            TraceError::Malformed { path, line, reason } => match path {
+                Some(p) => write!(f, "trace {p}:{line}: {reason}"),
+                None => write!(f, "trace line {line}: {reason}"),
+            },
             TraceError::DuplicateTimestamp { node, time } => {
                 write!(f, "node {node} has duplicate timestamp {time}")
             }
@@ -64,6 +68,22 @@ impl std::fmt::Display for TraceError {
 }
 
 impl std::error::Error for TraceError {}
+
+impl TraceError {
+    /// Attaches a source-file path to a [`TraceError::Malformed`] so the
+    /// message names the offending file (`trace PATH:LINE: reason`).
+    /// Other variants pass through unchanged.
+    fn with_path(self, p: &Path) -> TraceError {
+        match self {
+            TraceError::Malformed { line, reason, .. } => TraceError::Malformed {
+                path: Some(p.display().to_string()),
+                line,
+                reason,
+            },
+            other => other,
+        }
+    }
+}
 
 impl MobilityTrace {
     /// An empty trace with `n_nodes` nodes.
@@ -120,6 +140,7 @@ impl MobilityTrace {
         let buf = BufReader::new(reader);
         for (lineno, line) in buf.lines().enumerate() {
             let line = line.map_err(|e| TraceError::Malformed {
+                path: None,
                 line: lineno + 1,
                 reason: format!("io error: {e}"),
             })?;
@@ -130,12 +151,14 @@ impl MobilityTrace {
             let fields: Vec<&str> = text.split_whitespace().collect();
             if fields.len() != 4 {
                 return Err(TraceError::Malformed {
+                    path: None,
                     line: lineno + 1,
                     reason: format!("expected 4 fields, got {}", fields.len()),
                 });
             }
             let parse_f64 = |s: &str, what: &str| -> Result<f64, TraceError> {
                 s.parse::<f64>().map_err(|_| TraceError::Malformed {
+                    path: None,
                     line: lineno + 1,
                     reason: format!("bad {what}: {s:?}"),
                 })
@@ -143,12 +166,14 @@ impl MobilityTrace {
             let node = fields[0]
                 .parse::<usize>()
                 .map_err(|_| TraceError::Malformed {
+                    path: None,
                     line: lineno + 1,
                     reason: format!("bad node id: {:?}", fields[0]),
                 })?;
             let t = parse_f64(fields[1], "time")?;
             if t < 0.0 || !t.is_finite() {
                 return Err(TraceError::Malformed {
+                    path: None,
                     line: lineno + 1,
                     reason: format!("time must be finite and non-negative, got {t}"),
                 });
@@ -160,10 +185,11 @@ impl MobilityTrace {
         trace.finish()
     }
 
-    /// Loads from a file path.
+    /// Loads from a file path. Parse errors are annotated with the path
+    /// so the message reads `trace PATH:LINE: reason`.
     pub fn load(path: &Path) -> Result<Self, Box<dyn std::error::Error>> {
         let file = std::fs::File::open(path)?;
-        Ok(Self::parse(file)?)
+        Ok(Self::parse(file).map_err(|e| e.with_path(path))?)
     }
 
     /// Serialises to the text format.
@@ -185,11 +211,7 @@ impl MobilityTrace {
 
     /// Records a trace by sampling `models` every `step` seconds over
     /// `[0, duration]` (inclusive of both ends).
-    pub fn record(
-        models: &mut [Box<dyn Mobility>],
-        duration: SimTime,
-        step: f64,
-    ) -> MobilityTrace {
+    pub fn record(models: &mut [Box<dyn Mobility>], duration: SimTime, step: f64) -> MobilityTrace {
         assert!(step > 0.0, "sampling step must be positive");
         let mut trace = MobilityTrace::with_nodes(models.len());
         let steps = (duration.as_secs() / step).floor() as u64;
@@ -261,7 +283,7 @@ mod tests {
     use super::*;
     use crate::random_waypoint::{RandomWaypointConfig, RandomWaypointPlanner};
     use crate::LegMover;
-    use dtn_core::rng::{substream_rng, streams};
+    use dtn_core::rng::{streams, substream_rng};
 
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)
@@ -299,12 +321,30 @@ mod tests {
     }
 
     #[test]
+    fn malformed_error_names_the_file_on_load() {
+        let dir = std::env::temp_dir().join("sdsrp_trace_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "0 1 2\n").unwrap();
+        let err = MobilityTrace::load(&path).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("bad.trace:1:"),
+            "expected path and line in {text:?}"
+        );
+        assert!(text.contains("expected 4 fields"), "got {text:?}");
+
+        // In-memory parsing keeps the path-free wording.
+        let err = MobilityTrace::parse("0 1 2".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { path: None, .. }));
+        assert!(err.to_string().starts_with("trace line 1:"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn parse_rejects_duplicate_timestamps() {
         let err = MobilityTrace::parse("0 5 1 1\n0 5 2 2\n".as_bytes()).unwrap_err();
-        assert_eq!(
-            err,
-            TraceError::DuplicateTimestamp { node: 0, time: 5.0 }
-        );
+        assert_eq!(err, TraceError::DuplicateTimestamp { node: 0, time: 5.0 });
     }
 
     #[test]

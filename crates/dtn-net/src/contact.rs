@@ -136,23 +136,39 @@ mod tests {
         let mut out = Vec::new();
 
         // Tick 1: apart.
-        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(500.0, 0.0)], &mut out);
+        tr.update(
+            t(0.0),
+            &[Point2::new(0.0, 0.0), Point2::new(500.0, 0.0)],
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(tr.contact_count(), 0);
 
         // Tick 2: together.
-        tr.update(t(1.0), &[Point2::new(0.0, 0.0), Point2::new(50.0, 0.0)], &mut out);
+        tr.update(
+            t(1.0),
+            &[Point2::new(0.0, 0.0), Point2::new(50.0, 0.0)],
+            &mut out,
+        );
         let pair = NodePair::new(NodeId(0), NodeId(1));
         assert_eq!(out, vec![ContactEvent::Up { pair, time: t(1.0) }]);
         assert!(tr.connected(pair));
 
         // Tick 3: still together — no event.
         out.clear();
-        tr.update(t(2.0), &[Point2::new(10.0, 0.0), Point2::new(50.0, 0.0)], &mut out);
+        tr.update(
+            t(2.0),
+            &[Point2::new(10.0, 0.0), Point2::new(50.0, 0.0)],
+            &mut out,
+        );
         assert!(out.is_empty());
 
         // Tick 4: apart again.
-        tr.update(t(3.0), &[Point2::new(0.0, 0.0), Point2::new(900.0, 0.0)], &mut out);
+        tr.update(
+            t(3.0),
+            &[Point2::new(0.0, 0.0), Point2::new(900.0, 0.0)],
+            &mut out,
+        );
         assert_eq!(out, vec![ContactEvent::Down { pair, time: t(3.0) }]);
         assert!(!tr.connected(pair));
     }
@@ -161,7 +177,11 @@ mod tests {
     fn boundary_is_inclusive() {
         let mut tr = tracker();
         let mut out = Vec::new();
-        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)], &mut out);
+        tr.update(
+            t(0.0),
+            &[Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
+            &mut out,
+        );
         assert_eq!(out.len(), 1, "exactly at range counts as in contact");
     }
 
@@ -194,10 +214,26 @@ mod tests {
     fn down_events_precede_up_events_in_one_tick() {
         let mut tr = tracker();
         let mut out = Vec::new();
-        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(50.0, 0.0), Point2::new(500.0, 500.0)], &mut out);
+        tr.update(
+            t(0.0),
+            &[
+                Point2::new(0.0, 0.0),
+                Point2::new(50.0, 0.0),
+                Point2::new(500.0, 500.0),
+            ],
+            &mut out,
+        );
         out.clear();
         // Node 1 leaves node 0, node 2 arrives at node 0.
-        tr.update(t(1.0), &[Point2::new(0.0, 0.0), Point2::new(400.0, 0.0), Point2::new(60.0, 0.0)], &mut out);
+        tr.update(
+            t(1.0),
+            &[
+                Point2::new(0.0, 0.0),
+                Point2::new(400.0, 0.0),
+                Point2::new(60.0, 0.0),
+            ],
+            &mut out,
+        );
         assert!(matches!(out[0], ContactEvent::Down { .. }));
         assert!(matches!(out[1], ContactEvent::Up { .. }));
     }
@@ -206,7 +242,11 @@ mod tests {
     fn close_all_emits_downs() {
         let mut tr = tracker();
         let mut out = Vec::new();
-        tr.update(t(0.0), &[Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)], &mut out);
+        tr.update(
+            t(0.0),
+            &[Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)],
+            &mut out,
+        );
         out.clear();
         tr.close_all(t(9.0), &mut out);
         assert_eq!(out.len(), 1);

@@ -182,11 +182,17 @@ mod tests {
     }
 
     fn up(p: NodePair, s: f64) -> ContactEvent {
-        ContactEvent::Up { pair: p, time: t(s) }
+        ContactEvent::Up {
+            pair: p,
+            time: t(s),
+        }
     }
 
     fn down(p: NodePair, s: f64) -> ContactEvent {
-        ContactEvent::Down { pair: p, time: t(s) }
+        ContactEvent::Down {
+            pair: p,
+            time: t(s),
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@ use dtn_buffer::policy::BufferPolicy;
 use dtn_buffer::random::RandomDrop;
 use dtn_buffer::ttl::{Shli, TtlRatio};
 use dtn_core::ids::NodeId;
-use dtn_core::rng::{substream_rng, streams};
+use dtn_core::rng::{streams, substream_rng};
 use dtn_core::time::SimDuration;
 use dtn_core::units::Bytes;
 use dtn_mobility::MobilityConfig;
@@ -169,9 +169,7 @@ impl RoutingKind {
             RoutingKind::SprayAndFocus { handoff_threshold } => {
                 Box::new(SprayAndFocus::new(handoff_threshold))
             }
-            RoutingKind::Prophet => {
-                Box::new(Prophet::new(ProphetConfig::default()))
-            }
+            RoutingKind::Prophet => Box::new(Prophet::new(ProphetConfig::default())),
         }
     }
 }

@@ -12,6 +12,7 @@ use crate::report::Report;
 use crate::world::World;
 use dtn_core::stats::OnlineStats;
 use dtn_core::units::Bytes;
+use dtn_telemetry::{EventTotals, Recorder};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,7 +42,11 @@ impl SweepAxis {
 
     /// The paper's generation-rate sweep.
     pub fn paper_gen_rates() -> Self {
-        SweepAxis::GenInterval((0..8).map(|i| (10.0 + 5.0 * i as f64, 15.0 + 5.0 * i as f64)).collect())
+        SweepAxis::GenInterval(
+            (0..8)
+                .map(|i| (10.0 + 5.0 * i as f64, 15.0 + 5.0 * i as f64))
+                .collect(),
+        )
     }
 
     /// Number of sweep points.
@@ -136,10 +141,35 @@ pub struct SweepCell {
     pub runs: usize,
 }
 
+/// Live progress of a sweep, reported once per completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepProgress {
+    /// Runs finished so far (this one included).
+    pub completed: usize,
+    /// Total runs in the sweep.
+    pub total: usize,
+    /// Axis label of the finished run.
+    pub axis_label: String,
+    /// Policy legend label of the finished run.
+    pub policy: String,
+}
+
 /// Runs the sweep on `threads` worker threads (pass 0 to use the
 /// available parallelism). Returns one cell per `(axis point, policy)`,
 /// ordered axis-major then policy.
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
+    run_sweep_observed(spec, threads, &|_| {}).0
+}
+
+/// [`run_sweep`] with telemetry: every run carries a counting-only
+/// recorder whose event totals are folded into the returned
+/// [`EventTotals`], and `observe` is called (from worker threads) after
+/// each completed run.
+pub fn run_sweep_observed(
+    spec: &SweepSpec,
+    threads: usize,
+    observe: &(dyn Fn(SweepProgress) + Sync),
+) -> (Vec<SweepCell>, EventTotals) {
     assert!(!spec.axis.is_empty(), "sweep axis has no points");
     assert!(!spec.policies.is_empty(), "sweep needs at least one policy");
     assert!(!spec.seeds.is_empty(), "sweep needs at least one seed");
@@ -178,8 +208,10 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
         threads
     };
     let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<(usize, usize, Report)>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let totals: Mutex<EventTotals> = Mutex::new(EventTotals::default());
 
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(jobs.len()) {
@@ -189,8 +221,19 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
                     break;
                 }
                 let job = &jobs[i];
-                let report = World::build(&job.cfg).run();
+                let mut world = World::build(&job.cfg);
+                // Counting-only telemetry: no ring, no sink.
+                world.attach_recorder(Recorder::enabled(0));
+                let (report, recorder) = world.run_with_recorder();
+                totals.lock().absorb(recorder.totals());
                 results.lock()[i] = Some((job.axis, job.policy, report));
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                observe(SweepProgress {
+                    completed: done,
+                    total: jobs.len(),
+                    axis_label: spec.axis.label(job.axis),
+                    policy: spec.policies[job.policy].label().to_string(),
+                });
             });
         }
     })
@@ -227,7 +270,7 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
             });
         }
     }
-    cells
+    (cells, totals.into_inner())
 }
 
 #[derive(Clone, Default)]
@@ -307,6 +350,29 @@ mod tests {
         let a = run_sweep(&spec, 1);
         let b = run_sweep(&spec, 8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_sweep_reports_progress_and_totals() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = quick_spec();
+        let seen = AtomicUsize::new(0);
+        let max_completed = AtomicUsize::new(0);
+        let (cells, totals) = run_sweep_observed(&spec, 2, &|p: SweepProgress| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            max_completed.fetch_max(p.completed, Ordering::Relaxed);
+            assert_eq!(p.total, 8); // 2 axis points x 2 policies x 2 seeds
+            assert!(!p.axis_label.is_empty());
+            assert!(!p.policy.is_empty());
+        });
+        assert_eq!(cells.len(), 4);
+        assert_eq!(seen.load(Ordering::Relaxed), 8);
+        assert_eq!(max_completed.load(Ordering::Relaxed), 8);
+        // The aggregate totals reconcile with the aggregated reports:
+        // every counted generation produced one MessageGenerated event.
+        let created: f64 = cells.iter().map(|c| c.created * c.runs as f64).sum();
+        assert_eq!(totals.generated, created.round() as u64);
+        assert!(totals.contacts_up > 0);
     }
 
     #[test]

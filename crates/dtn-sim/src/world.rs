@@ -36,6 +36,7 @@ use dtn_mobility::model::Mobility;
 use dtn_net::contact::{ContactEvent, ContactTracker};
 use dtn_net::trace::ContactTrace;
 use dtn_routing::protocol::{RoutingCtx, TransferKind};
+use dtn_telemetry::{DropReason, Recorder, SimEvent};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
@@ -85,6 +86,15 @@ impl OracleState {
     }
 }
 
+/// Metric handles registered on the recorder by
+/// [`World::attach_recorder`].
+struct WorldMetrics {
+    events_processed: dtn_telemetry::CounterId,
+    delivery_latency_secs: dtn_telemetry::HistogramId,
+    transfer_bytes: dtn_telemetry::HistogramId,
+    live_contacts: dtn_telemetry::GaugeId,
+}
+
 /// A transfer candidate considered for an idle link.
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
@@ -115,7 +125,11 @@ pub struct World {
     /// metrics.
     uncounted: HashSet<MessageId>,
     contact_trace: Option<ContactTrace>,
-    timeseries: Option<crate::timeseries::TimeSeries>,
+    recorder: Recorder,
+    metrics: Option<WorldMetrics>,
+    /// `(receiver, message)` pairs whose refusal was already reported —
+    /// a refused candidate is re-examined on every scheduling pass.
+    refused_seen: HashSet<(NodeId, MessageId)>,
     scratch_events: Vec<ContactEvent>,
 }
 
@@ -172,22 +186,69 @@ impl World {
             next_transfer_seq: 0,
             uncounted: HashSet::new(),
             contact_trace: None,
-            timeseries: None,
+            recorder: Recorder::disabled(),
+            metrics: None,
+            refused_seen: HashSet::new(),
             scratch_events: Vec::new(),
         }
+    }
+
+    /// Installs a telemetry recorder. An enabled recorder receives every
+    /// [`SimEvent`] the run produces and gets the world's metrics
+    /// (`events_processed`, `delivery_latency_secs`, `transfer_bytes`,
+    /// `live_contacts`) registered on it. Call before
+    /// [`enable_timeseries`](Self::enable_timeseries) — attaching
+    /// replaces the previous recorder, time series included.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+        self.metrics = if self.recorder.is_enabled() {
+            let m = self.recorder.metrics_mut();
+            Some(WorldMetrics {
+                events_processed: m.counter("events_processed"),
+                delivery_latency_secs: m.histogram(
+                    "delivery_latency_secs",
+                    &[60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0],
+                ),
+                transfer_bytes: m.histogram(
+                    "transfer_bytes",
+                    &[65_536.0, 262_144.0, 524_288.0, 1_048_576.0, 4_194_304.0],
+                ),
+                live_contacts: m.gauge("live_contacts"),
+            })
+        } else {
+            None
+        };
+    }
+
+    /// Read access to the attached recorder (totals, ring, metrics).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Runs to completion, returning the report plus the recorder with
+    /// its accumulated totals, event ring, metrics and any sampled time
+    /// series. The recorder's sink is flushed.
+    pub fn run_with_recorder(mut self) -> (Report, Recorder) {
+        let end = SimTime::from_secs(self.cfg.duration_secs);
+        while let Some((t, ev)) = self.queue.pop_until(end) {
+            self.now = t;
+            self.handle(ev);
+        }
+        self.recorder.flush();
+        (self.report, self.recorder)
     }
 
     /// Samples occupancy/contact/message time series every
     /// `sample_every` simulated seconds. Call before [`run`](Self::run);
     /// retrieve with [`run_with_timeseries`](Self::run_with_timeseries).
     pub fn enable_timeseries(&mut self, sample_every: f64) {
-        self.timeseries = Some(crate::timeseries::TimeSeries::new(sample_every));
+        self.recorder.enable_timeseries(sample_every);
     }
 
     /// Runs to completion, returning the report plus the sampled time
     /// series (enabling it if necessary).
     pub fn run_with_timeseries(mut self) -> (Report, crate::timeseries::TimeSeries) {
-        if self.timeseries.is_none() {
+        if !self.recorder.has_timeseries() {
             self.enable_timeseries(self.cfg.tick_secs.max(1.0) * 10.0);
         }
         let end = SimTime::from_secs(self.cfg.duration_secs);
@@ -195,7 +256,8 @@ impl World {
             self.now = t;
             self.handle(ev);
         }
-        let ts = self.timeseries.take().expect("enabled above");
+        self.recorder.flush();
+        let ts = self.recorder.take_timeseries().expect("enabled above");
         (self.report, ts)
     }
 
@@ -278,6 +340,9 @@ impl World {
     }
 
     fn handle(&mut self, ev: WorldEvent) {
+        if let Some(m) = self.metrics.as_ref() {
+            self.recorder.metrics_mut().inc(m.events_processed, 1);
+        }
         match ev {
             WorldEvent::Tick => self.on_tick(),
             WorldEvent::Generate => self.on_generate(),
@@ -309,13 +374,15 @@ impl World {
         }
         self.scratch_events = events;
 
+        if let Some(m) = self.metrics.as_ref() {
+            let live = self.links.len() as f64;
+            self.recorder.metrics_mut().set_gauge(m.live_contacts, live);
+        }
+
         // Sample the time series if due.
-        if self.timeseries.as_ref().is_some_and(|ts| ts.due(self.now)) {
+        if self.recorder.timeseries_due(self.now.as_secs()) {
             let point = self.sample_timepoint();
-            self.timeseries
-                .as_mut()
-                .expect("checked above")
-                .record(point);
+            self.recorder.record_timepoint(point);
         }
 
         // Catch-all: restart any idle live link (new messages may have
@@ -343,6 +410,10 @@ impl World {
     fn on_contact_up(&mut self, pair: NodePair) {
         self.links.insert(pair, LinkState::default());
         let now = self.now;
+        let t = now.as_secs();
+        let (lo, hi) = (pair.lo().0, pair.hi().0);
+        self.recorder
+            .record(|| SimEvent::ContactUp { t, a: lo, b: hi });
         let (a, b) = two_nodes(&mut self.nodes, pair.lo(), pair.hi());
         a.policy.on_contact_up(now, b.id);
         b.policy.on_contact_up(now, a.id);
@@ -354,10 +425,26 @@ impl World {
         let ga = a.policy.export_gossip(now);
         let gb = b.policy.export_gossip(now);
         if let Some(bytes) = gb {
-            a.policy.import_gossip(now, &bytes);
+            let adopted = a.policy.import_gossip(now, &bytes);
+            if adopted > 0 {
+                self.recorder.record(|| SimEvent::GossipMerged {
+                    t,
+                    node: lo,
+                    from: hi,
+                    records: adopted as u64,
+                });
+            }
         }
         if let Some(bytes) = ga {
-            b.policy.import_gossip(now, &bytes);
+            let adopted = b.policy.import_gossip(now, &bytes);
+            if adopted > 0 {
+                self.recorder.record(|| SimEvent::GossipMerged {
+                    t,
+                    node: hi,
+                    from: lo,
+                    records: adopted as u64,
+                });
+            }
         }
         let ra = a.routing.export_gossip(now);
         let rb = b.routing.export_gossip(now);
@@ -387,6 +474,10 @@ impl World {
             }
         }
         let now = self.now;
+        let t = now.as_secs();
+        let (lo, hi) = (pair.lo().0, pair.hi().0);
+        self.recorder
+            .record(|| SimEvent::ContactDown { t, a: lo, b: hi });
         let (a, b) = two_nodes(&mut self.nodes, pair.lo(), pair.hi());
         a.policy.on_contact_down(now, b.id);
         b.policy.on_contact_down(now, a.id);
@@ -407,6 +498,12 @@ impl World {
                 let size = self.catalog[id.index()].size;
                 node.remove_copy(id, size);
                 self.report.on_expired();
+                let holder = node.id.0;
+                self.recorder.record(|| SimEvent::TtlExpired {
+                    t: now.as_secs(),
+                    msg: id.0,
+                    node: holder,
+                });
                 if let Some(o) = self.oracle.as_mut() {
                     o.holders[id.index()] = o.holders[id.index()].saturating_sub(1);
                 }
@@ -451,6 +548,16 @@ impl World {
         self.catalog.push(msg);
         if self.now.as_secs() >= self.cfg.warmup_secs {
             self.report.on_created();
+            let t = self.now.as_secs();
+            let copies = self.cfg.initial_copies;
+            self.recorder.record(|| SimEvent::MessageGenerated {
+                t,
+                msg: msg.id.0,
+                src: source.0,
+                dst: destination.0,
+                size: size.as_u64(),
+                copies,
+            });
         } else {
             self.uncounted.insert(msg.id);
         }
@@ -473,9 +580,7 @@ impl World {
         // Schedule the next generation.
         let (lo, hi) = self.cfg.gen_interval;
         let gap = match self.cfg.traffic {
-            crate::config::TrafficModel::Uniform => {
-                uniform_range(&mut self.traffic_rng, lo, hi)
-            }
+            crate::config::TrafficModel::Uniform => uniform_range(&mut self.traffic_rng, lo, hi),
             crate::config::TrafficModel::Poisson => {
                 // Same mean rate as the uniform setting.
                 let rate = 2.0 / (lo + hi);
@@ -513,7 +618,11 @@ impl World {
                 })
                 .collect()
         };
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN priority").then(a.1.cmp(&b.1)));
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("NaN priority")
+                .then(a.1.cmp(&b.1))
+        });
         let mut free = node.free();
         let mut victims = Vec::new();
         for (_, id, size) in ranked {
@@ -527,7 +636,15 @@ impl World {
             let node = &mut self.nodes[node_id.index()];
             node.remove_copy(victim, size);
             node.policy.on_drop(now, victim);
+            let policy = node.policy.name();
             self.report.on_buffer_drop();
+            self.recorder.record(|| SimEvent::Dropped {
+                t: now.as_secs(),
+                msg: victim.0,
+                node: node_id.0,
+                policy,
+                reason: DropReason::Evicted,
+            });
             if let Some(o) = self.oracle.as_mut() {
                 o.holders[victim.index()] = o.holders[victim.index()].saturating_sub(1);
             }
@@ -575,6 +692,14 @@ impl World {
                 // Algorithm 1 line 10-11: the newcomer is the drop victim.
                 self.report.on_incoming_reject();
                 node.policy.on_drop(now, msg_id);
+                let policy = node.policy.name();
+                self.recorder.record(|| SimEvent::Dropped {
+                    t: now.as_secs(),
+                    msg: msg_id.0,
+                    node: node_id.0,
+                    policy,
+                    reason: DropReason::RejectedIncoming,
+                });
                 false
             }
             AdmissionPlan::Admit { evict } => {
@@ -582,10 +707,17 @@ impl World {
                     let size = self.catalog[victim.index()].size;
                     node.remove_copy(victim, size);
                     node.policy.on_drop(now, victim);
+                    let policy = node.policy.name();
                     self.report.on_buffer_drop();
+                    self.recorder.record(|| SimEvent::Dropped {
+                        t: now.as_secs(),
+                        msg: victim.0,
+                        node: node_id.0,
+                        policy,
+                        reason: DropReason::Evicted,
+                    });
                     if let Some(o) = self.oracle.as_mut() {
-                        o.holders[victim.index()] =
-                            o.holders[victim.index()].saturating_sub(1);
+                        o.holders[victim.index()] = o.holders[victim.index()].saturating_sub(1);
                     }
                 }
                 self.nodes[node_id.index()].insert_copy(copy, msg.size);
@@ -629,8 +761,10 @@ impl World {
             msg: best.msg,
             kind: best.kind,
         });
-        self.queue
-            .push(self.now + duration, WorldEvent::TransferComplete { pair, seq });
+        self.queue.push(
+            self.now + duration,
+            WorldEvent::TransferComplete { pair, seq },
+        );
     }
 
     /// Enumerates eligible transfers in both directions of `pair` and
@@ -664,8 +798,20 @@ impl World {
                 };
                 let is_delivery = matches!(kind, TransferKind::Delivery);
                 // Receivers refuse messages on their dropped list (paper
-                // Section III-C); deliveries are never refused.
+                // Section III-C); deliveries are never refused. Each
+                // `(receiver, message)` refusal is reported once even
+                // though the candidate recurs every scheduling pass.
                 if !is_delivery && !receiver.policy.accepts(now, msg.id) {
+                    if self.refused_seen.insert((r_id, msg.id)) {
+                        self.report.on_refused_receipt();
+                        let mid = msg.id.0;
+                        self.recorder.record(|| SimEvent::Refused {
+                            t: now.as_secs(),
+                            msg: mid,
+                            node: r_id.0,
+                            from: s_id.0,
+                        });
+                    }
                     continue;
                 }
                 let priority = sender.policy.send_priority(now, &view);
@@ -727,6 +873,7 @@ impl World {
             TransferKind::Delivery => {
                 if !self.uncounted.contains(&f.msg) {
                     self.report.on_transmission();
+                    self.observe_transfer_bytes(msg.size);
                 }
                 let hops;
                 {
@@ -738,7 +885,22 @@ impl World {
                 let receiver = &mut self.nodes[f.to.index()];
                 receiver.delivered.insert(f.msg);
                 if !self.uncounted.contains(&f.msg) {
+                    let first = !self.report.is_delivered(f.msg);
                     self.report.on_delivered(f.msg, hops, msg.created, now);
+                    let latency = now.as_secs() - msg.created.as_secs();
+                    if let Some(m) = self.metrics.as_ref() {
+                        self.recorder
+                            .metrics_mut()
+                            .observe(m.delivery_latency_secs, latency);
+                    }
+                    self.recorder.record(|| SimEvent::Delivered {
+                        t: now.as_secs(),
+                        msg: f.msg.0,
+                        from: f.from.0,
+                        hops,
+                        latency,
+                        first,
+                    });
                 }
                 if let Some(o) = self.oracle.as_mut() {
                     o.seen[f.msg.index()].insert(f.to);
@@ -763,6 +925,15 @@ impl World {
             } => {
                 if !self.uncounted.contains(&f.msg) {
                     self.report.on_transmission();
+                    self.observe_transfer_bytes(msg.size);
+                    let copies = receiver_gets.max(1);
+                    self.recorder.record(|| SimEvent::Replicated {
+                        t: now.as_secs(),
+                        msg: f.msg.0,
+                        from: f.from.0,
+                        to: f.to.0,
+                        copies,
+                    });
                 }
                 let incoming = {
                     let sender = &mut self.nodes[f.from.index()];
@@ -789,18 +960,28 @@ impl World {
             TransferKind::Handoff => {
                 if !self.uncounted.contains(&f.msg) {
                     self.report.on_transmission();
+                    self.observe_transfer_bytes(msg.size);
                 }
                 let incoming = {
                     let sender = &mut self.nodes[f.from.index()];
                     let mut copy = sender.remove_copy(f.msg, msg.size);
                     if let Some(o) = self.oracle.as_mut() {
-                        o.holders[f.msg.index()] =
-                            o.holders[f.msg.index()].saturating_sub(1);
+                        o.holders[f.msg.index()] = o.holders[f.msg.index()].saturating_sub(1);
                     }
                     copy.received = now;
                     copy.hops += 1;
                     copy
                 };
+                if !self.uncounted.contains(&f.msg) {
+                    let copies = incoming.copies;
+                    self.recorder.record(|| SimEvent::Replicated {
+                        t: now.as_secs(),
+                        msg: f.msg.0,
+                        from: f.from.0,
+                        to: f.to.0,
+                        copies,
+                    });
+                }
                 self.admit_copy(f.to, f.msg, incoming);
             }
         }
@@ -833,10 +1014,20 @@ impl World {
     /// VACCINE immunity).
     fn purge_everywhere(&mut self, msg: MessageId) {
         let size = self.catalog[msg.index()].size;
+        let now = self.now;
         for node in &mut self.nodes {
             if node.has(msg) {
                 node.remove_copy(msg, size);
                 self.report.on_immunity_purge();
+                let holder = node.id.0;
+                let policy = node.policy.name();
+                self.recorder.record(|| SimEvent::Dropped {
+                    t: now.as_secs(),
+                    msg: msg.0,
+                    node: holder,
+                    policy,
+                    reason: DropReason::ImmunityPurge,
+                });
                 if let Some(o) = self.oracle.as_mut() {
                     o.holders[msg.index()] = o.holders[msg.index()].saturating_sub(1);
                 }
@@ -847,6 +1038,7 @@ impl World {
 
     /// Purges copies of acknowledged messages from one node's buffer.
     fn purge_acked(&mut self, node_id: NodeId) {
+        let now = self.now;
         let node = &mut self.nodes[node_id.index()];
         let doomed: Vec<MessageId> = node
             .buffer
@@ -858,9 +1050,27 @@ impl World {
             let size = self.catalog[id.index()].size;
             node.remove_copy(id, size);
             self.report.on_immunity_purge();
+            let policy = node.policy.name();
+            self.recorder.record(|| SimEvent::Dropped {
+                t: now.as_secs(),
+                msg: id.0,
+                node: node_id.0,
+                policy,
+                reason: DropReason::ImmunityPurge,
+            });
             if let Some(o) = self.oracle.as_mut() {
                 o.holders[id.index()] = o.holders[id.index()].saturating_sub(1);
             }
+        }
+    }
+
+    /// Feeds one counted transmission's size into the `transfer_bytes`
+    /// histogram when metrics are attached.
+    fn observe_transfer_bytes(&mut self, size: dtn_core::units::Bytes) {
+        if let Some(m) = self.metrics.as_ref() {
+            self.recorder
+                .metrics_mut()
+                .observe(m.transfer_bytes, size.as_u64() as f64);
         }
     }
 
@@ -870,9 +1080,7 @@ impl World {
         let mut idle: Vec<NodePair> = self
             .links
             .iter()
-            .filter(|(p, s)| {
-                s.in_flight.is_none() && (p.lo() == node || p.hi() == node)
-            })
+            .filter(|(p, s)| s.in_flight.is_none() && (p.lo() == node || p.hi() == node))
             .map(|(&p, _)| p)
             .collect();
         idle.sort();

@@ -1,0 +1,608 @@
+//! The structured simulation event vocabulary.
+//!
+//! Events carry primitive fields only (`u32` node indices, `u64`
+//! message ids, `f64` seconds): the simulator converts its typed ids at
+//! the emission site, and this crate stays free of upstream
+//! dependencies. Every event starts with the simulation time `t` in
+//! seconds.
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Why a buffered or incoming message was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// A resident was evicted to make room (Algorithm 1's drop step).
+    Evicted,
+    /// The incoming message itself was refused admission.
+    RejectedIncoming,
+    /// A copy of an acknowledged message was purged (immunity
+    /// extension).
+    ImmunityPurge,
+}
+
+impl DropReason {
+    /// Stable lower-case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Evicted => "evicted",
+            DropReason::RejectedIncoming => "rejected_incoming",
+            DropReason::ImmunityPurge => "immunity_purge",
+        }
+    }
+}
+
+/// One structured simulation event.
+///
+/// Emission sites mirror the [`crate::manifest::RunManifest`]
+/// accounting: message-level events (`MessageGenerated`, `Replicated`,
+/// `Delivered`) fire only for messages counted by the run's report
+/// (i.e. generated after warm-up), so event totals reconcile exactly
+/// with the report's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A new message entered the network at its source.
+    MessageGenerated {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Message id.
+        msg: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Message size, bytes.
+        size: u64,
+        /// Initial spray copies `L`.
+        copies: u32,
+    },
+    /// A copy was replicated (or handed off) to a peer.
+    Replicated {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Message id.
+        msg: u64,
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Copy tokens the receiver obtained.
+        copies: u32,
+    },
+    /// The destination received the message.
+    Delivered {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Message id.
+        msg: u64,
+        /// The node that performed the final hop.
+        from: u32,
+        /// Hop count of the delivering copy (final hop included).
+        hops: u32,
+        /// Creation-to-delivery latency, seconds.
+        latency: f64,
+        /// Whether this is the first delivery of the message.
+        first: bool,
+    },
+    /// A message was dropped by a buffer-management decision.
+    Dropped {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Message id.
+        msg: u64,
+        /// The node that dropped it.
+        node: u32,
+        /// Name of the buffer policy that decided.
+        policy: &'static str,
+        /// What kind of drop decision it was.
+        reason: DropReason,
+    },
+    /// A receiver refused a message on its dropped list (paper
+    /// Section III-C). Deduplicated per `(node, msg)` pair.
+    Refused {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Message id.
+        msg: u64,
+        /// The refusing node.
+        node: u32,
+        /// The would-be sender.
+        from: u32,
+    },
+    /// A node merged a peer's dropped-list gossip.
+    GossipMerged {
+        /// Simulation time, seconds.
+        t: f64,
+        /// The merging node.
+        node: u32,
+        /// The peer whose records were offered.
+        from: u32,
+        /// Records adopted (new or newer than the local copy).
+        records: u64,
+    },
+    /// Two nodes came into radio range.
+    ContactUp {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Lower node id of the pair.
+        a: u32,
+        /// Higher node id of the pair.
+        b: u32,
+    },
+    /// A contact closed.
+    ContactDown {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Lower node id of the pair.
+        a: u32,
+        /// Higher node id of the pair.
+        b: u32,
+    },
+    /// A buffered copy expired (TTL) and was purged.
+    TtlExpired {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Message id.
+        msg: u64,
+        /// The node holding the expired copy.
+        node: u32,
+    },
+}
+
+impl SimEvent {
+    /// Stable lower-snake-case event-kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::MessageGenerated { .. } => "message_generated",
+            SimEvent::Replicated { .. } => "replicated",
+            SimEvent::Delivered { .. } => "delivered",
+            SimEvent::Dropped { .. } => "dropped",
+            SimEvent::Refused { .. } => "refused",
+            SimEvent::GossipMerged { .. } => "gossip_merged",
+            SimEvent::ContactUp { .. } => "contact_up",
+            SimEvent::ContactDown { .. } => "contact_down",
+            SimEvent::TtlExpired { .. } => "ttl_expired",
+        }
+    }
+
+    /// Simulation time of the event, seconds.
+    pub fn time(&self) -> f64 {
+        match *self {
+            SimEvent::MessageGenerated { t, .. }
+            | SimEvent::Replicated { t, .. }
+            | SimEvent::Delivered { t, .. }
+            | SimEvent::Dropped { t, .. }
+            | SimEvent::Refused { t, .. }
+            | SimEvent::GossipMerged { t, .. }
+            | SimEvent::ContactUp { t, .. }
+            | SimEvent::ContactDown { t, .. }
+            | SimEvent::TtlExpired { t, .. } => t,
+        }
+    }
+
+    /// Flat JSON value: `{"kind": "...", "t": ..., ...}` — the JSONL
+    /// line schema.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("kind".into(), Value::String(self.kind().into())),
+            ("t".into(), f64_value(self.time())),
+        ];
+        let push_u64 = |fields: &mut Vec<(String, Value)>, name: &str, v: u64| {
+            fields.push((name.into(), Value::Number(serde::value::Number::U64(v))));
+        };
+        match *self {
+            SimEvent::MessageGenerated {
+                msg,
+                src,
+                dst,
+                size,
+                copies,
+                ..
+            } => {
+                push_u64(&mut fields, "msg", msg);
+                push_u64(&mut fields, "src", src as u64);
+                push_u64(&mut fields, "dst", dst as u64);
+                push_u64(&mut fields, "size", size);
+                push_u64(&mut fields, "copies", copies as u64);
+            }
+            SimEvent::Replicated {
+                msg,
+                from,
+                to,
+                copies,
+                ..
+            } => {
+                push_u64(&mut fields, "msg", msg);
+                push_u64(&mut fields, "from", from as u64);
+                push_u64(&mut fields, "to", to as u64);
+                push_u64(&mut fields, "copies", copies as u64);
+            }
+            SimEvent::Delivered {
+                msg,
+                from,
+                hops,
+                latency,
+                first,
+                ..
+            } => {
+                push_u64(&mut fields, "msg", msg);
+                push_u64(&mut fields, "from", from as u64);
+                push_u64(&mut fields, "hops", hops as u64);
+                fields.push(("latency".into(), f64_value(latency)));
+                fields.push(("first".into(), Value::Bool(first)));
+            }
+            SimEvent::Dropped {
+                msg,
+                node,
+                policy,
+                reason,
+                ..
+            } => {
+                push_u64(&mut fields, "msg", msg);
+                push_u64(&mut fields, "node", node as u64);
+                fields.push(("policy".into(), Value::String(policy.into())));
+                fields.push(("reason".into(), Value::String(reason.label().into())));
+            }
+            SimEvent::Refused {
+                msg, node, from, ..
+            } => {
+                push_u64(&mut fields, "msg", msg);
+                push_u64(&mut fields, "node", node as u64);
+                push_u64(&mut fields, "from", from as u64);
+            }
+            SimEvent::GossipMerged {
+                node,
+                from,
+                records,
+                ..
+            } => {
+                push_u64(&mut fields, "node", node as u64);
+                push_u64(&mut fields, "from", from as u64);
+                push_u64(&mut fields, "records", records);
+            }
+            SimEvent::ContactUp { a, b, .. } | SimEvent::ContactDown { a, b, .. } => {
+                push_u64(&mut fields, "a", a as u64);
+                push_u64(&mut fields, "b", b as u64);
+            }
+            SimEvent::TtlExpired { msg, node, .. } => {
+                push_u64(&mut fields, "msg", msg);
+                push_u64(&mut fields, "node", node as u64);
+            }
+        }
+        Value::Object(fields)
+    }
+
+    /// One JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("event serialises")
+    }
+
+    /// Compact CSV projection: `t,kind,msg,node,peer,info,value`.
+    ///
+    /// `msg` is empty for contact/gossip events; `node`/`peer` map to
+    /// the event's primary/secondary node; `info` carries the policy and
+    /// drop reason (`policy:reason`) for drops; `value` carries the
+    /// per-kind scalar (copies, latency, adopted records, size).
+    pub fn to_csv_row(&self) -> String {
+        let (msg, node, peer, info, value) = match *self {
+            SimEvent::MessageGenerated {
+                msg,
+                src,
+                dst,
+                size,
+                copies,
+                ..
+            } => (
+                Some(msg),
+                src,
+                Some(dst),
+                format!("size={size}"),
+                copies as f64,
+            ),
+            SimEvent::Replicated {
+                msg,
+                from,
+                to,
+                copies,
+                ..
+            } => (Some(msg), from, Some(to), String::new(), copies as f64),
+            SimEvent::Delivered {
+                msg,
+                from,
+                hops,
+                latency,
+                first,
+                ..
+            } => (
+                Some(msg),
+                from,
+                None,
+                format!("hops={hops},first={first}"),
+                latency,
+            ),
+            SimEvent::Dropped {
+                msg,
+                node,
+                policy,
+                reason,
+                ..
+            } => (
+                Some(msg),
+                node,
+                None,
+                format!("{policy}:{}", reason.label()),
+                0.0,
+            ),
+            SimEvent::Refused {
+                msg, node, from, ..
+            } => (Some(msg), node, Some(from), String::new(), 0.0),
+            SimEvent::GossipMerged {
+                node,
+                from,
+                records,
+                ..
+            } => (None, node, Some(from), String::new(), records as f64),
+            SimEvent::ContactUp { a, b, .. } | SimEvent::ContactDown { a, b, .. } => {
+                (None, a, Some(b), String::new(), 0.0)
+            }
+            SimEvent::TtlExpired { msg, node, .. } => (Some(msg), node, None, String::new(), 0.0),
+        };
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.time(),
+            self.kind(),
+            msg.map(|m| m.to_string()).unwrap_or_default(),
+            node,
+            peer.map(|p| p.to_string()).unwrap_or_default(),
+            info,
+            value
+        )
+    }
+
+    /// The CSV header matching [`to_csv_row`](Self::to_csv_row).
+    pub const CSV_HEADER: &'static str = "t,kind,msg,node,peer,info,value";
+}
+
+fn f64_value(v: f64) -> Value {
+    Value::Number(serde::value::Number::F64(v))
+}
+
+/// Per-kind event counters — cheap to bump on every emission, cheap to
+/// aggregate across runs, and the accounting backbone of the
+/// [`crate::manifest::RunManifest`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventTotals {
+    /// `MessageGenerated` events.
+    pub generated: u64,
+    /// `Replicated` events (replications and handoffs).
+    pub replicated: u64,
+    /// `Delivered` events, duplicates included.
+    pub delivered: u64,
+    /// `Delivered` events with `first == true` (unique deliveries).
+    pub delivered_first: u64,
+    /// `Dropped` events with reason `Evicted`.
+    pub dropped_evicted: u64,
+    /// `Dropped` events with reason `RejectedIncoming`.
+    pub dropped_rejected: u64,
+    /// `Dropped` events with reason `ImmunityPurge`.
+    pub dropped_immunity: u64,
+    /// `Refused` events.
+    pub refused: u64,
+    /// `GossipMerged` events.
+    pub gossip_merges: u64,
+    /// Sum of adopted records over all `GossipMerged` events.
+    pub gossip_records: u64,
+    /// `ContactUp` events.
+    pub contacts_up: u64,
+    /// `ContactDown` events.
+    pub contacts_down: u64,
+    /// `TtlExpired` events.
+    pub ttl_expired: u64,
+}
+
+impl EventTotals {
+    /// Counts one event.
+    pub fn bump(&mut self, ev: &SimEvent) {
+        match ev {
+            SimEvent::MessageGenerated { .. } => self.generated += 1,
+            SimEvent::Replicated { .. } => self.replicated += 1,
+            SimEvent::Delivered { first, .. } => {
+                self.delivered += 1;
+                if *first {
+                    self.delivered_first += 1;
+                }
+            }
+            SimEvent::Dropped { reason, .. } => match reason {
+                DropReason::Evicted => self.dropped_evicted += 1,
+                DropReason::RejectedIncoming => self.dropped_rejected += 1,
+                DropReason::ImmunityPurge => self.dropped_immunity += 1,
+            },
+            SimEvent::Refused { .. } => self.refused += 1,
+            SimEvent::GossipMerged { records, .. } => {
+                self.gossip_merges += 1;
+                self.gossip_records += records;
+            }
+            SimEvent::ContactUp { .. } => self.contacts_up += 1,
+            SimEvent::ContactDown { .. } => self.contacts_down += 1,
+            SimEvent::TtlExpired { .. } => self.ttl_expired += 1,
+        }
+    }
+
+    /// Adds another totals block (sweep aggregation).
+    pub fn absorb(&mut self, other: &EventTotals) {
+        self.generated += other.generated;
+        self.replicated += other.replicated;
+        self.delivered += other.delivered;
+        self.delivered_first += other.delivered_first;
+        self.dropped_evicted += other.dropped_evicted;
+        self.dropped_rejected += other.dropped_rejected;
+        self.dropped_immunity += other.dropped_immunity;
+        self.refused += other.refused;
+        self.gossip_merges += other.gossip_merges;
+        self.gossip_records += other.gossip_records;
+        self.contacts_up += other.contacts_up;
+        self.contacts_down += other.contacts_down;
+        self.ttl_expired += other.ttl_expired;
+    }
+
+    /// All drop decisions (evictions + rejections + immunity purges).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_evicted + self.dropped_rejected + self.dropped_immunity
+    }
+
+    /// Total events counted.
+    pub fn total(&self) -> u64 {
+        self.generated
+            + self.replicated
+            + self.delivered
+            + self.dropped()
+            + self.refused
+            + self.gossip_merges
+            + self.contacts_up
+            + self.contacts_down
+            + self.ttl_expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SimEvent> {
+        vec![
+            SimEvent::MessageGenerated {
+                t: 1.0,
+                msg: 7,
+                src: 0,
+                dst: 3,
+                size: 500_000,
+                copies: 16,
+            },
+            SimEvent::Replicated {
+                t: 2.0,
+                msg: 7,
+                from: 0,
+                to: 1,
+                copies: 8,
+            },
+            SimEvent::Delivered {
+                t: 3.5,
+                msg: 7,
+                from: 1,
+                hops: 2,
+                latency: 2.5,
+                first: true,
+            },
+            SimEvent::Delivered {
+                t: 4.0,
+                msg: 7,
+                from: 0,
+                hops: 1,
+                latency: 3.0,
+                first: false,
+            },
+            SimEvent::Dropped {
+                t: 5.0,
+                msg: 9,
+                node: 2,
+                policy: "SDSRP",
+                reason: DropReason::Evicted,
+            },
+            SimEvent::Refused {
+                t: 6.0,
+                msg: 9,
+                node: 2,
+                from: 1,
+            },
+            SimEvent::GossipMerged {
+                t: 7.0,
+                node: 1,
+                from: 2,
+                records: 3,
+            },
+            SimEvent::ContactUp { t: 8.0, a: 0, b: 1 },
+            SimEvent::ContactDown { t: 9.0, a: 0, b: 1 },
+            SimEvent::TtlExpired {
+                t: 10.0,
+                msg: 7,
+                node: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_carry_kind_and_time() {
+        for ev in sample() {
+            let line = ev.to_jsonl();
+            let v: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+            assert_eq!(v["kind"].as_str().unwrap(), ev.kind());
+            assert_eq!(v["t"].as_f64().unwrap(), ev.time());
+        }
+    }
+
+    #[test]
+    fn jsonl_field_fidelity() {
+        let ev = SimEvent::Delivered {
+            t: 3.5,
+            msg: 7,
+            from: 1,
+            hops: 2,
+            latency: 2.5,
+            first: true,
+        };
+        let v: serde_json::Value = serde_json::from_str(&ev.to_jsonl()).unwrap();
+        assert_eq!(v["msg"].as_u64(), Some(7));
+        assert_eq!(v["hops"].as_u64(), Some(2));
+        assert_eq!(v["latency"].as_f64(), Some(2.5));
+        assert_eq!(v["first"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn csv_rows_have_constant_arity() {
+        let cols = SimEvent::CSV_HEADER.split(',').count();
+        for ev in sample() {
+            // The info column never contains a comma-free guarantee; the
+            // drop/delivery info uses commas only inside the last free-form
+            // field... keep it simple: count must be >= header arity.
+            let row = ev.to_csv_row();
+            assert!(row.split(',').count() >= cols, "row too short: {row}");
+            assert!(row.contains(ev.kind()));
+        }
+    }
+
+    #[test]
+    fn totals_reconcile() {
+        let mut t = EventTotals::default();
+        for ev in sample() {
+            t.bump(&ev);
+        }
+        assert_eq!(t.generated, 1);
+        assert_eq!(t.replicated, 1);
+        assert_eq!(t.delivered, 2);
+        assert_eq!(t.delivered_first, 1);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.refused, 1);
+        assert_eq!(t.gossip_merges, 1);
+        assert_eq!(t.gossip_records, 3);
+        assert_eq!(t.contacts_up, 1);
+        assert_eq!(t.contacts_down, 1);
+        assert_eq!(t.ttl_expired, 1);
+        assert_eq!(t.total(), 10);
+
+        let mut u = t.clone();
+        u.absorb(&t);
+        assert_eq!(u.total(), 20);
+        assert_eq!(u.gossip_records, 6);
+    }
+
+    #[test]
+    fn totals_serde_roundtrip() {
+        let mut t = EventTotals::default();
+        for ev in sample() {
+            t.bump(&ev);
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        let back: EventTotals = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

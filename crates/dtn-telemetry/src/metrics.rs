@@ -1,0 +1,281 @@
+//! A tiny metrics registry: counters, gauges and fixed-bucket
+//! histograms behind integer handles.
+//!
+//! Registration returns an id; the hot-path operations (`inc`,
+//! `set_gauge`, `observe`) are plain `Vec` index updates with no
+//! hashing, locking or allocation, so instrumented code stays cheap
+//! even when telemetry is enabled.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a last-value gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A histogram over fixed upper-bound buckets plus an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// `counts[i]` observations in `(bounds[i-1], bounds[i]]`; the last
+    /// entry (one longer than `bounds`) is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of the observed values (`0` before the first observation).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The registry: named metrics, integer-handle access.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a monotonic counter, returning its handle. Registering
+    /// an existing name returns the existing handle.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_owned(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge, returning its handle (idempotent per name).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_owned(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram with the given inclusive upper bounds
+    /// (idempotent per name; bounds of the first registration win).
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_owned(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `by` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Sets a gauge to `v`.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Records one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, v: f64) {
+        self.histograms[id.0].1.observe(v);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram_state(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A serialisable snapshot of every metric (manifest payload).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| CounterSnapshot {
+                    name: n.clone(),
+                    value: *v,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| GaugeSnapshot {
+                    name: n.clone(),
+                    value: *v,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| HistogramSnapshot {
+                    name: n.clone(),
+                    histogram: h.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Bucket state.
+    pub histogram: Histogram,
+}
+
+/// Frozen registry contents, serialised into the run manifest.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, in registration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, in registration order.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("events");
+        let g = m.gauge("live_contacts");
+        m.inc(c, 3);
+        m.inc(c, 2);
+        m.set_gauge(g, 7.5);
+        assert_eq!(m.counter_value(c), 5);
+        assert_eq!(m.gauge_value(g), 7.5);
+        // Re-registration returns the same handle.
+        assert_eq!(m.counter("events"), c);
+        assert_eq!(m.gauge("live_contacts"), g);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("latency", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            m.observe(h, v);
+        }
+        let state = m.histogram_state(h);
+        assert_eq!(state.counts, vec![2, 1, 1, 1]);
+        assert_eq!(state.count, 5);
+        assert!((state.mean() - 111.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("n");
+        m.inc(c, 9);
+        let h = m.histogram("h", &[1.0]);
+        m.observe(h, 0.5);
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counters[0].value, 9);
+        assert_eq!(back.histograms[0].histogram.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_bounds_rejected() {
+        let mut m = MetricsRegistry::new();
+        let _ = m.histogram("bad", &[2.0, 1.0]);
+    }
+}

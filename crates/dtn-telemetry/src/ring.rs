@@ -1,0 +1,100 @@
+//! A bounded ring buffer of recent events.
+//!
+//! The ring keeps the tail of the event stream in memory (for
+//! inspection, tests and post-run debugging) without unbounded growth:
+//! once full, the oldest event is overwritten and counted in
+//! [`EventRing::overwritten`].
+
+use crate::event::SimEvent;
+use std::collections::VecDeque;
+
+/// Bounded in-memory event history.
+#[derive(Debug, Clone, Default)]
+pub struct EventRing {
+    capacity: usize,
+    events: VecDeque<SimEvent>,
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// A ring keeping at most `capacity` events. Capacity `0` keeps
+    /// nothing (counting-only telemetry).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            overwritten: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: SimEvent) {
+        if self.capacity == 0 {
+            self.overwritten += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.overwritten += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SimEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events that fell off the front (or were never retained, for a
+    /// zero-capacity ring).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> SimEvent {
+        SimEvent::ContactUp { t, a: 0, b: 1 }
+    }
+
+    #[test]
+    fn keeps_the_tail() {
+        let mut r = EventRing::new(3);
+        for k in 0..5 {
+            r.push(ev(k as f64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 2);
+        let times: Vec<f64> = r.iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]);
+        assert_eq!(r.capacity(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_counts_only() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1.0));
+        r.push(ev(2.0));
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 2);
+    }
+}

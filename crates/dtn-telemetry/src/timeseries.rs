@@ -1,0 +1,150 @@
+//! Per-tick time-series instrumentation.
+//!
+//! The paper reports endpoint metrics only; for debugging and for the
+//! buffer-occupancy ablation it is useful to watch the system evolve:
+//! mean buffer occupancy, live contacts, distinct messages alive and
+//! copies in circulation, sampled every `sample_every` simulated
+//! seconds. Lives here (rather than in the simulator) so the sampling
+//! schedule rides on the [`Recorder`](crate::recorder::Recorder).
+
+use serde::{Deserialize, Serialize};
+
+/// One sampled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Sample time, seconds.
+    pub t: f64,
+    /// Mean buffer fill fraction across nodes, `[0, 1]`.
+    pub mean_occupancy: f64,
+    /// Highest single-node fill fraction.
+    pub max_occupancy: f64,
+    /// Contacts currently up.
+    pub live_contacts: usize,
+    /// Distinct messages with at least one live copy.
+    pub live_messages: usize,
+    /// Total buffered copies across all nodes.
+    pub total_copies: usize,
+}
+
+/// A sampled run history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    sample_every: f64,
+    next_sample: f64,
+    points: Vec<TimePoint>,
+}
+
+impl TimeSeries {
+    /// Samples every `sample_every` simulated seconds.
+    ///
+    /// # Panics
+    /// Panics unless `sample_every` is strictly positive.
+    pub fn new(sample_every: f64) -> Self {
+        assert!(sample_every > 0.0, "sample interval must be positive");
+        TimeSeries {
+            sample_every,
+            next_sample: 0.0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Whether a sample is due at `now_secs` (the world calls this every
+    /// tick).
+    pub fn due(&self, now_secs: f64) -> bool {
+        now_secs >= self.next_sample
+    }
+
+    /// Records a sample and advances the schedule.
+    pub fn record(&mut self, point: TimePoint) {
+        self.points.push(point);
+        self.next_sample = point.t + self.sample_every;
+    }
+
+    /// All samples in time order.
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Peak mean occupancy over the run.
+    pub fn peak_mean_occupancy(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.mean_occupancy)
+            .fold(0.0, f64::max)
+    }
+
+    /// CSV rendering (`t,mean_occupancy,max_occupancy,live_contacts,
+    /// live_messages,total_copies`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t,mean_occupancy,max_occupancy,live_contacts,live_messages,total_copies\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                p.t,
+                p.mean_occupancy,
+                p.max_occupancy,
+                p.live_contacts,
+                p.live_messages,
+                p.total_copies
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(t: f64, occ: f64) -> TimePoint {
+        TimePoint {
+            t,
+            mean_occupancy: occ,
+            max_occupancy: occ,
+            live_contacts: 1,
+            live_messages: 2,
+            total_copies: 3,
+        }
+    }
+
+    #[test]
+    fn sampling_schedule() {
+        let mut ts = TimeSeries::new(10.0);
+        assert!(ts.due(0.0));
+        ts.record(pt(0.0, 0.1));
+        assert!(!ts.due(5.0));
+        assert!(ts.due(10.0));
+        ts.record(pt(10.0, 0.5));
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.peak_mean_occupancy(), 0.5);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.record(pt(0.0, 0.25));
+        let csv = ts.to_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("t,mean_occupancy"));
+        assert_eq!(lines.next(), Some("0,0.25,0.25,1,2,3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = TimeSeries::new(0.0);
+    }
+}

@@ -46,7 +46,10 @@ fn main() {
     cfg.duration_secs = 7200.0;
     cfg.mobility = MobilityConfig::TraceText { body };
 
-    println!("\n{:<16} {:>9} {:>7} {:>9}", "policy", "delivery", "hops", "overhead");
+    println!(
+        "\n{:<16} {:>9} {:>7} {:>9}",
+        "policy", "delivery", "hops", "overhead"
+    );
     for policy in PolicyKind::paper_four() {
         let mut c = cfg.clone();
         c.policy = policy;
@@ -73,7 +76,9 @@ fn main() {
             "\nintermeeting fit: E(I) = {:.0} s, lambda = {:.5}/s, CV = {:.2}, KS = {:.3}",
             fit.mean, fit.lambda, fit.cv, ks
         );
-        println!("(a CV near 1 and a small KS distance support the paper's exponential assumption)");
+        println!(
+            "(a CV near 1 and a small KS distance support the paper's exponential assumption)"
+        );
     } else {
         println!("\nnot enough contacts for an intermeeting fit");
     }

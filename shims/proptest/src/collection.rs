@@ -1,0 +1,31 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `len` and elements
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let n = if self.len.start >= self.len.end {
+            self.len.start
+        } else {
+            runner.rng().gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.new_value(runner)).collect()
+    }
+}

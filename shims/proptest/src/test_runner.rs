@@ -1,0 +1,69 @@
+//! Test-runner state: configuration, per-case RNG, failure type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Property-test configuration. Only `cases` matters to this shim;
+/// the other fields exist so upstream-style struct literals compile.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Source of randomness for strategies; one per case, seeded from the
+/// property name and the case index so runs are fully reproducible.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner for `(property name, case index)`.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64),
+        }
+    }
+
+    /// The case's RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,206 @@
+//! The generic value tree every `Serialize` impl produces and every
+//! `Deserialize` impl consumes. `serde_json` renders this tree to JSON
+//! text and parses text back into it.
+
+use std::fmt;
+
+/// A JSON-shaped value tree.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// maps), so serialised structs keep their declaration field order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered key → value association list.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving the distinction between unsigned,
+/// negative-integer and floating representations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Anything with a fractional part or exponent.
+    F64(f64),
+}
+
+impl Value {
+    /// The string slice, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an integer representable as one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(n)) => Some(*n),
+            Value::Number(Number::I64(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::F64(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer representable as one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n),
+            Value::Number(Number::U64(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F64(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(f)) => Some(*f),
+            Value::Number(Number::U64(n)) => Some(*n as f64),
+            Value::Number(Number::I64(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The association list, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]` — `Null` for missing keys or non-objects,
+    /// mirroring `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// `value[i]` — `Null` when out of bounds or not an array.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialisation/deserialisation failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// New error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a value usable as a map key to its string form. JSON object
+/// keys must be strings; integer-like keys (e.g. `NodeId`) serialise as
+/// their decimal representation, exactly like upstream `serde_json`.
+///
+/// # Panics
+/// Panics on composite keys (arrays/objects), which JSON cannot express.
+pub fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(Number::U64(n)) => n.to_string(),
+        Value::Number(Number::I64(n)) => n.to_string(),
+        Value::Number(Number::F64(f)) => f.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must be a string or number, got {other:?}"),
+    }
+}
+
+/// Reconstructs a map key of type `K` from its string form: tries the
+/// string directly, then numeric reinterpretations.
+pub fn key_from_string<K: crate::Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::String(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::U64(n))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::I64(n))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::F64(f))) {
+            return Ok(k);
+        }
+    }
+    Err(Error::new(format!("cannot interpret map key {s:?}")))
+}

@@ -1,0 +1,514 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! in-tree `serde` shim's value-tree model. The parser walks the raw
+//! `proc_macro` token stream (no `syn`/`quote` — the build environment
+//! has no crates.io access) and supports the shapes this workspace
+//! actually uses: named structs, tuple structs, unit structs, enums with
+//! unit/newtype/tuple/struct variants, lifetime-only generics, and the
+//! `#[serde(default)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum VariantBody {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Raw generic parameter names, e.g. `["'a"]` or `["T"]`.
+    params: Vec<String>,
+    body: Body,
+}
+
+/// Derives the shim `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments, remaining derives, #[serde]).
+    let is_struct = loop {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => break true,
+            TokenTree::Ident(id) if id.to_string() == "enum" => break false,
+            _ => i += 1,
+        }
+    };
+    i += 1;
+
+    let name = toks[i].to_string();
+    i += 1;
+
+    // Generic parameter list (lifetimes and plain type params only).
+    let mut params = Vec::new();
+    if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut seg: Vec<&TokenTree> = Vec::new();
+        loop {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    if depth > 1 {
+                        seg.push(&toks[i]);
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !seg.is_empty() {
+                            params.push(param_name(&seg));
+                        }
+                        i += 1;
+                        break;
+                    }
+                    seg.push(&toks[i]);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !seg.is_empty() {
+                        params.push(param_name(&seg));
+                    }
+                    seg.clear();
+                }
+                t => {
+                    if depth >= 1 {
+                        seg.push(t);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    let body = if is_struct {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_top_level_segments(g.stream()))
+            }
+            _ => Body::Unit,
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum without a body"),
+        }
+    };
+
+    Input { name, params, body }
+}
+
+/// Extracts a generic parameter's name from its token segment:
+/// `'a`, `T`, `T: Bound`, `const N: usize`.
+fn param_name(seg: &[&TokenTree]) -> String {
+    match seg[0] {
+        TokenTree::Punct(p) if p.as_char() == '\'' => format!("'{}", seg[1]),
+        TokenTree::Ident(id) if id.to_string() == "const" => seg[1].to_string(),
+        t => t.to_string(),
+    }
+}
+
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut has_default = false;
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                has_default |= attr_is_serde_default(g);
+            }
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = toks[i].to_string();
+        i += 2; // name, ':'
+
+        // Skip the type: everything up to the next comma outside angle
+        // brackets (parens/brackets/braces arrive as single group tokens).
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push(Field { name, has_default });
+    }
+    out
+}
+
+/// Counts comma-separated segments at the top level of a token stream
+/// (i.e. tuple-struct / tuple-variant arity).
+fn count_top_level_segments(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut seen_any = false;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                segments += 1;
+                seen_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_any = true;
+    }
+    if seen_any {
+        segments += 1;
+    }
+    segments
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks[i].to_string();
+        i += 1;
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_top_level_segments(g.stream()) {
+                    1 => VariantBody::Newtype,
+                    n => VariantBody::Tuple(n),
+                }
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(Variant { name, body });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `(impl_generics, ty_generics)` strings, with `bound` added to every
+/// plain type parameter on the impl side.
+fn generics(input: &Input, bound: &str) -> (String, String) {
+    if input.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = input
+        .params
+        .iter()
+        .map(|p| {
+            if p.starts_with('\'') {
+                p.clone()
+            } else {
+                format!("{p}: {bound}")
+            }
+        })
+        .collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", input.params.join(", ")),
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (ig, tg) = generics(input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Unit => "::serde::value::Value::Null".to_string(),
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Body::Named(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(vec![{}])", pushes.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        VariantBody::Newtype => format!(
+                            "{name}::{vn}(__f0) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Object(vec![{}]))]),",
+                                binds.join(", "),
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl {ig} ::serde::Serialize for {name} {tg} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn field_extraction(ty_name: &str, fields: &[Field], obj: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::__private::missing_field(\"{ty_name}\", \"{}\")?", f.name)
+            };
+            format!(
+                "{0}: match {obj}.iter().find(|__kv| __kv.0 == \"{0}\") {{\n\
+                     ::std::option::Option::Some(__kv) => ::serde::Deserialize::from_value(&__kv.1)?,\n\
+                     ::std::option::Option::None => {fallback},\n\
+                 }},",
+                f.name
+            )
+        })
+        .collect();
+    inits.join("\n")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (ig, tg) = generics(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::value::Error::new(\"expected array for `{name}`\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::value::Error::new(\"wrong arity for `{name}`\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let inits = field_extraction(name, fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::value::Error::new(\"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ),
+                        VariantBody::Newtype => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__arr[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __arr = __payload.as_array().ok_or_else(|| ::serde::value::Error::new(\"expected array for `{name}::{vn}`\"))?;\n\
+                                     if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::value::Error::new(\"wrong arity for `{name}::{vn}`\")); }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let inits = field_extraction(&format!("{name}::{vn}"), fields, "__vobj");
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __vobj = __payload.as_object().ok_or_else(|| ::serde::value::Error::new(\"expected object for `{name}::{vn}`\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{\n{inits}\n}})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::value::Error::new(format!(\"unknown `{name}` variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::value::Error::new(format!(\"unknown `{name}` variant {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::value::Error::new(format!(\"expected `{name}` variant, got {{__other:?}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl {ig} ::serde::Deserialize for {name} {tg} {{\n\
+             fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::value::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -10,15 +10,23 @@
 //!
 //! # sample a buffer-occupancy time series alongside
 //! dtn-scenario --preset smoke --timeseries occupancy.csv
+//!
+//! # export a structured event log (JSONL) plus a run manifest
+//! dtn-scenario --preset smoke --telemetry events.jsonl
 //! ```
 //!
 //! Flags: `--preset rwp|epfl|smoke`, `--config FILE`, `--policy NAME`,
 //! `--routing NAME`, `--seed N`, `--duration SECS`, `--copies L`,
 //! `--buffer-mb X`, `--immunity none|oracle|gossip`, `--json`,
-//! `--emit-config`, `--timeseries FILE`.
+//! `--emit-config`, `--timeseries FILE`, `--telemetry FILE`.
+//!
+//! `--telemetry FILE` streams every simulation event as one JSON object
+//! per line to `FILE` and writes a run manifest (config hash, seed,
+//! event totals, metrics) to `FILE.manifest.json`.
 
 use sdsrp::sim::config::{presets, ImmunityMode, PolicyKind, RoutingKind, ScenarioConfig};
 use sdsrp::sim::world::World;
+use sdsrp::telemetry::{hash_config_json, JsonlSink, Recorder, RunManifest};
 use std::process::exit;
 
 fn usage() -> ! {
@@ -28,7 +36,7 @@ fn usage() -> ! {
          \t[--routing saw|saw-source|epidemic|direct|focus|prophet]\n\
          \t[--seed N] [--duration SECS] [--copies L] [--buffer-mb X]\n\
          \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
-         \t[--timeseries FILE]"
+         \t[--timeseries FILE] [--telemetry FILE]"
     );
     exit(2);
 }
@@ -74,6 +82,7 @@ fn main() {
     let mut json_out = false;
     let mut emit_config = false;
     let mut timeseries_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     type Override = Box<dyn Fn(&mut ScenarioConfig)>;
     let mut overrides: Vec<Override> = Vec::new();
 
@@ -152,6 +161,7 @@ fn main() {
             "--json" => json_out = true,
             "--emit-config" => emit_config = true,
             "--timeseries" => timeseries_path = Some(next(&args, &mut i)),
+            "--telemetry" => telemetry_path = Some(next(&args, &mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -175,13 +185,20 @@ fn main() {
     }
 
     let mut world = World::build(&cfg);
-    let (report, timeseries) = if timeseries_path.is_some() {
+    if let Some(path) = &telemetry_path {
+        let sink = JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(1);
+        });
+        world.attach_recorder(Recorder::enabled(4096).with_sink(Box::new(sink)));
+    }
+    if timeseries_path.is_some() {
         world.enable_timeseries(cfg.tick_secs.max(1.0) * 10.0);
-        let (r, ts) = world.run_with_timeseries();
-        (r, Some(ts))
-    } else {
-        (world.run(), None)
-    };
+    }
+    let run_started = std::time::Instant::now();
+    let (report, mut recorder) = world.run_with_recorder();
+    let wall_clock_secs = run_started.elapsed().as_secs_f64();
+    let timeseries = recorder.take_timeseries();
 
     if let (Some(path), Some(ts)) = (&timeseries_path, &timeseries) {
         std::fs::write(path, ts.to_csv()).unwrap_or_else(|e| {
@@ -189,6 +206,36 @@ fn main() {
             exit(1);
         });
         eprintln!("time series written to {path}");
+    }
+
+    if let Some(path) = &telemetry_path {
+        if let Some(err) = recorder.sink_error() {
+            eprintln!("telemetry export to {path} failed: {err}");
+            exit(1);
+        }
+        let config_json = serde_json::to_string(&cfg).expect("config serialises");
+        let manifest = RunManifest {
+            scenario: cfg.name.clone(),
+            config_hash: hash_config_json(&config_json),
+            seed: cfg.seed,
+            policy: cfg.policy.label().to_string(),
+            routing: format!("{:?}", cfg.routing),
+            sim_duration_secs: cfg.duration_secs,
+            wall_clock_secs,
+            created: report.created(),
+            delivered: report.delivered(),
+            dropped: report.buffer_drops() + report.incoming_rejects(),
+            events: recorder.totals().clone(),
+            events_recorded: recorder.totals().total(),
+            ring_overwritten: recorder.ring().overwritten(),
+            metrics: recorder.metrics().snapshot(),
+        };
+        let manifest_path = format!("{path}.manifest.json");
+        std::fs::write(&manifest_path, manifest.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {manifest_path}: {e}");
+            exit(1);
+        });
+        eprintln!("telemetry written to {path} (manifest: {manifest_path})");
     }
 
     if json_out {
@@ -223,7 +270,10 @@ fn main() {
             expirations: report.expirations(),
             immunity_purges: report.immunity_purges(),
         };
-        println!("{}", serde_json::to_string_pretty(&out).expect("serialises"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serialises")
+        );
     } else {
         println!("scenario        : {}", cfg.name);
         println!("policy          : {}", cfg.policy.label());

@@ -18,6 +18,8 @@
 //! * [`sim`] — scenario assembly, metrics, sweeps ([`dtn_sim`]).
 //! * [`analysis`] — distribution fitting and table output
 //!   ([`dtn_analysis`]).
+//! * [`telemetry`] — metrics registry, structured event log and run
+//!   manifests ([`dtn_telemetry`]).
 //!
 //! ## Quick start
 //!
@@ -41,6 +43,7 @@ pub use dtn_mobility as mobility;
 pub use dtn_net as net;
 pub use dtn_routing as routing;
 pub use dtn_sim as sim;
+pub use dtn_telemetry as telemetry;
 pub use sdsrp_core as sdsrp;
 
 /// Version of the reproduction workspace.

@@ -32,7 +32,11 @@ fn emit_config_roundtrips_through_a_run() {
         ])
         .output()
         .expect("run dtn-scenario from config");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report = String::from_utf8(out.stdout).unwrap();
     assert!(report.contains("\"delivery_ratio\""));
     assert!(report.contains("\"created\""));
@@ -43,14 +47,20 @@ fn json_output_is_parseable_and_deterministic() {
     let run = || {
         let out = bin()
             .args([
-                "--preset", "smoke", "--policy", "sdsrp", "--seed", "4",
-                "--duration", "600", "--json",
+                "--preset",
+                "smoke",
+                "--policy",
+                "sdsrp",
+                "--seed",
+                "4",
+                "--duration",
+                "600",
+                "--json",
             ])
             .output()
             .expect("run dtn-scenario");
         assert!(out.status.success());
-        let v: serde_json::Value =
-            serde_json::from_slice(&out.stdout).expect("valid JSON report");
+        let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
         (
             v["created"].as_u64().unwrap(),
             v["delivered"].as_u64().unwrap(),
@@ -72,6 +82,69 @@ fn unknown_arguments_fail_with_usage() {
 }
 
 #[test]
+fn telemetry_flag_writes_jsonl_and_matching_manifest() {
+    let dir = std::env::temp_dir().join("sdsrp_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    let manifest_path = dir.join("events.jsonl.manifest.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&manifest_path);
+
+    let out = bin()
+        .args([
+            "--preset",
+            "smoke",
+            "--seed",
+            "7",
+            "--duration",
+            "900",
+            "--telemetry",
+            path.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("run dtn-scenario");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
+
+    // Every line of the event log is a JSON object with a kind tag.
+    let jsonl = std::fs::read_to_string(&path).expect("telemetry file written");
+    let mut delivered_lines = 0u64;
+    let mut line_count = 0u64;
+    for line in jsonl.lines() {
+        line_count += 1;
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL line");
+        if v["kind"].as_str() == Some("delivered") && v["first"].as_bool() == Some(true) {
+            delivered_lines += 1;
+        }
+    }
+    assert!(line_count > 0, "telemetry log is empty");
+
+    // The manifest totals must exactly match the run's report.
+    let manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).expect("manifest written"))
+            .expect("valid manifest JSON");
+    assert_eq!(manifest["delivered"], report["delivered"]);
+    assert_eq!(manifest["created"], report["created"]);
+    assert_eq!(
+        manifest["dropped"].as_u64().unwrap(),
+        report["buffer_drops"].as_u64().unwrap() + report["incoming_rejects"].as_u64().unwrap()
+    );
+    assert_eq!(
+        manifest["events"]["delivered_first"].as_u64(),
+        report["delivered"].as_u64()
+    );
+    // The sink saw every event the recorder counted, so the first-
+    // delivery lines in the log equal the report's delivered total.
+    assert_eq!(delivered_lines, report["delivered"].as_u64().unwrap());
+    assert!(manifest["config_hash"].as_str().unwrap().len() == 16);
+}
+
+#[test]
 fn timeseries_flag_writes_csv() {
     let dir = std::env::temp_dir().join("sdsrp_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
@@ -79,8 +152,12 @@ fn timeseries_flag_writes_csv() {
     let _ = std::fs::remove_file(&path);
     let out = bin()
         .args([
-            "--preset", "smoke", "--duration", "600",
-            "--timeseries", path.to_str().unwrap(),
+            "--preset",
+            "smoke",
+            "--duration",
+            "600",
+            "--timeseries",
+            path.to_str().unwrap(),
         ])
         .output()
         .expect("run dtn-scenario");

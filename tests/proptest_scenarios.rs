@@ -49,43 +49,45 @@ fn routing_strategy() -> impl Strategy<Value = RoutingKind> {
 
 fn scenario_strategy() -> impl Strategy<Value = ScenarioConfig> {
     (
-        4usize..16,          // nodes
-        300.0f64..900.0,     // duration
+        4usize..16,      // nodes
+        300.0f64..900.0, // duration
         policy_strategy(),
         routing_strategy(),
-        1u32..24,            // initial copies
-        1u64..1000,          // seed
-        1.0f64..4.0,         // buffer MB
-        4.0f64..40.0,        // gen interval lo
+        1u32..24,     // initial copies
+        1u64..1000,   // seed
+        1.0f64..4.0,  // buffer MB
+        4.0f64..40.0, // gen interval lo
         immunity_strategy(),
     )
         .prop_map(
-            |(n, duration, policy, routing, copies, seed, buffer_mb, gen_lo, immunity)| ScenarioConfig {
-                name: "prop".into(),
-                n_nodes: n,
-                duration_secs: duration,
-                tick_secs: 1.0,
-                mobility: MobilityConfig::RandomWaypoint(RandomWaypointConfig {
-                    area: Rect::from_size(800.0, 600.0),
-                    min_speed: 1.0,
-                    max_speed: 3.0,
-                    min_pause: 0.0,
-                    max_pause: 10.0,
-                }),
-                link: LinkConfig::paper(),
-                buffer_capacity: Bytes::from_mb(buffer_mb),
-                message_size: Bytes::from_mb(0.5),
-                gen_interval: (gen_lo, gen_lo + 5.0),
-                ttl: SimDuration::from_mins(30.0),
-                initial_copies: copies,
-                policy,
-                routing,
-                seed,
-                oracle: false,
-                immunity,
-                message_size_max: Some(Bytes::from_mb(0.8)),
-                traffic: Default::default(),
-                warmup_secs: 0.0,
+            |(n, duration, policy, routing, copies, seed, buffer_mb, gen_lo, immunity)| {
+                ScenarioConfig {
+                    name: "prop".into(),
+                    n_nodes: n,
+                    duration_secs: duration,
+                    tick_secs: 1.0,
+                    mobility: MobilityConfig::RandomWaypoint(RandomWaypointConfig {
+                        area: Rect::from_size(800.0, 600.0),
+                        min_speed: 1.0,
+                        max_speed: 3.0,
+                        min_pause: 0.0,
+                        max_pause: 10.0,
+                    }),
+                    link: LinkConfig::paper(),
+                    buffer_capacity: Bytes::from_mb(buffer_mb),
+                    message_size: Bytes::from_mb(0.5),
+                    gen_interval: (gen_lo, gen_lo + 5.0),
+                    ttl: SimDuration::from_mins(30.0),
+                    initial_copies: copies,
+                    policy,
+                    routing,
+                    seed,
+                    oracle: false,
+                    immunity,
+                    message_size_max: Some(Bytes::from_mb(0.8)),
+                    traffic: Default::default(),
+                    warmup_secs: 0.0,
+                }
             },
         )
 }

@@ -113,7 +113,9 @@ fn taylor_truncation_ranks_differently_near_the_peak() {
 fn lambda_oracle_vs_online_differ_but_comparable() {
     let online = fingerprint(&congested(sdsrp_variant(true, true, None), 3));
     let oracle = fingerprint(&congested(
-        PolicyKind::SdsrpOracle { lambda: 1.0 / 2000.0 },
+        PolicyKind::SdsrpOracle {
+            lambda: 1.0 / 2000.0,
+        },
         3,
     ));
     assert_eq!(online.0, oracle.0);
@@ -167,7 +169,12 @@ fn oracle_mode_bookkeeping_is_consistent() {
     // Oracle mode maintains m_i/n_i inside the world; a full run must
     // not trip any of its internal assertions and should deliver
     // comparably to the estimated variant.
-    let mut cfg = congested(PolicyKind::SdsrpOracle { lambda: 1.0 / 2000.0 }, 7);
+    let mut cfg = congested(
+        PolicyKind::SdsrpOracle {
+            lambda: 1.0 / 2000.0,
+        },
+        7,
+    );
     cfg.oracle = true;
     let r = World::build(&cfg).run();
     assert!(r.created() > 0);
