@@ -21,20 +21,30 @@
 //! cargo run -p dtn-bench --release --bin ablations [-- --quick] [--seeds N]
 //! ```
 
-use dtn_bench::{apply_quick, Cli};
+use dtn_bench::{apply_quick, run_checked, Cli};
 use dtn_core::stats::OnlineStats;
 use dtn_sim::config::{presets, PolicyKind, RoutingKind, ScenarioConfig};
 use dtn_sim::world::World;
 use sdsrp_core::LambdaMode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by `--validate`: the first seed of every variant runs with
+/// invariant checking + the estimator oracle (aborting on violations),
+/// the remaining seeds run plain.
+static VALIDATE: AtomicBool = AtomicBool::new(false);
 
 fn run_avg(cfg: &ScenarioConfig, seeds: &[u64]) -> (f64, f64, f64) {
     let mut d = OnlineStats::new();
     let mut h = OnlineStats::new();
     let mut o = OnlineStats::new();
-    for &seed in seeds {
+    for (k, &seed) in seeds.iter().enumerate() {
         let mut c = cfg.clone();
         c.seed = seed;
-        let r = World::build(&c).run();
+        let r = if k == 0 && VALIDATE.load(Ordering::Relaxed) {
+            run_checked(&c)
+        } else {
+            World::build(&c).run()
+        };
         d.push(r.delivery_ratio());
         h.push(r.avg_hopcount());
         o.push(r.overhead_ratio());
@@ -59,6 +69,7 @@ fn header(title: &str) {
 
 fn main() {
     let cli = Cli::parse();
+    VALIDATE.store(cli.validate, Ordering::Relaxed);
     let mut base = presets::random_waypoint_paper();
     apply_quick(&mut base, cli.quick);
     let seeds = &cli.seeds;

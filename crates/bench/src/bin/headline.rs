@@ -4,11 +4,18 @@
 //!
 //! `--telemetry BASE` additionally writes one JSONL event log plus run
 //! manifest per policy (`BASE-<policy>.jsonl[.manifest.json]`).
+//! `--validate` runs every policy with invariant checking and the
+//! estimator oracle: the per-policy line gains mean/max relative errors
+//! of the Eq. 14/15 estimates, the manifest gains the estimator
+//! metrics, and any invariant violation aborts the process non-zero.
 
-use dtn_telemetry::{hash_config_json, JsonlSink, Recorder, RunManifest};
+use dtn_sim::replay::manifest_for_run;
+use dtn_telemetry::{JsonlSink, Recorder};
+use dtn_validate::ValidateConfig;
 
 fn main() {
     let mut telemetry_base: Option<String> = None;
+    let mut validate = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -17,11 +24,13 @@ fn main() {
                 i += 1;
                 telemetry_base = Some(args.get(i).expect("--telemetry needs a path").clone());
             }
+            "--validate" => validate = true,
             other => eprintln!("warning: ignoring unknown argument {other:?}"),
         }
         i += 1;
     }
 
+    let mut violations = 0u64;
     for policy in dtn_sim::config::PolicyKind::paper_four() {
         let mut cfg = dtn_sim::config::presets::random_waypoint_paper();
         cfg.policy = policy;
@@ -34,9 +43,18 @@ fn main() {
                 JsonlSink::create(std::path::Path::new(path)).expect("create telemetry file");
             world.attach_recorder(Recorder::enabled(1024).with_sink(Box::new(sink)));
         }
+        if validate {
+            world.enable_validation(ValidateConfig::default());
+        }
         let started = std::time::Instant::now();
-        let (r, recorder) = world.run_with_recorder();
-        println!(
+        let (r, validation, recorder) = if validate {
+            let (r, v, rec) = world.run_validated();
+            (r, Some(v), rec)
+        } else {
+            let (r, rec) = world.run_with_recorder();
+            (r, None, rec)
+        };
+        print!(
             "{:<16} ratio {:.3} overhead {:6.2} hops {:.2} drops {} rejects {}",
             policy.label(),
             r.delivery_ratio(),
@@ -45,32 +63,36 @@ fn main() {
             r.buffer_drops(),
             r.incoming_rejects()
         );
+        if let Some(v) = &validation {
+            print!(
+                "  est-err m {:.3}/{:.3} n {:.3}/{:.3}",
+                v.estimator_m.mean(),
+                v.estimator_m.max,
+                v.estimator_n.mean(),
+                v.estimator_n.max
+            );
+            if !v.ok() {
+                violations += v.violation_count;
+                eprintln!("\n{}", v.summary());
+                for viol in &v.violations {
+                    eprintln!("  {viol}");
+                }
+            }
+        }
+        println!();
         if let Some(path) = &jsonl_path {
             if let Some(err) = recorder.sink_error() {
                 eprintln!("telemetry export to {path} failed: {err}");
                 std::process::exit(1);
             }
-            let manifest = RunManifest {
-                scenario: cfg.name.clone(),
-                config_hash: hash_config_json(
-                    &serde_json::to_string(&cfg).expect("config serialises"),
-                ),
-                seed: cfg.seed,
-                policy: cfg.policy.label().to_string(),
-                routing: format!("{:?}", cfg.routing),
-                sim_duration_secs: cfg.duration_secs,
-                wall_clock_secs: started.elapsed().as_secs_f64(),
-                created: r.created(),
-                delivered: r.delivered(),
-                dropped: r.buffer_drops() + r.incoming_rejects(),
-                events: recorder.totals().clone(),
-                events_recorded: recorder.totals().total(),
-                ring_overwritten: recorder.ring().overwritten(),
-                metrics: recorder.metrics().snapshot(),
-            };
+            let manifest = manifest_for_run(&cfg, &r, &recorder, started.elapsed().as_secs_f64());
             let manifest_path = format!("{path}.manifest.json");
             std::fs::write(&manifest_path, manifest.to_json()).expect("write manifest");
             eprintln!("telemetry: {path} (manifest: {manifest_path})");
         }
+    }
+    if violations > 0 {
+        eprintln!("{violations} invariant violations — failing");
+        std::process::exit(1);
     }
 }

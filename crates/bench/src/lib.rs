@@ -37,6 +37,9 @@ pub struct Cli {
     pub sweep: Option<String>,
     /// Also print the supplementary delivery-latency panel.
     pub latency: bool,
+    /// Run invariant checking + the estimator oracle on (a subset of)
+    /// the runs; abort non-zero on any violation.
+    pub validate: bool,
 }
 
 impl Cli {
@@ -48,6 +51,7 @@ impl Cli {
             out: None,
             sweep: None,
             latency: false,
+            validate: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -55,6 +59,7 @@ impl Cli {
             match args[i].as_str() {
                 "--quick" => cli.quick = true,
                 "--latency" => cli.latency = true,
+                "--validate" => cli.validate = true,
                 "--seeds" => {
                     i += 1;
                     let n: u64 = args
@@ -83,6 +88,29 @@ impl Cli {
     pub fn wants(&self, name: &str) -> bool {
         self.sweep.as_deref().is_none_or(|s| s == name)
     }
+}
+
+/// Runs one scenario with invariant checking and the estimator oracle
+/// enabled, printing the validation summary to stderr. Exits non-zero
+/// on any violation, so `--validate` runs cannot silently pass on a
+/// broken simulator.
+pub fn run_checked(cfg: &ScenarioConfig) -> dtn_sim::Report {
+    let mut world = dtn_sim::world::World::build(cfg);
+    world.enable_validation(dtn_validate::ValidateConfig::default());
+    let (report, validation, _rec) = world.run_validated();
+    eprintln!(
+        "[validate] {} seed {}: {}",
+        cfg.name,
+        cfg.seed,
+        validation.summary()
+    );
+    if !validation.ok() {
+        for v in &validation.violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    report
 }
 
 /// One of the paper's three sweep groups, at full or `--quick` scale.

@@ -14,6 +14,8 @@
 //! * [`world`] — the event-driven simulation itself.
 //! * [`sweep`] — parallel parameter sweeps (policies x axis x seeds)
 //!   used by every Fig. 8 / Fig. 9 series.
+//! * [`replay`] — deterministic replay from a run manifest, plus
+//!   differential harnesses (thread counts, policy matrix).
 //! * [`output`] — CSV and markdown emitters for the figure harnesses.
 //!
 //! ## Model fidelity notes (vs. the ONE simulator)
@@ -35,6 +37,7 @@ pub mod config;
 pub mod message;
 pub mod node;
 pub mod output;
+pub mod replay;
 pub mod report;
 pub mod sweep;
 pub mod timeseries;

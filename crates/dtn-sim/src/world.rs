@@ -22,7 +22,7 @@
 //! both directions: deliverable messages first (ONE's rule), then the
 //! sender's buffer-policy scheduling priority (paper Algorithm 1 line 7).
 
-use crate::config::{ImmunityMode, ScenarioConfig};
+use crate::config::{ImmunityMode, RoutingKind, ScenarioConfig};
 use crate::message::{BufferedCopy, Message};
 use crate::node::{make_view, two_nodes, Node};
 use crate::report::Report;
@@ -37,6 +37,7 @@ use dtn_net::contact::{ContactEvent, ContactTracker};
 use dtn_net::trace::ContactTrace;
 use dtn_routing::protocol::{RoutingCtx, TransferKind};
 use dtn_telemetry::{DropReason, Recorder, SimEvent};
+use dtn_validate::{SweepOutcome, ValidateConfig, ValidationReport, Validator};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
@@ -61,6 +62,11 @@ struct InFlight {
     to: NodeId,
     msg: MessageId,
     kind: TransferKind,
+    /// The sender's copy-token count when the transfer was scheduled.
+    /// A `Replicate` split is derived from this count; if another link
+    /// completes a split of the same message first, applying this one
+    /// would counterfeit tokens, so it aborts instead.
+    copies_at_start: u32,
 }
 
 /// Per-live-contact link state.
@@ -95,6 +101,18 @@ struct WorldMetrics {
     live_contacts: dtn_telemetry::GaugeId,
 }
 
+/// Metric handles registered when both a recorder and the validator
+/// are attached.
+struct ValidateMetrics {
+    invariant_violations: dtn_telemetry::CounterId,
+    estimator_m_rel_err: dtn_telemetry::HistogramId,
+    estimator_n_rel_err: dtn_telemetry::HistogramId,
+    estimator_m_mean_rel_err: dtn_telemetry::GaugeId,
+    estimator_m_max_rel_err: dtn_telemetry::GaugeId,
+    estimator_n_mean_rel_err: dtn_telemetry::GaugeId,
+    estimator_n_max_rel_err: dtn_telemetry::GaugeId,
+}
+
 /// A transfer candidate considered for an idle link.
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
@@ -127,6 +145,10 @@ pub struct World {
     contact_trace: Option<ContactTrace>,
     recorder: Recorder,
     metrics: Option<WorldMetrics>,
+    /// Invariant checker + estimator oracle; `None` (the default) costs
+    /// one branch per hook site.
+    validator: Option<Box<Validator>>,
+    validate_metrics: Option<ValidateMetrics>,
     /// `(receiver, message)` pairs whose refusal was already reported —
     /// a refused candidate is re-examined on every scheduling pass.
     refused_seen: HashSet<(NodeId, MessageId)>,
@@ -188,6 +210,8 @@ impl World {
             contact_trace: None,
             recorder: Recorder::disabled(),
             metrics: None,
+            validator: None,
+            validate_metrics: None,
             refused_seen: HashSet::new(),
             scratch_events: Vec::new(),
         }
@@ -218,6 +242,74 @@ impl World {
         } else {
             None
         };
+        self.refresh_validate_metrics();
+    }
+
+    /// Enables invariant checking and the estimator oracle for this
+    /// run. Must be called before the first message is generated.
+    ///
+    /// Every simulator state transition is mirrored into a ground-truth
+    /// ledger and every tick ends with a full-state sweep that
+    /// cross-checks it (copy-token conservation, holder counts, buffer
+    /// accounting, delivery/TTL hygiene, dropped-list gossip). When a
+    /// recorder is attached, violations and estimator-error samples are
+    /// also emitted as [`SimEvent`]s and metrics. Token conservation is
+    /// asserted only for routing protocols that conserve spray tokens
+    /// (the Spray-and-Wait family and direct delivery); epidemic and
+    /// PRoPHET mint a copy per replication by design.
+    pub fn enable_validation(&mut self, cfg: ValidateConfig) {
+        assert!(
+            self.catalog.is_empty(),
+            "enable_validation must be called before any message is generated"
+        );
+        let conserve = matches!(
+            self.cfg.routing,
+            RoutingKind::SprayAndWaitBinary
+                | RoutingKind::SprayAndWaitSource
+                | RoutingKind::SprayAndFocus { .. }
+                | RoutingKind::Direct
+        );
+        self.validator = Some(Box::new(Validator::new(cfg, self.cfg.n_nodes, conserve)));
+        self.refresh_validate_metrics();
+    }
+
+    /// Whether [`enable_validation`](Self::enable_validation) was
+    /// called.
+    pub fn validation_enabled(&self) -> bool {
+        self.validator.is_some()
+    }
+
+    /// Mutable access to the validator — fault injection for harness
+    /// self-tests and mid-run report inspection.
+    pub fn validator_mut(&mut self) -> Option<&mut Validator> {
+        self.validator.as_deref_mut()
+    }
+
+    /// Runs a final validation sweep and takes the accumulated report.
+    /// For worlds driven via [`step_until`](Self::step_until); the
+    /// consuming run methods finalize automatically.
+    pub fn take_validation_report(&mut self) -> Option<ValidationReport> {
+        self.finalize_validation();
+        self.validator.as_mut().map(|v| v.take_report())
+    }
+
+    fn refresh_validate_metrics(&mut self) {
+        self.validate_metrics = if self.validator.is_some() && self.recorder.is_enabled() {
+            let m = self.recorder.metrics_mut();
+            Some(ValidateMetrics {
+                invariant_violations: m.counter("invariant_violations"),
+                estimator_m_rel_err: m
+                    .histogram("estimator_m_rel_err", &[0.1, 0.25, 0.5, 1.0, 2.0, 5.0]),
+                estimator_n_rel_err: m
+                    .histogram("estimator_n_rel_err", &[0.1, 0.25, 0.5, 1.0, 2.0, 5.0]),
+                estimator_m_mean_rel_err: m.gauge("estimator_m_mean_rel_err"),
+                estimator_m_max_rel_err: m.gauge("estimator_m_max_rel_err"),
+                estimator_n_mean_rel_err: m.gauge("estimator_n_mean_rel_err"),
+                estimator_n_max_rel_err: m.gauge("estimator_n_max_rel_err"),
+            })
+        } else {
+            None
+        };
     }
 
     /// Read access to the attached recorder (totals, ring, metrics).
@@ -234,8 +326,31 @@ impl World {
             self.now = t;
             self.handle(ev);
         }
+        self.finalize_validation();
         self.recorder.flush();
         (self.report, self.recorder)
+    }
+
+    /// Runs to completion with validation enabled (enabling it with
+    /// defaults if needed), returning the report, the validation
+    /// report, and the recorder.
+    pub fn run_validated(mut self) -> (Report, ValidationReport, Recorder) {
+        if self.validator.is_none() {
+            self.enable_validation(ValidateConfig::default());
+        }
+        let end = SimTime::from_secs(self.cfg.duration_secs);
+        while let Some((t, ev)) = self.queue.pop_until(end) {
+            self.now = t;
+            self.handle(ev);
+        }
+        self.finalize_validation();
+        self.recorder.flush();
+        let validation = self
+            .validator
+            .as_mut()
+            .expect("enabled above")
+            .take_report();
+        (self.report, validation, self.recorder)
     }
 
     /// Samples occupancy/contact/message time series every
@@ -256,6 +371,7 @@ impl World {
             self.now = t;
             self.handle(ev);
         }
+        self.finalize_validation();
         self.recorder.flush();
         let ts = self.recorder.take_timeseries().expect("enabled above");
         (self.report, ts)
@@ -305,6 +421,7 @@ impl World {
             self.now = t;
             self.handle(ev);
         }
+        self.finalize_validation();
         // Close open contacts so the contact trace is complete.
         if self.contact_trace.is_some() {
             let mut events = Vec::new();
@@ -330,6 +447,7 @@ impl World {
             self.now = t;
             self.handle(ev);
         }
+        self.finalize_validation();
         let mut events = Vec::new();
         self.tracker.close_all(end, &mut events);
         let mut trace = self.contact_trace.take().expect("enabled above");
@@ -401,6 +519,8 @@ impl World {
             self.try_start_transfer(pair);
         }
 
+        self.run_validation_sweep();
+
         let next = self.now + SimDuration::from_secs(self.cfg.tick_secs);
         if next.as_secs() <= self.cfg.duration_secs {
             self.queue.push(next, WorldEvent::Tick);
@@ -424,6 +544,14 @@ impl World {
         // merged state.
         let ga = a.policy.export_gossip(now);
         let gb = b.policy.export_gossip(now);
+        if let Some(v) = self.validator.as_mut() {
+            if let Some(bytes) = ga.as_deref() {
+                v.on_gossip_export(now, a.id, bytes);
+            }
+            if let Some(bytes) = gb.as_deref() {
+                v.on_gossip_export(now, b.id, bytes);
+            }
+        }
         if let Some(bytes) = gb {
             let adopted = a.policy.import_gossip(now, &bytes);
             if adopted > 0 {
@@ -496,7 +624,7 @@ impl World {
                 .collect();
             for id in expired {
                 let size = self.catalog[id.index()].size;
-                node.remove_copy(id, size);
+                let removed = node.remove_copy(id, size);
                 self.report.on_expired();
                 let holder = node.id.0;
                 self.recorder.record(|| SimEvent::TtlExpired {
@@ -506,6 +634,9 @@ impl World {
                 });
                 if let Some(o) = self.oracle.as_mut() {
                     o.holders[id.index()] = o.holders[id.index()].saturating_sub(1);
+                }
+                if let Some(v) = self.validator.as_mut() {
+                    v.on_expired(id, removed.copies);
                 }
             }
         }
@@ -564,6 +695,14 @@ impl World {
         if let Some(o) = self.oracle.as_mut() {
             o.seen.push(HashSet::new());
             o.holders.push(0);
+        }
+        if let Some(v) = self.validator.as_mut() {
+            v.on_generated(
+                msg.id,
+                source,
+                msg.initial_copies,
+                msg.expires_at().as_secs(),
+            );
         }
 
         // Source-side admission. ONE's `makeRoomForNewMessage` always
@@ -634,7 +773,7 @@ impl World {
         }
         for (victim, size) in victims {
             let node = &mut self.nodes[node_id.index()];
-            node.remove_copy(victim, size);
+            let removed = node.remove_copy(victim, size);
             node.policy.on_drop(now, victim);
             let policy = node.policy.name();
             self.report.on_buffer_drop();
@@ -648,10 +787,16 @@ impl World {
             if let Some(o) = self.oracle.as_mut() {
                 o.holders[victim.index()] = o.holders[victim.index()].saturating_sub(1);
             }
+            if let Some(v) = self.validator.as_mut() {
+                v.on_evicted(victim, node_id, removed.copies);
+            }
         }
         self.nodes[node_id.index()].insert_copy(copy, msg.size);
         if let Some(o) = self.oracle.as_mut() {
             o.holders[msg_id.index()] += 1;
+        }
+        if let Some(v) = self.validator.as_mut() {
+            v.on_inserted(msg_id, node_id);
         }
     }
 
@@ -661,6 +806,7 @@ impl World {
         let now = self.now;
         let msg = self.catalog[msg_id.index()];
         let oracle_info = self.oracle.as_ref().map(|o| o.of(msg_id));
+        let incoming_tokens = copy.copies;
 
         let node = &mut self.nodes[node_id.index()];
         let free = node.free();
@@ -700,12 +846,15 @@ impl World {
                     policy,
                     reason: DropReason::RejectedIncoming,
                 });
+                if let Some(v) = self.validator.as_mut() {
+                    v.on_rejected_incoming(msg_id, node_id, incoming_tokens);
+                }
                 false
             }
             AdmissionPlan::Admit { evict } => {
                 for victim in evict {
                     let size = self.catalog[victim.index()].size;
-                    node.remove_copy(victim, size);
+                    let removed = node.remove_copy(victim, size);
                     node.policy.on_drop(now, victim);
                     let policy = node.policy.name();
                     self.report.on_buffer_drop();
@@ -719,6 +868,9 @@ impl World {
                     if let Some(o) = self.oracle.as_mut() {
                         o.holders[victim.index()] = o.holders[victim.index()].saturating_sub(1);
                     }
+                    if let Some(v) = self.validator.as_mut() {
+                        v.on_evicted(victim, node_id, removed.copies);
+                    }
                 }
                 self.nodes[node_id.index()].insert_copy(copy, msg.size);
                 if let Some(o) = self.oracle.as_mut() {
@@ -726,6 +878,9 @@ impl World {
                     if node_id != msg.source {
                         o.seen[msg_id.index()].insert(node_id);
                     }
+                }
+                if let Some(v) = self.validator.as_mut() {
+                    v.on_inserted(msg_id, node_id);
                 }
                 true
             }
@@ -751,6 +906,11 @@ impl World {
         self.next_transfer_seq += 1;
         let size = self.catalog[best.msg.index()].size;
         let duration = self.cfg.link.transfer_time(size);
+        let copies_at_start = self.nodes[best.from.index()]
+            .buffer
+            .get(&best.msg)
+            .expect("candidate came from this buffer")
+            .copies;
         self.links
             .get_mut(&pair)
             .expect("link checked above")
@@ -760,6 +920,7 @@ impl World {
             to: best.to,
             msg: best.msg,
             kind: best.kind,
+            copies_at_start,
         });
         self.queue.push(
             self.now + duration,
@@ -884,6 +1045,9 @@ impl World {
                 }
                 let receiver = &mut self.nodes[f.to.index()];
                 receiver.delivered.insert(f.msg);
+                if let Some(v) = self.validator.as_mut() {
+                    v.on_delivered(f.msg, f.to);
+                }
                 if !self.uncounted.contains(&f.msg) {
                     let first = !self.report.is_delivered(f.msg);
                     self.report.on_delivered(f.msg, hops, msg.created, now);
@@ -923,6 +1087,20 @@ impl World {
                 sender_keeps,
                 receiver_gets,
             } => {
+                // The split was derived from the sender's token count at
+                // schedule time. If another link completed a split of the
+                // same message mid-flight, applying this one would
+                // counterfeit copy tokens — abort like any other
+                // mid-flight invalidation.
+                let copies_now = self.nodes[f.from.index()]
+                    .buffer
+                    .get(&f.msg)
+                    .expect("checked above")
+                    .copies;
+                if copies_now != f.copies_at_start {
+                    self.report.on_aborted_transfer();
+                    return;
+                }
                 if !self.uncounted.contains(&f.msg) {
                     self.report.on_transmission();
                     self.observe_transfer_bytes(msg.size);
@@ -935,9 +1113,10 @@ impl World {
                         copies,
                     });
                 }
-                let incoming = {
+                let (incoming, before) = {
                     let sender = &mut self.nodes[f.from.index()];
                     let copy = sender.buffer.get_mut(&f.msg).expect("checked above");
+                    let before = copy.copies;
                     let splits_tokens = sender_keeps < copy.copies;
                     copy.copies = sender_keeps.max(1);
                     copy.forward_count += 1;
@@ -946,15 +1125,26 @@ impl World {
                         // the timestamp (paper Fig. 6).
                         copy.spray_times.push(now);
                     }
-                    BufferedCopy {
+                    let incoming = BufferedCopy {
                         msg: f.msg,
                         received: now,
                         copies: receiver_gets.max(1),
                         hops: copy.hops + 1,
                         forward_count: 0,
                         spray_times: copy.spray_times.clone(),
-                    }
+                    };
+                    (incoming, before)
                 };
+                if let Some(v) = self.validator.as_mut() {
+                    v.on_replicate_split(
+                        now,
+                        f.msg,
+                        f.from,
+                        before,
+                        sender_keeps.max(1),
+                        receiver_gets.max(1),
+                    );
+                }
                 self.admit_copy(f.to, f.msg, incoming);
             }
             TransferKind::Handoff => {
@@ -972,6 +1162,9 @@ impl World {
                     copy.hops += 1;
                     copy
                 };
+                if let Some(v) = self.validator.as_mut() {
+                    v.on_handoff_out(f.msg);
+                }
                 if !self.uncounted.contains(&f.msg) {
                     let copies = incoming.copies;
                     self.recorder.record(|| SimEvent::Replicated {
@@ -1017,7 +1210,7 @@ impl World {
         let now = self.now;
         for node in &mut self.nodes {
             if node.has(msg) {
-                node.remove_copy(msg, size);
+                let removed = node.remove_copy(msg, size);
                 self.report.on_immunity_purge();
                 let holder = node.id.0;
                 let policy = node.policy.name();
@@ -1030,6 +1223,9 @@ impl World {
                 });
                 if let Some(o) = self.oracle.as_mut() {
                     o.holders[msg.index()] = o.holders[msg.index()].saturating_sub(1);
+                }
+                if let Some(v) = self.validator.as_mut() {
+                    v.on_immunity_purge(msg, removed.copies);
                 }
             }
             node.acked.insert(msg);
@@ -1048,7 +1244,7 @@ impl World {
             .collect();
         for id in doomed {
             let size = self.catalog[id.index()].size;
-            node.remove_copy(id, size);
+            let removed = node.remove_copy(id, size);
             self.report.on_immunity_purge();
             let policy = node.policy.name();
             self.recorder.record(|| SimEvent::Dropped {
@@ -1061,6 +1257,91 @@ impl World {
             if let Some(o) = self.oracle.as_mut() {
                 o.holders[id.index()] = o.holders[id.index()].saturating_sub(1);
             }
+            if let Some(v) = self.validator.as_mut() {
+                v.on_immunity_purge(id, removed.copies);
+            }
+        }
+    }
+
+    /// One full-state validation sweep: walks every buffer and lets the
+    /// validator cross-check its hook-path ledger against reality.
+    /// `Node.buffer` is a `BTreeMap`, so the walk (and the float
+    /// accumulation inside the estimator statistics) is deterministic.
+    fn run_validation_sweep(&mut self) {
+        let Some(v) = self.validator.as_mut() else {
+            return;
+        };
+        let now = self.now;
+        v.begin_sweep(now, self.cfg.tick_secs);
+        for node in &self.nodes {
+            v.sweep_node(now, node.id, node.used.as_u64(), node.capacity.as_u64());
+            for copy in node.buffer.values() {
+                let msg = &self.catalog[copy.msg.index()];
+                let delivered_here = node.delivered.contains(&copy.msg);
+                v.sweep_copy(
+                    now,
+                    node.id,
+                    copy.msg,
+                    copy.copies,
+                    msg.size.as_u64(),
+                    &copy.spray_times,
+                    delivered_here,
+                );
+            }
+        }
+        let outcome = v.finish_sweep(now);
+        self.emit_sweep_outcome(&outcome);
+    }
+
+    fn emit_sweep_outcome(&mut self, outcome: &SweepOutcome) {
+        for n in &outcome.new_violations {
+            let (t, check, msg, node) = (n.t, n.check, n.msg, n.node);
+            self.recorder.record(|| SimEvent::InvariantViolation {
+                t,
+                check,
+                msg,
+                node,
+            });
+            if let Some(m) = self.validate_metrics.as_ref() {
+                self.recorder.metrics_mut().inc(m.invariant_violations, 1);
+            }
+        }
+        if let Some(s) = outcome.sample {
+            if s.samples > 0 {
+                let t = self.now.as_secs();
+                self.recorder.record(|| SimEvent::EstimatorSample {
+                    t,
+                    samples: s.samples,
+                    mean_err_m: s.mean_err_m,
+                    max_err_m: s.max_err_m,
+                    mean_err_n: s.mean_err_n,
+                    max_err_n: s.max_err_n,
+                });
+                if let Some(m) = self.validate_metrics.as_ref() {
+                    let reg = self.recorder.metrics_mut();
+                    reg.observe(m.estimator_m_rel_err, s.mean_err_m);
+                    reg.observe(m.estimator_n_rel_err, s.mean_err_n);
+                }
+            }
+        }
+    }
+
+    /// Final validation sweep + run-level estimator gauges. Called from
+    /// every consuming run path; harmless without a validator.
+    fn finalize_validation(&mut self) {
+        if self.validator.is_none() {
+            return;
+        }
+        self.run_validation_sweep();
+        if let (Some(v), Some(m)) = (self.validator.as_ref(), self.validate_metrics.as_ref()) {
+            let r = v.report();
+            let (m_mean, m_max) = (r.estimator_m.mean(), r.estimator_m.max);
+            let (n_mean, n_max) = (r.estimator_n.mean(), r.estimator_n.max);
+            let reg = self.recorder.metrics_mut();
+            reg.set_gauge(m.estimator_m_mean_rel_err, m_mean);
+            reg.set_gauge(m.estimator_m_max_rel_err, m_max);
+            reg.set_gauge(m.estimator_n_mean_rel_err, n_mean);
+            reg.set_gauge(m.estimator_n_max_rel_err, n_max);
         }
     }
 
@@ -1551,6 +1832,89 @@ mod tests {
         let mut cfg = presets::smoke();
         cfg.message_size_max = Some(Bytes::from_mb(50.0));
         cfg.validate();
+    }
+
+    #[test]
+    fn validated_smoke_run_is_clean_and_samples_estimators() {
+        let mut cfg = presets::smoke();
+        cfg.duration_secs = 1800.0;
+        cfg.policy = PolicyKind::Sdsrp;
+        let mut world = World::build(&cfg);
+        world.enable_validation(dtn_validate::ValidateConfig::default());
+        let (report, validation, _rec) = world.run_validated();
+        assert!(report.created() > 0);
+        assert!(
+            validation.ok(),
+            "invariant violations on a clean run:\n{}",
+            validation.summary()
+        );
+        assert!(validation.sweeps > 0);
+        assert!(validation.checks_run > 0);
+        assert!(
+            validation.estimator_m.samples > 0,
+            "estimator oracle never sampled"
+        );
+        assert_eq!(
+            validation.estimator_m.samples,
+            validation.estimator_n.samples
+        );
+    }
+
+    #[test]
+    fn validated_epidemic_run_skips_token_conservation() {
+        let mut cfg = presets::smoke();
+        cfg.duration_secs = 1200.0;
+        cfg.routing = RoutingKind::Epidemic;
+        cfg.policy = PolicyKind::Fifo;
+        let mut world = World::build(&cfg);
+        world.enable_validation(dtn_validate::ValidateConfig::default());
+        assert!(!world.validator_mut().expect("enabled").conserves_tokens());
+        let (report, validation, _rec) = world.run_validated();
+        assert!(report.created() > 0);
+        assert!(
+            validation.ok(),
+            "epidemic run flagged:\n{}",
+            validation.summary()
+        );
+    }
+
+    #[test]
+    fn seeded_corruption_is_detected_by_next_sweep() {
+        let mut cfg = presets::smoke();
+        cfg.duration_secs = 1200.0;
+        let mut world = World::build(&cfg);
+        world.enable_validation(dtn_validate::ValidateConfig::default());
+        world.step_until(SimTime::from_secs(600.0));
+        world
+            .validator_mut()
+            .expect("enabled")
+            .corrupt_holder_bookkeeping();
+        world.step_until(SimTime::from_secs(1200.0));
+        let validation = world.take_validation_report().expect("enabled");
+        assert!(
+            validation
+                .violations
+                .iter()
+                .any(|v| v.check == "holder_mismatch"),
+            "seeded n_i corruption went undetected:\n{}",
+            validation.summary()
+        );
+    }
+
+    #[test]
+    fn validation_does_not_change_the_run() {
+        let mut cfg = presets::smoke();
+        cfg.duration_secs = 1500.0;
+        cfg.policy = PolicyKind::Sdsrp;
+        let plain = World::build(&cfg).run();
+        let mut world = World::build(&cfg);
+        world.enable_validation(dtn_validate::ValidateConfig::default());
+        let (validated, validation, _rec) = world.run_validated();
+        assert!(validation.ok(), "{}", validation.summary());
+        assert_eq!(plain.created(), validated.created());
+        assert_eq!(plain.delivered(), validated.delivered());
+        assert_eq!(plain.transmissions(), validated.transmissions());
+        assert_eq!(plain.buffer_drops(), validated.buffer_drops());
     }
 
     #[test]

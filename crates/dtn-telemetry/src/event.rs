@@ -147,6 +147,34 @@ pub enum SimEvent {
         /// The node holding the expired copy.
         node: u32,
     },
+    /// Aggregated estimator-vs-ground-truth errors from one validation
+    /// sampling sweep (emitted only when validation is enabled).
+    EstimatorSample {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Buffered copies sampled in this sweep.
+        samples: u64,
+        /// Mean relative error of the Eq. 15 `m_i` estimate.
+        mean_err_m: f64,
+        /// Max relative error of the Eq. 15 `m_i` estimate.
+        max_err_m: f64,
+        /// Mean relative error of the Eq. 14 `n_i` estimate.
+        mean_err_n: f64,
+        /// Max relative error of the Eq. 14 `n_i` estimate.
+        max_err_n: f64,
+    },
+    /// A simulation invariant was violated (emitted only when
+    /// validation is enabled; a correct simulator never produces one).
+    InvariantViolation {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Stable label of the failed check.
+        check: &'static str,
+        /// The message involved, for per-message checks.
+        msg: Option<u64>,
+        /// The node involved, for per-node checks.
+        node: Option<u32>,
+    },
 }
 
 impl SimEvent {
@@ -162,6 +190,8 @@ impl SimEvent {
             SimEvent::ContactUp { .. } => "contact_up",
             SimEvent::ContactDown { .. } => "contact_down",
             SimEvent::TtlExpired { .. } => "ttl_expired",
+            SimEvent::EstimatorSample { .. } => "estimator_sample",
+            SimEvent::InvariantViolation { .. } => "invariant_violation",
         }
     }
 
@@ -176,7 +206,9 @@ impl SimEvent {
             | SimEvent::GossipMerged { t, .. }
             | SimEvent::ContactUp { t, .. }
             | SimEvent::ContactDown { t, .. }
-            | SimEvent::TtlExpired { t, .. } => t,
+            | SimEvent::TtlExpired { t, .. }
+            | SimEvent::EstimatorSample { t, .. }
+            | SimEvent::InvariantViolation { t, .. } => t,
         }
     }
 
@@ -268,6 +300,31 @@ impl SimEvent {
                 push_u64(&mut fields, "msg", msg);
                 push_u64(&mut fields, "node", node as u64);
             }
+            SimEvent::EstimatorSample {
+                samples,
+                mean_err_m,
+                max_err_m,
+                mean_err_n,
+                max_err_n,
+                ..
+            } => {
+                push_u64(&mut fields, "samples", samples);
+                fields.push(("mean_err_m".into(), f64_value(mean_err_m)));
+                fields.push(("max_err_m".into(), f64_value(max_err_m)));
+                fields.push(("mean_err_n".into(), f64_value(mean_err_n)));
+                fields.push(("max_err_n".into(), f64_value(max_err_n)));
+            }
+            SimEvent::InvariantViolation {
+                check, msg, node, ..
+            } => {
+                fields.push(("check".into(), Value::String(check.into())));
+                if let Some(m) = msg {
+                    push_u64(&mut fields, "msg", m);
+                }
+                if let Some(n) = node {
+                    push_u64(&mut fields, "node", n as u64);
+                }
+            }
         }
         Value::Object(fields)
     }
@@ -346,6 +403,26 @@ impl SimEvent {
                 (None, a, Some(b), String::new(), 0.0)
             }
             SimEvent::TtlExpired { msg, node, .. } => (Some(msg), node, None, String::new(), 0.0),
+            SimEvent::EstimatorSample {
+                samples,
+                mean_err_m,
+                max_err_m,
+                mean_err_n,
+                max_err_n,
+                ..
+            } => (
+                None,
+                0,
+                None,
+                format!(
+                    "mean_m={mean_err_m:.4};max_m={max_err_m:.4};\
+                     mean_n={mean_err_n:.4};max_n={max_err_n:.4}"
+                ),
+                samples as f64,
+            ),
+            SimEvent::InvariantViolation {
+                check, msg, node, ..
+            } => (msg, node.unwrap_or(0), None, check.to_string(), 0.0),
         };
         format!(
             "{},{},{},{},{},{},{}",
@@ -398,6 +475,13 @@ pub struct EventTotals {
     pub contacts_down: u64,
     /// `TtlExpired` events.
     pub ttl_expired: u64,
+    /// `EstimatorSample` events (validated runs only).
+    #[serde(default)]
+    pub estimator_samples: u64,
+    /// `InvariantViolation` events (validated runs only; zero on a
+    /// correct simulator).
+    #[serde(default)]
+    pub invariant_violations: u64,
 }
 
 impl EventTotals {
@@ -425,6 +509,8 @@ impl EventTotals {
             SimEvent::ContactUp { .. } => self.contacts_up += 1,
             SimEvent::ContactDown { .. } => self.contacts_down += 1,
             SimEvent::TtlExpired { .. } => self.ttl_expired += 1,
+            SimEvent::EstimatorSample { .. } => self.estimator_samples += 1,
+            SimEvent::InvariantViolation { .. } => self.invariant_violations += 1,
         }
     }
 
@@ -443,6 +529,8 @@ impl EventTotals {
         self.contacts_up += other.contacts_up;
         self.contacts_down += other.contacts_down;
         self.ttl_expired += other.ttl_expired;
+        self.estimator_samples += other.estimator_samples;
+        self.invariant_violations += other.invariant_violations;
     }
 
     /// All drop decisions (evictions + rejections + immunity purges).
@@ -461,6 +549,8 @@ impl EventTotals {
             + self.contacts_up
             + self.contacts_down
             + self.ttl_expired
+            + self.estimator_samples
+            + self.invariant_violations
     }
 }
 
@@ -527,6 +617,20 @@ mod tests {
                 msg: 7,
                 node: 0,
             },
+            SimEvent::EstimatorSample {
+                t: 11.0,
+                samples: 42,
+                mean_err_m: 0.12,
+                max_err_m: 0.5,
+                mean_err_n: 0.2,
+                max_err_n: 0.75,
+            },
+            SimEvent::InvariantViolation {
+                t: 12.0,
+                check: "copy_conservation",
+                msg: Some(7),
+                node: None,
+            },
         ]
     }
 
@@ -587,11 +691,13 @@ mod tests {
         assert_eq!(t.contacts_up, 1);
         assert_eq!(t.contacts_down, 1);
         assert_eq!(t.ttl_expired, 1);
-        assert_eq!(t.total(), 10);
+        assert_eq!(t.estimator_samples, 1);
+        assert_eq!(t.invariant_violations, 1);
+        assert_eq!(t.total(), 12);
 
         let mut u = t.clone();
         u.absorb(&t);
-        assert_eq!(u.total(), 20);
+        assert_eq!(u.total(), 24);
         assert_eq!(u.gossip_records, 6);
     }
 

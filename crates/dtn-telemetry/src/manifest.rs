@@ -31,6 +31,11 @@ pub struct RunManifest {
     pub scenario: String,
     /// FNV-1a hash of the canonical config JSON.
     pub config_hash: String,
+    /// The canonical config JSON itself, embedded so a manifest alone
+    /// is enough to re-run (deterministically replay) the scenario.
+    /// Absent in manifests written before replay support existed.
+    #[serde(default)]
+    pub config: Option<String>,
     /// RNG seed the run used.
     pub seed: u64,
     /// Buffer-management policy name.
@@ -134,6 +139,7 @@ mod tests {
         RunManifest {
             scenario: "smoke".into(),
             config_hash: hash_config_json("{\"n\":1}"),
+            config: Some("{\"n\":1}".into()),
             seed: 42,
             policy: "sdsrp".into(),
             routing: "spray_and_wait".into(),
@@ -178,6 +184,23 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!(d.iter().any(|l| l == "seed: 42 -> 43"));
         assert!(d.iter().any(|l| l == "delivered: 7 -> 8"));
+    }
+
+    #[test]
+    fn config_field_defaults_when_absent() {
+        let mut m = sample();
+        m.config = None;
+        let json = m.to_json();
+        // A pre-replay manifest has no "config" key at all; it must
+        // still parse, defaulting to None.
+        let stripped: String = json
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"config\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back: RunManifest = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.config, None);
+        assert_eq!(back.seed, m.seed);
     }
 
     #[test]

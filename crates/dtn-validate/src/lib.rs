@@ -1,0 +1,38 @@
+//! # dtn-validate
+//!
+//! Simulation invariants, a ground-truth estimator oracle and run
+//! fingerprints for the SDSRP reproduction.
+//!
+//! * [`validator`] — the [`validator::Validator`] the world drives via
+//!   event hooks and per-tick sweeps: copy-token conservation across
+//!   the spray tree, buffer-capacity and usage accounting, delivered
+//!   messages never resident at their destination, dropped-list gossip
+//!   monotonicity and soundness, and TTL-expiry timeliness. It also
+//!   tracks the true `m_i`/`n_i`/`d_i` per message and scores the
+//!   paper's Eq. 14/15 estimates against them.
+//! * [`violation`] — the invariant vocabulary
+//!   ([`violation::ViolationKind`], [`violation::Violation`]).
+//! * [`report`] — the per-run [`report::ValidationReport`].
+//! * [`truth`] — per-message ground truth ([`truth::MessageTruth`]).
+//! * [`fingerprint`] — integer-only
+//!   [`fingerprint::ReportFingerprint`]s for bit-identical replay
+//!   comparison and golden snapshots.
+//!
+//! Validation is strictly opt-in: the simulator holds an
+//! `Option<Box<Validator>>` and every hook sits behind one branch, so a
+//! non-validated run pays nothing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fingerprint;
+pub mod report;
+pub mod truth;
+pub mod validator;
+pub mod violation;
+
+pub use fingerprint::ReportFingerprint;
+pub use report::{ErrStats, ValidationReport};
+pub use truth::MessageTruth;
+pub use validator::{EstimatorSweepSample, SweepOutcome, ValidateConfig, Validator, ViolationNote};
+pub use violation::{Violation, ViolationKind};

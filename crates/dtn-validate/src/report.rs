@@ -1,0 +1,136 @@
+//! The per-run validation report: violations plus estimator-error
+//! statistics against the ground truth.
+
+use crate::violation::Violation;
+use serde::{Deserialize, Serialize};
+
+/// Online mean/max statistics over relative errors.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrStats {
+    /// Number of observations.
+    pub samples: u64,
+    /// Sum of observed relative errors.
+    pub sum: f64,
+    /// Largest observed relative error.
+    pub max: f64,
+}
+
+impl ErrStats {
+    /// Records one relative error.
+    pub fn observe(&mut self, rel_err: f64) {
+        self.samples += 1;
+        self.sum += rel_err;
+        if rel_err > self.max {
+            self.max = rel_err;
+        }
+    }
+
+    /// Mean relative error (`0` before the first observation).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+}
+
+/// What one validated run produced: every detected violation (capped),
+/// how much was checked, and how far the paper's Eq. 14/15 estimates
+/// strayed from the simulator's ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Full-state sweeps performed.
+    pub sweeps: u64,
+    /// Individual invariant checks evaluated.
+    pub checks_run: u64,
+    /// Total violations detected (may exceed `violations.len()`).
+    pub violation_count: u64,
+    /// The first violations, up to the configured retention cap.
+    pub violations: Vec<Violation>,
+    /// Relative error of the Eq. 15 `m_i` estimate vs the true
+    /// seen-count, sampled per buffered copy.
+    pub estimator_m: ErrStats,
+    /// Relative error of the Eq. 14 `n_i` estimate vs the true live
+    /// copy count, sampled per buffered copy.
+    pub estimator_n: ErrStats,
+}
+
+impl ValidationReport {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    /// Pretty-printed JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// One-paragraph human summary for CLI output.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "validation: {} violation(s) over {} checks in {} sweeps; \
+             est m_i rel err mean {:.3} max {:.3} ({} samples); \
+             est n_i rel err mean {:.3} max {:.3}",
+            self.violation_count,
+            self.checks_run,
+            self.sweeps,
+            self.estimator_m.mean(),
+            self.estimator_m.max,
+            self.estimator_m.samples,
+            self.estimator_n.mean(),
+            self.estimator_n.max,
+        );
+        for v in self.violations.iter().take(5) {
+            s.push_str(&format!("\n  {v}"));
+        }
+        if self.violation_count as usize > self.violations.len() {
+            s.push_str(&format!(
+                "\n  ... and {} more",
+                self.violation_count as usize - self.violations.len().min(5)
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn err_stats_track_mean_and_max() {
+        let mut e = ErrStats::default();
+        assert_eq!(e.mean(), 0.0);
+        for v in [0.1, 0.3, 0.2] {
+            e.observe(v);
+        }
+        assert_eq!(e.samples, 3);
+        assert!((e.mean() - 0.2).abs() < 1e-12);
+        assert_eq!(e.max, 0.3);
+    }
+
+    #[test]
+    fn report_roundtrips_and_summarises() {
+        let mut r = ValidationReport::default();
+        assert!(r.ok());
+        r.sweeps = 10;
+        r.checks_run = 500;
+        r.estimator_m.observe(0.25);
+        r.violation_count = 1;
+        r.violations.push(Violation {
+            check: "copy_conservation".into(),
+            t: 9.0,
+            msg: Some(3),
+            node: None,
+            detail: "x".into(),
+        });
+        assert!(!r.ok());
+        let back: ValidationReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let s = r.summary();
+        assert!(s.contains("1 violation(s)"));
+        assert!(s.contains("copy_conservation"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Ground-truth state per message, maintained from the world's event
+//! hooks — the oracle the distributed estimators are judged against.
+
+use dtn_core::ids::NodeId;
+use std::collections::HashSet;
+
+/// Everything the simulator truly knows about one message: the
+/// quantities SDSRP can only estimate (`m_i`, `n_i`, `d_i`), plus the
+/// token ledger backing the copy-conservation check.
+#[derive(Debug, Clone)]
+pub struct MessageTruth {
+    /// Source node.
+    pub source: NodeId,
+    /// Initial copy tokens `C`.
+    pub initial_copies: u32,
+    /// Absolute expiry instant, seconds.
+    pub expires_at: f64,
+    /// Nodes other than the source that have ever received the message
+    /// (replication, handoff or delivery) — the true `m_i`.
+    pub seen: HashSet<NodeId>,
+    /// Buffers currently holding a copy — the true `n_i`, maintained
+    /// from the insert/remove hooks (double-entry against the sweep).
+    pub holders: u32,
+    /// Copy tokens destroyed so far (evictions, rejections, expiry,
+    /// immunity purges). Live tokens + destroyed must equal `C` under a
+    /// token-conserving routing protocol.
+    pub destroyed: u64,
+    /// Nodes that made an own-drop decision (eviction or incoming
+    /// rejection) for this message — the true `d_i` a perfectly
+    /// gossiped dropped-list could report.
+    pub droppers: HashSet<NodeId>,
+    /// Whether the destination has received the message.
+    pub delivered: bool,
+}
+
+impl MessageTruth {
+    /// Fresh truth for a message generated at `source` with `c` tokens.
+    pub fn new(source: NodeId, c: u32, expires_at: f64) -> Self {
+        MessageTruth {
+            source,
+            initial_copies: c,
+            expires_at,
+            seen: HashSet::new(),
+            holders: 0,
+            destroyed: 0,
+            droppers: HashSet::new(),
+            delivered: false,
+        }
+    }
+
+    /// The true `m_i`: distinct non-source nodes that received a copy.
+    pub fn true_m(&self) -> u32 {
+        self.seen.len() as u32
+    }
+
+    /// The true `d_i`: distinct nodes that dropped the message.
+    pub fn true_d(&self) -> u32 {
+        self.droppers.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_clean() {
+        let t = MessageTruth::new(NodeId(3), 16, 1800.0);
+        assert_eq!(t.true_m(), 0);
+        assert_eq!(t.true_d(), 0);
+        assert_eq!(t.holders, 0);
+        assert_eq!(t.destroyed, 0);
+        assert!(!t.delivered);
+    }
+
+    #[test]
+    fn seen_and_droppers_deduplicate() {
+        let mut t = MessageTruth::new(NodeId(0), 8, 600.0);
+        t.seen.insert(NodeId(1));
+        t.seen.insert(NodeId(1));
+        t.droppers.insert(NodeId(2));
+        t.droppers.insert(NodeId(2));
+        assert_eq!(t.true_m(), 1);
+        assert_eq!(t.true_d(), 1);
+    }
+}

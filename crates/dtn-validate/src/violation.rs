@@ -1,0 +1,121 @@
+//! The invariant vocabulary: what can go wrong, and the record kept
+//! when it does.
+
+use serde::{Deserialize, Serialize};
+
+/// The classes of simulator invariants the harness checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Spray-tree tokens no longer sum to the source's initial `C`
+    /// (live buffered tokens + tokens destroyed by drops/expiry ≠ `C`).
+    CopyConservation,
+    /// The holder count swept from the buffers disagrees with the
+    /// hook-path bookkeeping — a missed or corrupted `n_i` update.
+    HolderMismatch,
+    /// A node's accounted buffer usage exceeds its capacity.
+    BufferOverflow,
+    /// A node's accounted usage disagrees with the sum of its buffered
+    /// message sizes.
+    UsedMismatch,
+    /// A node buffers a message it was already delivered (as the
+    /// destination).
+    DeliveredResident,
+    /// A gossiped dropped-list record's time went backwards for the
+    /// same exporter/origin pair.
+    DroppedListRegression,
+    /// A gossiped dropped-list record claims a drop by a node that
+    /// never made a drop decision — `d_i` would overcount.
+    DroppedListOvercount,
+    /// A TTL-expired copy outlived its expiry by more than one tick.
+    TtlExpiryMissed,
+    /// A replication split created or destroyed copy tokens under a
+    /// token-conserving routing protocol.
+    TokenSplit,
+}
+
+impl ViolationKind {
+    /// Stable lower-snake-case label used in events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::CopyConservation => "copy_conservation",
+            ViolationKind::HolderMismatch => "holder_mismatch",
+            ViolationKind::BufferOverflow => "buffer_overflow",
+            ViolationKind::UsedMismatch => "used_mismatch",
+            ViolationKind::DeliveredResident => "delivered_resident",
+            ViolationKind::DroppedListRegression => "dropped_list_regression",
+            ViolationKind::DroppedListOvercount => "dropped_list_overcount",
+            ViolationKind::TtlExpiryMissed => "ttl_expiry_missed",
+            ViolationKind::TokenSplit => "token_split",
+        }
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which invariant failed (its stable label).
+    pub check: String,
+    /// Simulation time of detection, seconds.
+    pub t: f64,
+    /// The message involved, when the check is per-message.
+    pub msg: Option<u64>,
+    /// The node involved, when the check is per-node.
+    pub node: Option<u32>,
+    /// Human-readable evidence (expected vs observed).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[t={:.1}] {}", self.t, self.check)?;
+        if let Some(m) = self.msg {
+            write!(f, " msg={m}")?;
+        }
+        if let Some(n) = self.node {
+            write!(f, " node={n}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let kinds = [
+            ViolationKind::CopyConservation,
+            ViolationKind::HolderMismatch,
+            ViolationKind::BufferOverflow,
+            ViolationKind::UsedMismatch,
+            ViolationKind::DeliveredResident,
+            ViolationKind::DroppedListRegression,
+            ViolationKind::DroppedListOvercount,
+            ViolationKind::TtlExpiryMissed,
+            ViolationKind::TokenSplit,
+        ];
+        let labels: Vec<_> = kinds.iter().map(|k| k.label()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            assert!(a.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            for b in labels.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_carries_context() {
+        let v = Violation {
+            check: ViolationKind::CopyConservation.label().into(),
+            t: 120.0,
+            msg: Some(7),
+            node: None,
+            detail: "live 5 + destroyed 2 != C 8".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("copy_conservation"));
+        assert!(s.contains("msg=7"));
+        assert!(s.contains("!= C 8"));
+    }
+}

@@ -18,15 +18,23 @@
 //! Flags: `--preset rwp|epfl|smoke`, `--config FILE`, `--policy NAME`,
 //! `--routing NAME`, `--seed N`, `--duration SECS`, `--copies L`,
 //! `--buffer-mb X`, `--immunity none|oracle|gossip`, `--json`,
-//! `--emit-config`, `--timeseries FILE`, `--telemetry FILE`.
+//! `--emit-config`, `--timeseries FILE`, `--telemetry FILE`,
+//! `--validate`, `--replay MANIFEST`.
 //!
 //! `--telemetry FILE` streams every simulation event as one JSON object
 //! per line to `FILE` and writes a run manifest (config hash, seed,
 //! event totals, metrics) to `FILE.manifest.json`.
+//!
+//! `--validate` runs the simulation with invariant checking and the
+//! estimator oracle enabled; any violation makes the process exit
+//! non-zero. `--replay FILE.manifest.json` re-runs the scenario a
+//! manifest records and fails unless the re-run reproduces it exactly.
 
 use sdsrp::sim::config::{presets, ImmunityMode, PolicyKind, RoutingKind, ScenarioConfig};
+use sdsrp::sim::replay::{manifest_for_run, replay_manifest};
 use sdsrp::sim::world::World;
-use sdsrp::telemetry::{hash_config_json, JsonlSink, Recorder, RunManifest};
+use sdsrp::telemetry::{JsonlSink, Recorder, RunManifest};
+use sdsrp::validate::ValidateConfig;
 use std::process::exit;
 
 fn usage() -> ! {
@@ -36,9 +44,44 @@ fn usage() -> ! {
          \t[--routing saw|saw-source|epidemic|direct|focus|prophet]\n\
          \t[--seed N] [--duration SECS] [--copies L] [--buffer-mb X]\n\
          \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
-         \t[--timeseries FILE] [--telemetry FILE]"
+         \t[--timeseries FILE] [--telemetry FILE] [--validate]\n\
+         \t[--replay MANIFEST.json]"
     );
     exit(2);
+}
+
+/// Re-runs the scenario recorded in a manifest file and reports whether
+/// the re-run reproduced it bit-for-bit. Exits non-zero on divergence.
+fn replay_from_file(path: &str) -> ! {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let original: RunManifest = serde_json::from_str(&body).unwrap_or_else(|e| {
+        eprintln!("{path} is not a run manifest: {e:?}");
+        exit(1);
+    });
+    match replay_manifest(&original) {
+        Ok(outcome) if outcome.identical => {
+            println!(
+                "replay OK: {} (seed {}, policy {}) reproduced bit-identically",
+                original.scenario, original.seed, original.policy
+            );
+            exit(0);
+        }
+        Ok(outcome) => {
+            eprintln!(
+                "replay DIVERGED on {} fields:\n{}",
+                outcome.diff.len(),
+                outcome.diff.join("\n")
+            );
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot replay {path}: {e}");
+            exit(1);
+        }
+    }
 }
 
 fn parse_policy(s: &str) -> PolicyKind {
@@ -83,6 +126,8 @@ fn main() {
     let mut emit_config = false;
     let mut timeseries_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut validate = false;
+    let mut replay_path: Option<String> = None;
     type Override = Box<dyn Fn(&mut ScenarioConfig)>;
     let mut overrides: Vec<Override> = Vec::new();
 
@@ -162,6 +207,8 @@ fn main() {
             "--emit-config" => emit_config = true,
             "--timeseries" => timeseries_path = Some(next(&args, &mut i)),
             "--telemetry" => telemetry_path = Some(next(&args, &mut i)),
+            "--validate" => validate = true,
+            "--replay" => replay_path = Some(next(&args, &mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -169,6 +216,10 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = &replay_path {
+        replay_from_file(path);
     }
 
     let mut cfg = cfg.unwrap_or_else(presets::smoke);
@@ -196,7 +247,14 @@ fn main() {
         world.enable_timeseries(cfg.tick_secs.max(1.0) * 10.0);
     }
     let run_started = std::time::Instant::now();
-    let (report, mut recorder) = world.run_with_recorder();
+    let (report, validation, mut recorder) = if validate {
+        world.enable_validation(ValidateConfig::default());
+        let (report, validation, recorder) = world.run_validated();
+        (report, Some(validation), recorder)
+    } else {
+        let (report, recorder) = world.run_with_recorder();
+        (report, None, recorder)
+    };
     let wall_clock_secs = run_started.elapsed().as_secs_f64();
     let timeseries = recorder.take_timeseries();
 
@@ -213,23 +271,7 @@ fn main() {
             eprintln!("telemetry export to {path} failed: {err}");
             exit(1);
         }
-        let config_json = serde_json::to_string(&cfg).expect("config serialises");
-        let manifest = RunManifest {
-            scenario: cfg.name.clone(),
-            config_hash: hash_config_json(&config_json),
-            seed: cfg.seed,
-            policy: cfg.policy.label().to_string(),
-            routing: format!("{:?}", cfg.routing),
-            sim_duration_secs: cfg.duration_secs,
-            wall_clock_secs,
-            created: report.created(),
-            delivered: report.delivered(),
-            dropped: report.buffer_drops() + report.incoming_rejects(),
-            events: recorder.totals().clone(),
-            events_recorded: recorder.totals().total(),
-            ring_overwritten: recorder.ring().overwritten(),
-            metrics: recorder.metrics().snapshot(),
-        };
+        let manifest = manifest_for_run(&cfg, &report, &recorder, wall_clock_secs);
         let manifest_path = format!("{path}.manifest.json");
         std::fs::write(&manifest_path, manifest.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {manifest_path}: {e}");
@@ -288,5 +330,15 @@ fn main() {
         println!("incoming rejects: {}", report.incoming_rejects());
         println!("expirations     : {}", report.expirations());
         println!("immunity purges : {}", report.immunity_purges());
+    }
+
+    if let Some(validation) = &validation {
+        eprintln!("{}", validation.summary());
+        if !validation.ok() {
+            for v in &validation.violations {
+                eprintln!("  {v}");
+            }
+            exit(1);
+        }
     }
 }

@@ -20,6 +20,9 @@
 //!   ([`dtn_analysis`]).
 //! * [`telemetry`] — metrics registry, structured event log and run
 //!   manifests ([`dtn_telemetry`]).
+//! * [`validate`] — simulation invariants, the estimator oracle and
+//!   run fingerprints ([`dtn_validate`]); replay harnesses live in
+//!   [`sim::replay`](dtn_sim::replay).
 //!
 //! ## Quick start
 //!
@@ -44,6 +47,7 @@ pub use dtn_net as net;
 pub use dtn_routing as routing;
 pub use dtn_sim as sim;
 pub use dtn_telemetry as telemetry;
+pub use dtn_validate as validate;
 pub use sdsrp_core as sdsrp;
 
 /// Version of the reproduction workspace.

@@ -145,6 +145,86 @@ fn telemetry_flag_writes_jsonl_and_matching_manifest() {
 }
 
 #[test]
+fn validate_flag_emits_estimator_metrics_and_replay_reproduces() {
+    let dir = std::env::temp_dir().join("sdsrp_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("validated.jsonl");
+    let manifest_path = dir.join("validated.jsonl.manifest.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&manifest_path);
+
+    let out = bin()
+        .args([
+            "--preset",
+            "smoke",
+            "--seed",
+            "9",
+            "--duration",
+            "1200",
+            "--validate",
+            "--telemetry",
+            path.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("run dtn-scenario --validate");
+    assert!(
+        out.status.success(),
+        "validated run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("0 violation(s)"),
+        "no validation summary on stderr: {stderr}"
+    );
+
+    // Estimator-error metrics must surface in the telemetry output.
+    let manifest_text = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    assert!(
+        manifest_text.contains("estimator_m_mean_rel_err"),
+        "estimator metrics missing from manifest"
+    );
+    let manifest: serde_json::Value = serde_json::from_str(&manifest_text).unwrap();
+    assert!(
+        manifest["events"]["estimator_samples"].as_u64().unwrap() > 0,
+        "no estimator_sample events recorded"
+    );
+    assert_eq!(manifest["events"]["invariant_violations"].as_u64(), Some(0));
+    // The event log carries the estimator samples as structured events.
+    let jsonl = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        jsonl
+            .lines()
+            .filter_map(|l| serde_json::from_str::<serde_json::Value>(l).ok())
+            .any(|v| v["kind"].as_str() == Some("estimator_sample")),
+        "no estimator_sample events in the JSONL log"
+    );
+
+    // Replaying the manifest must reproduce the run bit-for-bit.
+    let out = bin()
+        .args(["--replay", manifest_path.to_str().unwrap()])
+        .output()
+        .expect("run dtn-scenario --replay");
+    assert!(
+        out.status.success(),
+        "replay diverged: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("replay OK"));
+
+    // A tampered manifest must be rejected.
+    let doctored = manifest_text.replacen("\"delivered\"", "\"delivered_x\"", 1);
+    let bad_path = dir.join("doctored.manifest.json");
+    std::fs::write(&bad_path, doctored).unwrap();
+    let out = bin()
+        .args(["--replay", bad_path.to_str().unwrap()])
+        .output()
+        .expect("run dtn-scenario --replay (tampered)");
+    assert!(!out.status.success(), "tampered manifest replayed cleanly");
+}
+
+#[test]
 fn timeseries_flag_writes_csv() {
     let dir = std::env::temp_dir().join("sdsrp_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,78 @@
+//! Golden-snapshot regression test: the headline smoke scenario's run
+//! fingerprint is committed under `tests/golden/` and must reproduce
+//! byte-for-byte. Any change to the simulator's observable behaviour —
+//! intended or not — shows up as a diff here.
+//!
+//! To bless a new baseline after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_headline
+//! ```
+
+use sdsrp::sim::config::{presets, PolicyKind};
+use sdsrp::sim::replay::fingerprint;
+use sdsrp::sim::world::World;
+use sdsrp::telemetry::Recorder;
+use sdsrp::validate::ReportFingerprint;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The pinned scenario: smoke preset, SDSRP policy, fixed seed and
+/// duration. Fully deterministic, a few seconds of wall clock.
+fn headline_smoke_fingerprint() -> ReportFingerprint {
+    let mut cfg = presets::smoke();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.seed = 42;
+    cfg.duration_secs = 3_600.0;
+    let mut world = World::build(&cfg);
+    world.attach_recorder(Recorder::enabled(16));
+    let (report, recorder) = world.run_with_recorder();
+    fingerprint(&report, recorder.totals())
+}
+
+#[test]
+fn headline_smoke_matches_committed_golden() {
+    let fp = headline_smoke_fingerprint();
+    let rendered = fp.to_canonical_json();
+    let path = golden_path("headline_smoke.json");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        eprintln!("golden snapshot updated: {}", path.display());
+        return;
+    }
+
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_headline",
+            path.display()
+        )
+    });
+    let expected = ReportFingerprint::from_json(&committed).expect("golden parses");
+    assert_eq!(
+        fp,
+        expected,
+        "headline fingerprint drifted from golden:\n{}",
+        expected.diff(&fp).join("\n")
+    );
+    // Byte-stable, not just structurally equal: the canonical rendering
+    // must match the committed file exactly.
+    assert_eq!(
+        rendered, committed,
+        "canonical JSON rendering changed (field order / formatting?)"
+    );
+}
+
+#[test]
+fn fingerprint_is_run_to_run_stable() {
+    let a = headline_smoke_fingerprint();
+    let b = headline_smoke_fingerprint();
+    assert_eq!(a, b);
+    assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+}
