@@ -26,12 +26,18 @@ use dtn_core::stats::OnlineStats;
 use dtn_sim::config::{presets, PolicyKind, RoutingKind, ScenarioConfig};
 use dtn_sim::world::World;
 use sdsrp_core::LambdaMode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Set by `--validate`: the first seed of every variant runs with
 /// invariant checking + the estimator oracle (aborting on violations),
 /// the remaining seeds run plain.
 static VALIDATE: AtomicBool = AtomicBool::new(false);
+
+/// Set by `--validate-cells`: **every** seed of **every** variant runs
+/// with invariant checking; violations accumulate (reported at exit,
+/// failing the process) instead of aborting mid-table.
+static VALIDATE_CELLS: AtomicBool = AtomicBool::new(false);
+static CELL_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
 
 fn run_avg(cfg: &ScenarioConfig, seeds: &[u64]) -> (f64, f64, f64) {
     let mut d = OnlineStats::new();
@@ -40,7 +46,21 @@ fn run_avg(cfg: &ScenarioConfig, seeds: &[u64]) -> (f64, f64, f64) {
     for (k, &seed) in seeds.iter().enumerate() {
         let mut c = cfg.clone();
         c.seed = seed;
-        let r = if k == 0 && VALIDATE.load(Ordering::Relaxed) {
+        let r = if VALIDATE_CELLS.load(Ordering::Relaxed) {
+            let mut world = World::build(&c);
+            world.enable_validation(dtn_validate::ValidateConfig::default());
+            let (r, validation, _rec) = world.run_validated();
+            if !validation.ok() {
+                CELL_VIOLATIONS.fetch_add(validation.violation_count, Ordering::Relaxed);
+                eprintln!(
+                    "[validate-cells] {} seed {}: {}",
+                    c.name,
+                    c.seed,
+                    validation.summary()
+                );
+            }
+            r
+        } else if k == 0 && VALIDATE.load(Ordering::Relaxed) {
             run_checked(&c)
         } else {
             World::build(&c).run()
@@ -70,6 +90,7 @@ fn header(title: &str) {
 fn main() {
     let cli = Cli::parse();
     VALIDATE.store(cli.validate, Ordering::Relaxed);
+    VALIDATE_CELLS.store(cli.validate_cells, Ordering::Relaxed);
     let mut base = presets::random_waypoint_paper();
     apply_quick(&mut base, cli.quick);
     let seeds = &cli.seeds;
@@ -274,5 +295,11 @@ fn main() {
         cfg.mobility = clustered;
         cfg.policy = PolicyKind::Fifo;
         row("FIFO reference", &cfg, seeds);
+    }
+
+    let cell_violations = CELL_VIOLATIONS.load(Ordering::Relaxed);
+    if cell_violations > 0 {
+        eprintln!("{cell_violations} invariant violation(s) across ablation cells — failing");
+        std::process::exit(1);
     }
 }

@@ -8,14 +8,60 @@
 //! estimator oracle: the per-policy line gains mean/max relative errors
 //! of the Eq. 14/15 estimates, the manifest gains the estimator
 //! metrics, and any invariant violation aborts the process non-zero.
+//! `--validate-cells` instead routes the four policies through the
+//! hardened cell runner: a panicking policy is reported as a structured
+//! cell error while the others still run and print.
 
 use dtn_sim::replay::manifest_for_run;
+use dtn_sim::sweep::{run_cells, CellJob, SweepOptions};
 use dtn_telemetry::{JsonlSink, Recorder};
 use dtn_validate::ValidateConfig;
+
+fn run_hardened_cells() {
+    let jobs: Vec<CellJob> = dtn_sim::config::PolicyKind::paper_four()
+        .into_iter()
+        .map(|policy| {
+            let mut cfg = dtn_sim::config::presets::random_waypoint_paper();
+            cfg.policy = policy;
+            CellJob {
+                label: cfg.name.clone(),
+                policy: policy.label().to_string(),
+                cfg,
+            }
+        })
+        .collect();
+    let opts = SweepOptions {
+        validate: true,
+        ..SweepOptions::default()
+    };
+    let out = run_cells(jobs, &opts);
+    for run in out.runs.iter().flatten() {
+        println!(
+            "{:<16} ratio {:.3} overhead {:6.2} hops {:.2} violations {}",
+            dtn_sim::config::PolicyKind::paper_four()[run.index].label(),
+            run.metrics.delivery_ratio,
+            run.metrics.overhead_ratio,
+            run.metrics.avg_hopcount,
+            run.violations,
+        );
+    }
+    for err in &out.errors {
+        eprintln!("{err}");
+    }
+    if !out.errors.is_empty() || out.violations > 0 {
+        eprintln!(
+            "{} cell error(s), {} invariant violation(s) — failing",
+            out.errors.len(),
+            out.violations
+        );
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let mut telemetry_base: Option<String> = None;
     let mut validate = false;
+    let mut validate_cells = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -25,9 +71,14 @@ fn main() {
                 telemetry_base = Some(args.get(i).expect("--telemetry needs a path").clone());
             }
             "--validate" => validate = true,
+            "--validate-cells" => validate_cells = true,
             other => eprintln!("warning: ignoring unknown argument {other:?}"),
         }
         i += 1;
+    }
+    if validate_cells {
+        run_hardened_cells();
+        return;
     }
 
     let mut violations = 0u64;

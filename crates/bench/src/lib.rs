@@ -20,7 +20,9 @@
 
 use dtn_sim::config::{PolicyKind, ScenarioConfig};
 use dtn_sim::output::{Metric, SeriesTable};
-use dtn_sim::sweep::{run_sweep_observed, SweepAxis, SweepCell, SweepSpec};
+use dtn_sim::sweep::{
+    run_sweep_hardened, SweepAxis, SweepCell, SweepCheckpoint, SweepOptions, SweepSpec,
+};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -40,6 +42,14 @@ pub struct Cli {
     /// Run invariant checking + the estimator oracle on (a subset of)
     /// the runs; abort non-zero on any violation.
     pub validate: bool,
+    /// Attach the dtn-validate checkers to **every** sweep cell and
+    /// fold violation counts into the per-cell results.
+    pub validate_cells: bool,
+    /// Stream finished sweep cells to a JSONL checkpoint file (one
+    /// file per figure group, derived from this stem).
+    pub checkpoint: Option<PathBuf>,
+    /// Reload the checkpoint and skip already-completed cells.
+    pub resume: bool,
 }
 
 impl Cli {
@@ -52,6 +62,9 @@ impl Cli {
             sweep: None,
             latency: false,
             validate: false,
+            validate_cells: false,
+            checkpoint: None,
+            resume: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -60,6 +73,14 @@ impl Cli {
                 "--quick" => cli.quick = true,
                 "--latency" => cli.latency = true,
                 "--validate" => cli.validate = true,
+                "--validate-cells" => cli.validate_cells = true,
+                "--resume" => cli.resume = true,
+                "--checkpoint" => {
+                    i += 1;
+                    cli.checkpoint = Some(PathBuf::from(
+                        args.get(i).expect("--checkpoint needs a path"),
+                    ));
+                }
                 "--seeds" => {
                     i += 1;
                     let n: u64 = args
@@ -135,6 +156,28 @@ pub fn apply_quick(cfg: &mut ScenarioConfig, quick: bool) {
     }
 }
 
+/// Derives a per-figure-group checkpoint path from the user's
+/// `--checkpoint` stem, so binaries that run several sweep groups
+/// (fig8/fig9 run three) never interleave two groups in one file.
+pub fn group_checkpoint_path(stem: &std::path::Path, fig: &str, axis: &str) -> PathBuf {
+    let sanitize = |s: &str| {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect::<String>()
+            .trim_matches('-')
+            .to_string()
+    };
+    let stem_str = stem.to_string_lossy();
+    let base = stem_str.strip_suffix(".jsonl").unwrap_or(&stem_str);
+    PathBuf::from(format!("{base}-{}-{}.jsonl", sanitize(fig), sanitize(axis)))
+}
+
 /// Runs one sweep group and prints the three paper metrics as markdown
 /// tables (optionally writing CSVs).
 pub fn run_figure_group(
@@ -150,24 +193,51 @@ pub fn run_figure_group(
         axis,
         policies,
         seeds: cli.seeds.clone(),
+        validate: cli.validate_cells,
     };
     let xlabel = spec.axis.name().to_string();
-    // Live progress on stderr (stdout carries the markdown tables).
-    let (cells, totals) = run_sweep_observed(&spec, 0, &|p| {
+    let progress = |p: dtn_sim::sweep::SweepProgress| {
         eprint!(
             "\r{fig}: {}/{} runs done (last: {} @ {})    ",
             p.completed, p.total, p.policy, p.axis_label
         );
         let _ = std::io::stderr().flush();
-    });
+    };
+    // Live progress on stderr (stdout carries the markdown tables).
+    let opts = SweepOptions {
+        checkpoint: cli.checkpoint.as_ref().map(|stem| SweepCheckpoint {
+            path: group_checkpoint_path(stem, fig, &xlabel),
+            resume: cli.resume,
+        }),
+        progress: Some(&progress),
+        ..SweepOptions::default()
+    };
+    let out = run_sweep_hardened(&spec, &opts);
     eprintln!(
-        "\r{fig}: {} runs, {} events ({} delivered, {} dropped, {} contacts)",
-        cells.iter().map(|c| c.runs).sum::<usize>(),
-        totals.total(),
-        totals.delivered,
-        totals.dropped(),
-        totals.contacts_up,
+        "\r{fig}: {} runs ({} resumed), {} events ({} delivered, {} dropped, {} contacts)",
+        out.cells.iter().map(|c| c.runs).sum::<usize>(),
+        out.resumed,
+        out.totals.total(),
+        out.totals.delivered,
+        out.totals.dropped(),
+        out.totals.contacts_up,
     );
+    if cli.validate_cells && out.violations > 0 {
+        eprintln!(
+            "{fig}: {} invariant violation(s) across cells",
+            out.violations
+        );
+    }
+    for err in &out.errors {
+        eprintln!("{fig}: {err}");
+    }
+    if !out.errors.is_empty() {
+        eprintln!(
+            "{fig}: {} cell run(s) panicked; their seeds are excluded from the tables",
+            out.errors.len()
+        );
+    }
+    let cells = out.cells;
     let mut panels = vec![
         (Metric::DeliveryRatio, panel_ids[0].to_string()),
         (Metric::AvgHopcount, panel_ids[1].to_string()),

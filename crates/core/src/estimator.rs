@@ -33,14 +33,26 @@ use std::collections::HashMap;
 ///
 /// The estimate is capped at `N - 1` — a message cannot have been seen by
 /// more nodes than exist (excluding the source).
+///
+/// Total over its whole domain: the doubling exponent is clamped to 62
+/// (`1u64 << 63` would already overflow; anything past the cap
+/// saturates anyway, so long-elapsed timestamps with a tiny `E(I_min)`
+/// cannot panic in debug or wrap in release), and a degenerate
+/// `E(I_min)` (zero, negative, or NaN — possible when the priority
+/// model itself is degenerate) is treated as an instantly-saturated
+/// spray tree rather than a crash.
 pub fn estimate_m(spray_times: &[SimTime], now: SimTime, e_i_min: f64, n_nodes: usize) -> u32 {
-    assert!(e_i_min > 0.0, "E(I_min) must be positive");
     let cap = (n_nodes.saturating_sub(1)) as u64;
+    // NaN also lands here: a NaN `E(I_min)` fails the `>` comparison.
+    if !spray_times.is_empty()
+        && !matches!(e_i_min.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater))
+    {
+        return cap as u32;
+    }
     let mut total: u64 = 1; // the chain endpoint itself
     for &t_k in spray_times {
         let dt = (now - t_k).as_secs().max(0.0);
-        // 2^63 would overflow; anything beyond the cap saturates anyway.
-        let exp = (dt / e_i_min).floor().min(62.0) as u32;
+        let exp = (dt / e_i_min).floor().clamp(0.0, 62.0) as u32;
         total = total.saturating_add(1u64 << exp);
         if total >= cap {
             return cap as u32;
@@ -191,6 +203,37 @@ mod tests {
     }
 
     #[test]
+    fn m_estimate_huge_elapsed_time_does_not_overflow() {
+        // Regression: ⌊(now − t_k)/E(I_min)⌋ can exceed 63 by orders of
+        // magnitude (long TTLs, tiny E(I_min)); `1u64 << exp` would
+        // panic in debug and wrap in release. The clamp must kick in
+        // and the estimate saturate at N−1.
+        assert_eq!(estimate_m(&[t(0.0)], t(1e15), 1e-6, 100), 99);
+        // Exactly at and just past the shift-overflow boundary.
+        assert_eq!(estimate_m(&[t(0.0)], t(63.0), 1.0, 100), 99);
+        assert_eq!(estimate_m(&[t(0.0)], t(64.0), 1.0, 100), 99);
+        // Many ancient sprays together still saturate, never wrap.
+        let sprays: Vec<SimTime> = (0..32).map(|k| t(k as f64)).collect();
+        assert_eq!(estimate_m(&sprays, t(1e12), 1e-3, 50), 49);
+    }
+
+    #[test]
+    fn m_estimate_degenerate_e_i_min_is_total() {
+        // Zero, negative, NaN and infinite E(I_min) must not panic.
+        assert_eq!(estimate_m(&[t(0.0)], t(10.0), 0.0, 100), 99);
+        assert_eq!(estimate_m(&[t(0.0)], t(10.0), -1.0, 100), 99);
+        assert_eq!(estimate_m(&[t(0.0)], t(10.0), f64::NAN, 100), 99);
+        // Infinite E(I_min) (degenerate 1-node model): no doubling at
+        // all — each recorded spray contributes exactly one peer.
+        assert_eq!(estimate_m(&[t(0.0)], t(10.0), f64::INFINITY, 100), 2);
+        // No sprays recorded: the endpoint alone, whatever E(I_min).
+        assert_eq!(estimate_m(&[], t(10.0), 0.0, 100), 1);
+        // Degenerate populations cap at N−1 (0 for a 1-node network).
+        assert_eq!(estimate_m(&[t(0.0)], t(1e9), 1e-9, 1), 0);
+        assert_eq!(estimate_m(&[t(0.0)], t(1e9), 1e-9, 2), 1);
+    }
+
+    #[test]
     fn n_estimate_eq14() {
         assert_eq!(estimate_n(5, 2), 4); // 5 + 1 - 2
         assert_eq!(estimate_n(0, 0), 1);
@@ -268,6 +311,25 @@ mod tests {
         #[test]
         fn prop_n_at_least_one(seen in 0u32..1000, dropped in 0u32..1000) {
             prop_assert!(estimate_n(seen, dropped) >= 1);
+        }
+
+        /// Extreme corners never panic or escape the cap: huge elapsed
+        /// times, microscopic E(I_min), and degenerate populations
+        /// (N ∈ {1, 2}) included.
+        #[test]
+        fn prop_m_total_at_extremes(
+            sprays in prop::collection::vec(0.0f64..100.0, 0..8),
+            now in 0.0f64..1e18,
+            e_min in 1e-9f64..1e9,
+            n_nodes in 1usize..300,
+        ) {
+            let times: Vec<SimTime> = sprays.iter().map(|&s| t(s)).collect();
+            let m = estimate_m(&times, t(now), e_min, n_nodes);
+            let cap = n_nodes.saturating_sub(1) as u32;
+            prop_assert!(m <= cap);
+            if !times.is_empty() || cap >= 1 {
+                prop_assert!(m >= 1u32.min(cap));
+            }
         }
     }
 }

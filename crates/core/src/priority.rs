@@ -60,23 +60,41 @@ impl PriorityModel {
     }
 
     /// `E(I_min) = E(I) / (N-1) = 1 / ((N-1) λ)` — Eq. 3.
+    ///
+    /// Total for degenerate models (defence in depth behind the
+    /// `n_nodes >= 2` checks in [`new`](Self::new) and the scenario
+    /// validation): with no other node to meet, the minimum
+    /// intermeeting time is infinite, not `1/0`.
     pub fn e_i_min(&self) -> f64 {
+        if self.n_nodes <= 1 {
+            return f64::INFINITY;
+        }
         1.0 / ((self.n_nodes as f64 - 1.0) * self.lambda)
     }
 
     /// The spray-corrected exposure term `A_i` (the bracket in Eq. 6).
     /// Clamped to zero from below: a negative exposure would mean the
     /// remaining TTL cannot even cover the spray rounds, i.e. no
-    /// further delivery value.
+    /// further delivery value. Zero for degenerate (`N <= 1`) models —
+    /// no peer can ever be exposed — so every downstream priority form
+    /// is total (0 or `-inf`) instead of ∞/NaN.
     pub fn exposure(&self, copies: u32, remaining_ttl: f64) -> f64 {
+        if self.n_nodes <= 1 {
+            return 0.0;
+        }
         let l = log2_copies(copies);
         let correction = l * (l + 1.0) / (2.0 * (self.n_nodes as f64 - 1.0) * self.lambda);
         ((l + 1.0) * remaining_ttl - correction).max(0.0)
     }
 
     /// `P(T_i)` — probability the message has already been delivered
-    /// (Eq. 5), clamped to `[0, 1]`.
+    /// (Eq. 5), clamped to `[0, 1]`. For a degenerate one-node model
+    /// the destination cannot exist, so delivery is treated as certain
+    /// (yielding zero priority) rather than `0/0 = NaN`.
     pub fn p_delivered(&self, seen: u32) -> f64 {
+        if self.n_nodes <= 1 {
+            return 1.0;
+        }
         (seen as f64 / (self.n_nodes as f64 - 1.0)).clamp(0.0, 1.0)
     }
 
@@ -521,6 +539,58 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_models_are_total() {
+        // `new()` rejects N < 2, but the struct fields are public, so a
+        // degenerate model can still be built (and Eq. 3/5/6 all divide
+        // by N−1). Every priority form must stay total: finite-or-inf,
+        // never NaN — a NaN would panic the buffer policy's
+        // `.expect("NaN priority")` sort far from the root cause.
+        for n_nodes in [0usize, 1] {
+            let m = PriorityModel {
+                n_nodes,
+                lambda: 1.0 / 1000.0,
+            };
+            assert_eq!(m.e_i_min(), f64::INFINITY);
+            assert_eq!(m.exposure(8, 3000.0), 0.0);
+            assert_eq!(m.p_delivered(0), 1.0);
+            for &(seen, holders, copies, ttl) in &[
+                (0u32, 0u32, 1u32, 0.0f64),
+                (0, 1, 8, 3000.0),
+                (5, 3, 64, 1e9),
+            ] {
+                let u = m.priority(seen, holders, copies, ttl);
+                assert_eq!(u, 0.0, "degenerate priority must be exactly 0");
+                assert!(!m.p_remaining(holders, copies, ttl).is_nan());
+                assert!(!m.p_total(seen, holders, copies, ttl).is_nan());
+                assert_eq!(
+                    m.log_priority(seen, holders, copies, ttl),
+                    f64::NEG_INFINITY
+                );
+                assert_eq!(
+                    m.log_priority_taylor(seen, holders, copies, ttl, 3),
+                    f64::NEG_INFINITY
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_node_model_is_well_defined() {
+        // The smallest legal network: N−1 = 1, so nothing degenerates,
+        // but every divisor sits at its minimum.
+        let m = PriorityModel::new(2, 1.0 / 500.0);
+        assert_eq!(m.e_i_min(), 500.0);
+        assert_eq!(m.p_delivered(0), 0.0);
+        assert_eq!(m.p_delivered(1), 1.0);
+        let u = m.priority(0, 1, 2, 1000.0);
+        assert!(u.is_finite() && u > 0.0);
+        assert!(!m.log_priority(0, 1, 2, 1000.0).is_nan());
+        // Zero remaining TTL: no exposure left, zero priority.
+        assert_eq!(m.priority(0, 1, 1, 0.0), 0.0);
+        assert_eq!(m.log_priority(0, 1, 1, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
     #[should_panic(expected = "lambda")]
     fn rejects_bad_lambda() {
         let _ = PriorityModel::new(10, 0.0);
@@ -557,6 +627,29 @@ mod tests {
             prop_assert!((0.0..=1.0).contains(&pt));
             prop_assert!((0.0..=1.0).contains(&pr));
             prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+
+        /// Degenerate and minimal node counts (N ∈ {0, 1, 2}) with any
+        /// inputs — zero TTL included — never produce NaN anywhere in
+        /// the probability chain or either priority form.
+        #[test]
+        fn prop_degenerate_node_counts_never_nan(
+            n_nodes in 0usize..3,
+            seen in 0u32..8,
+            holders in 0u32..8,
+            copies in 1u32..128,
+            ttl in prop_oneof![Just(0.0f64), 0.0f64..100_000.0],
+        ) {
+            let m = PriorityModel { n_nodes, lambda: 1.0 / 1000.0 };
+            let u = m.priority(seen, holders, copies, ttl);
+            prop_assert!(!u.is_nan());
+            prop_assert!(u >= 0.0);
+            prop_assert!(!m.log_priority(seen, holders, copies, ttl).is_nan());
+            prop_assert!(!m.p_delivered(seen).is_nan());
+            prop_assert!(!m.p_remaining(holders, copies, ttl).is_nan());
+            prop_assert!(!m.p_total(seen, holders, copies, ttl).is_nan());
+            prop_assert!(!m.exposure(copies, ttl).is_nan());
+            prop_assert!(m.e_i_min() > 0.0);
         }
 
         /// Taylor truncation never exceeds the exact Eq. 11 value and

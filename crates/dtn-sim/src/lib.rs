@@ -13,7 +13,10 @@
 //!   the supporting counters, with the paper's exact definitions.
 //! * [`world`] — the event-driven simulation itself.
 //! * [`sweep`] — parallel parameter sweeps (policies x axis x seeds)
-//!   used by every Fig. 8 / Fig. 9 series.
+//!   used by every Fig. 8 / Fig. 9 series, with panic isolation,
+//!   checkpoint/resume and optional per-cell invariant validation.
+//! * [`scenario_gen`] — seeded random scenario generation shared by the
+//!   property tests and the `dtn-fuzz` nightly fuzzer.
 //! * [`replay`] — deterministic replay from a run manifest, plus
 //!   differential harnesses (thread counts, policy matrix).
 //! * [`output`] — CSV and markdown emitters for the figure harnesses.
@@ -39,6 +42,7 @@ pub mod node;
 pub mod output;
 pub mod replay;
 pub mod report;
+pub mod scenario_gen;
 pub mod sweep;
 pub mod timeseries;
 pub mod world;

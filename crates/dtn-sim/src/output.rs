@@ -156,6 +156,7 @@ mod tests {
                     avg_latency: 100.0,
                     created: 600.0,
                     runs: 3,
+                    violations: 0,
                 });
             }
         }

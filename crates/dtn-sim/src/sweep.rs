@@ -3,18 +3,42 @@
 //!
 //! A sweep is `axis points x policies x seeds` independent simulations.
 //! Runs are embarrassingly parallel and fully deterministic, so the
-//! runner just spreads the job list over a crossbeam scoped-thread pool
+//! runner spreads the job list over a crossbeam scoped-thread pool
 //! (guide-recommended for fork-join parallelism without lifetime
 //! contortions) and averages the per-seed reports.
+//!
+//! The runner is *hardened*:
+//!
+//! * Every job executes under [`std::panic::catch_unwind`]. A panicking
+//!   cell becomes a structured [`CellError`] (config hash, axis/policy/
+//!   seed, panic payload) in the [`SweepOutput`] instead of killing the
+//!   scope — all other cells are always returned.
+//! * With a [`SweepCheckpoint`] attached, every finished job is
+//!   streamed to a JSONL file as a [`CellRun`] keyed by the canonical
+//!   config hash ([`dtn_telemetry::hash_config_json`]). Resuming skips
+//!   already-completed jobs and reproduces the uninterrupted run
+//!   bit-identically (per-run [`ReportFingerprint`]s): the checkpoint
+//!   stores the exact integer digest and the exact `f64` metrics
+//!   (shortest-roundtrip JSON), so aggregation over restored runs is
+//!   byte-for-byte the same as over live ones.
+//! * [`SweepSpec::validate`] attaches a `dtn-validate` `Validator` to
+//!   every world and folds invariant-violation counts into each
+//!   [`SweepCell`] and [`CellRun`].
 
 use crate::config::{PolicyKind, ScenarioConfig};
 use crate::report::Report;
 use crate::world::World;
 use dtn_core::stats::OnlineStats;
 use dtn_core::units::Bytes;
-use dtn_telemetry::{EventTotals, Recorder};
+use dtn_telemetry::{hash_config_json, EventTotals, Recorder, SweepEvent};
+use dtn_validate::ReportFingerprint;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The swept parameter — the paper's three x-axes.
@@ -112,6 +136,10 @@ pub struct SweepSpec {
     pub policies: Vec<PolicyKind>,
     /// Seeds to average over.
     pub seeds: Vec<u64>,
+    /// Attach a `dtn-validate` `Validator` to every run and fold the
+    /// violation counts into the cells.
+    #[serde(default)]
+    pub validate: bool,
 }
 
 /// Averaged metrics for one `(axis point, policy)` cell.
@@ -137,14 +165,20 @@ pub struct SweepCell {
     pub avg_latency: f64,
     /// Mean generated messages per run.
     pub created: f64,
-    /// Seeds aggregated.
+    /// Seeds aggregated (fewer than requested if some runs panicked).
     pub runs: usize,
+    /// Total invariant violations across the cell's runs (0 unless
+    /// [`SweepSpec::validate`] was set).
+    #[serde(default)]
+    pub violations: u64,
 }
 
-/// Live progress of a sweep, reported once per completed run.
+/// Live progress of a sweep, reported once per finished run (panicked
+/// runs included).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepProgress {
-    /// Runs finished so far (this one included).
+    /// Runs finished so far (this one included; restored checkpoint
+    /// runs are pre-counted).
     pub completed: usize,
     /// Total runs in the sweep.
     pub total: usize,
@@ -154,35 +188,211 @@ pub struct SweepProgress {
     pub policy: String,
 }
 
+/// One job for the generic cell runner: a label pair for progress
+/// reporting plus the fully-resolved scenario.
+#[derive(Debug, Clone)]
+pub struct CellJob {
+    /// Axis label (sweeps) or scenario name (fuzzing).
+    pub label: String,
+    /// Policy legend label.
+    pub policy: String,
+    /// The exact configuration to run.
+    pub cfg: ScenarioConfig,
+}
+
+/// The scalar per-run metrics a sweep aggregates. Stored in checkpoint
+/// records as raw `f64`s — JSON rendering is shortest-roundtrip, so a
+/// restored run aggregates bit-identically to a live one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    /// Delivery ratio.
+    pub delivery_ratio: f64,
+    /// Average hopcount over first deliveries.
+    pub avg_hopcount: f64,
+    /// Overhead ratio.
+    pub overhead_ratio: f64,
+    /// Average delivery latency, seconds.
+    pub avg_latency: f64,
+    /// Messages generated after warm-up.
+    pub created: f64,
+}
+
+impl CellMetrics {
+    /// Extracts the aggregation inputs from a run's report.
+    pub fn from_report(report: &Report) -> Self {
+        CellMetrics {
+            delivery_ratio: report.delivery_ratio(),
+            avg_hopcount: report.avg_hopcount(),
+            overhead_ratio: report.overhead_ratio(),
+            avg_latency: report.avg_latency(),
+            created: report.created() as f64,
+        }
+    }
+}
+
+/// One finished job — the checkpoint JSONL record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRun {
+    /// Position in the materialised job list.
+    pub index: usize,
+    /// FNV-1a hash of the job's canonical config JSON — the resume key.
+    pub config_hash: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Scalar metrics the sweep aggregates.
+    pub metrics: CellMetrics,
+    /// Integer digest of the run, for bit-identical resume checks.
+    pub fingerprint: ReportFingerprint,
+    /// Invariant violations observed (0 when validation is off).
+    pub violations: u64,
+}
+
+/// A job that panicked: everything needed to triage and replay it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellError {
+    /// Position in the materialised job list.
+    pub index: usize,
+    /// FNV-1a hash of the job's canonical config JSON.
+    pub config_hash: String,
+    /// Axis label (sweeps) or scenario name (fuzzing).
+    pub label: String,
+    /// Policy legend label.
+    pub policy: String,
+    /// RNG seed of the failed run.
+    pub seed: u64,
+    /// The panic payload, stringified.
+    pub panic: String,
+    /// The canonical config JSON of the failed job, embedded so the
+    /// cell can be replayed directly (`dtn-scenario --config`).
+    pub config: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell #{} ({} @ {}, seed {}, config {}) panicked: {}",
+            self.index, self.policy, self.label, self.seed, self.config_hash, self.panic
+        )
+    }
+}
+
+/// Checkpoint configuration for a hardened run.
+#[derive(Debug, Clone)]
+pub struct SweepCheckpoint {
+    /// JSONL file finished cells stream to (one [`CellRun`] per line).
+    pub path: PathBuf,
+    /// Restore completed cells from `path` instead of truncating it.
+    pub resume: bool,
+}
+
+/// Options for [`run_cells`] / [`run_sweep_hardened`].
+#[derive(Default)]
+pub struct SweepOptions<'a> {
+    /// Worker threads; 0 uses the available parallelism.
+    pub threads: usize,
+    /// Attach a `dtn-validate` `Validator` to every run.
+    pub validate: bool,
+    /// Stream finished cells to (and optionally resume from) a JSONL
+    /// checkpoint file.
+    pub checkpoint: Option<SweepCheckpoint>,
+    /// Per-run progress callback (called from worker threads).
+    pub progress: Option<&'a (dyn Fn(SweepProgress) + Sync)>,
+    /// Structured lifecycle-event callback (called from worker
+    /// threads): completions, failures, skips, resumes.
+    pub events: Option<&'a (dyn Fn(&SweepEvent) + Sync)>,
+}
+
+/// Result of a hardened cell-list run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellsOutput {
+    /// Per-job outcome, job-ordered; `None` marks a panicked job (its
+    /// [`CellError`] is in `errors`).
+    pub runs: Vec<Option<CellRun>>,
+    /// The panicked jobs.
+    pub errors: Vec<CellError>,
+    /// Event totals folded over all successful runs (restored ones
+    /// included, so totals match an uninterrupted run).
+    pub totals: EventTotals,
+    /// Total invariant violations across all successful runs.
+    pub violations: u64,
+    /// Jobs restored from the checkpoint instead of executed.
+    pub resumed: usize,
+    /// Jobs executed in this invocation.
+    pub executed: usize,
+}
+
+/// Result of a hardened sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepOutput {
+    /// One aggregated cell per `(axis point, policy)`, axis-major then
+    /// policy — always complete, even when some runs panicked.
+    pub cells: Vec<SweepCell>,
+    /// The panicked runs, if any.
+    pub errors: Vec<CellError>,
+    /// Event totals folded over all successful runs.
+    pub totals: EventTotals,
+    /// Total invariant violations across all runs.
+    pub violations: u64,
+    /// Runs restored from the checkpoint instead of executed.
+    pub resumed: usize,
+    /// Runs executed in this invocation.
+    pub executed: usize,
+    /// Per-run records, job-ordered (`None` marks a panicked run).
+    pub runs: Vec<Option<CellRun>>,
+}
+
 /// Runs the sweep on `threads` worker threads (pass 0 to use the
 /// available parallelism). Returns one cell per `(axis point, policy)`,
 /// ordered axis-major then policy.
+///
+/// This is the *strict* legacy entry point: any panicking run aborts
+/// the whole sweep (differential harnesses and golden tests rely on
+/// all-or-nothing results). Use [`run_sweep_observed`] or
+/// [`run_sweep_hardened`] for fault-tolerant behaviour.
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
-    run_sweep_observed(spec, threads, &|_| {}).0
+    let out = run_sweep_observed(spec, threads, &|_| {});
+    if let Some(err) = out.errors.first() {
+        panic!("sweep worker panicked: {err}");
+    }
+    out.cells
 }
 
-/// [`run_sweep`] with telemetry: every run carries a counting-only
-/// recorder whose event totals are folded into the returned
-/// [`EventTotals`], and `observe` is called (from worker threads) after
-/// each completed run.
+/// [`run_sweep`] hardened: every run executes under `catch_unwind`, a
+/// panicking cell becomes a [`CellError`] in the output, every run
+/// carries a counting-only recorder whose event totals are folded into
+/// the returned [`SweepOutput`], and `observe` is called (from worker
+/// threads) after each finished run.
 pub fn run_sweep_observed(
     spec: &SweepSpec,
     threads: usize,
     observe: &(dyn Fn(SweepProgress) + Sync),
-) -> (Vec<SweepCell>, EventTotals) {
+) -> SweepOutput {
+    run_sweep_hardened(
+        spec,
+        &SweepOptions {
+            threads,
+            validate: spec.validate,
+            progress: Some(observe),
+            ..SweepOptions::default()
+        },
+    )
+}
+
+/// The fully-hardened sweep runner: panic isolation, optional
+/// per-cell validation ([`SweepSpec::validate`] or
+/// [`SweepOptions::validate`]) and optional checkpoint/resume.
+pub fn run_sweep_hardened(spec: &SweepSpec, opts: &SweepOptions<'_>) -> SweepOutput {
     assert!(!spec.axis.is_empty(), "sweep axis has no points");
     assert!(!spec.policies.is_empty(), "sweep needs at least one policy");
     assert!(!spec.seeds.is_empty(), "sweep needs at least one seed");
 
-    // Materialise the job list: (axis i, policy j, seed) -> config.
-    struct Job {
-        axis: usize,
-        policy: usize,
-        cfg: ScenarioConfig,
-    }
+    // Materialise the job list: (axis i, policy j, seed) -> config,
+    // axis-major, then policy, then seed — cell (ai, pi) owns jobs
+    // [ (ai*P + pi)*S , +S ).
     let mut jobs = Vec::new();
     for ai in 0..spec.axis.len() {
-        for (pi, policy) in spec.policies.iter().enumerate() {
+        for policy in &spec.policies {
             for &seed in &spec.seeds {
                 let mut cfg = spec.base.clone();
                 spec.axis.apply(&mut cfg, ai);
@@ -191,68 +401,44 @@ pub fn run_sweep_observed(
                 if matches!(policy, PolicyKind::SdsrpOracle { .. }) {
                     cfg.oracle = true;
                 }
-                jobs.push(Job {
-                    axis: ai,
-                    policy: pi,
+                jobs.push(CellJob {
+                    label: spec.axis.label(ai),
+                    policy: policy.label().to_string(),
                     cfg,
                 });
             }
         }
     }
 
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        threads
-    };
-    let cursor = AtomicUsize::new(0);
-    let completed = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<(usize, usize, Report)>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let totals: Mutex<EventTotals> = Mutex::new(EventTotals::default());
+    let out = run_cells(
+        jobs,
+        &SweepOptions {
+            threads: opts.threads,
+            validate: opts.validate || spec.validate,
+            checkpoint: opts.checkpoint.clone(),
+            progress: opts.progress,
+            events: opts.events,
+        },
+    );
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(jobs.len()) {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[i];
-                let mut world = World::build(&job.cfg);
-                // Counting-only telemetry: no ring, no sink.
-                world.attach_recorder(Recorder::enabled(0));
-                let (report, recorder) = world.run_with_recorder();
-                totals.lock().absorb(recorder.totals());
-                results.lock()[i] = Some((job.axis, job.policy, report));
-                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                observe(SweepProgress {
-                    completed: done,
-                    total: jobs.len(),
-                    axis_label: spec.axis.label(job.axis),
-                    policy: spec.policies[job.policy].label().to_string(),
-                });
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    // Aggregate per (axis, policy).
-    let mut agg: Vec<Vec<CellAgg>> =
-        vec![vec![CellAgg::default(); spec.policies.len()]; spec.axis.len()];
-    for slot in results.into_inner() {
-        let (ai, pi, report) = slot.expect("job not executed");
+    // Aggregate per (axis, policy). Panicked runs simply contribute
+    // nothing: their cell still appears, with fewer `runs`.
+    let n_seeds = spec.seeds.len();
+    let n_policies = spec.policies.len();
+    let mut agg: Vec<Vec<CellAgg>> = vec![vec![CellAgg::default(); n_policies]; spec.axis.len()];
+    for run in out.runs.iter().flatten() {
+        let ai = run.index / (n_policies * n_seeds);
+        let pi = (run.index / n_seeds) % n_policies;
         let a = &mut agg[ai][pi];
-        a.delivery.push(report.delivery_ratio());
-        a.hops.push(report.avg_hopcount());
-        a.overhead.push(report.overhead_ratio());
-        a.latency.push(report.avg_latency());
-        a.created.push(report.created() as f64);
+        a.delivery.push(run.metrics.delivery_ratio);
+        a.hops.push(run.metrics.avg_hopcount);
+        a.overhead.push(run.metrics.overhead_ratio);
+        a.latency.push(run.metrics.avg_latency);
+        a.created.push(run.metrics.created);
+        a.violations += run.violations;
     }
 
-    let mut cells = Vec::with_capacity(spec.axis.len() * spec.policies.len());
+    let mut cells = Vec::with_capacity(spec.axis.len() * n_policies);
     for (ai, row) in agg.into_iter().enumerate() {
         for (pi, a) in row.into_iter().enumerate() {
             cells.push(SweepCell {
@@ -267,10 +453,277 @@ pub fn run_sweep_observed(
                 avg_latency: a.latency.mean().unwrap_or(0.0),
                 created: a.created.mean().unwrap_or(0.0),
                 runs: a.delivery.count() as usize,
+                violations: a.violations,
             });
         }
     }
-    (cells, totals.into_inner())
+    SweepOutput {
+        cells,
+        errors: out.errors,
+        totals: out.totals,
+        violations: out.violations,
+        resumed: out.resumed,
+        executed: out.executed,
+        runs: out.runs,
+    }
+}
+
+/// Runs an arbitrary list of fully-resolved scenarios (the generic core
+/// behind [`run_sweep_hardened`] and the `dtn-fuzz` bin) with panic
+/// isolation and optional validation + checkpoint/resume.
+pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
+    let total = jobs.len();
+    // Canonical config JSON per job: the replay payload, and (hashed)
+    // the checkpoint resume key.
+    let configs: Vec<String> = jobs
+        .iter()
+        .map(|j| serde_json::to_string(&j.cfg).expect("config serialises"))
+        .collect();
+    let hashes: Vec<String> = configs.iter().map(|c| hash_config_json(c)).collect();
+
+    let mut slots: Vec<Option<Result<CellRun, CellError>>> = (0..total).map(|_| None).collect();
+    let mut totals = EventTotals::default();
+    let mut resumed = 0usize;
+
+    // Restore finished cells from the checkpoint, then rewrite it from
+    // the parsed entries and keep the handle for appending. The rewrite
+    // repairs a torn final line a mid-write kill may have left behind
+    // (and guarantees the file ends with a newline before we append).
+    let writer: Option<Mutex<File>> = match &opts.checkpoint {
+        Some(ck) => {
+            let mut prior = if ck.resume {
+                load_checkpoint(&ck.path)
+            } else {
+                HashMap::new()
+            };
+            if ck.resume {
+                for (i, hash) in hashes.iter().enumerate() {
+                    if let Some(mut run) = prior.remove(hash) {
+                        run.index = i;
+                        totals.absorb(&run.fingerprint.events);
+                        if let Some(ev) = opts.events {
+                            ev(&SweepEvent::CellSkipped {
+                                index: i as u64,
+                                total: total as u64,
+                                config_hash: hash.clone(),
+                                label: jobs[i].label.clone(),
+                                seed: jobs[i].cfg.seed,
+                            });
+                        }
+                        slots[i] = Some(Ok(run));
+                        resumed += 1;
+                    }
+                }
+                if let Some(ev) = opts.events {
+                    ev(&SweepEvent::CheckpointResumed {
+                        path: ck.path.display().to_string(),
+                        cells: resumed as u64,
+                    });
+                }
+            }
+            let mut file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&ck.path)
+                .unwrap_or_else(|e| panic!("cannot open checkpoint {}: {e}", ck.path.display()));
+            // Job-matched entries first (job order), then any leftover
+            // entries from other job sets (hash order, so the rewrite
+            // is deterministic), preserved rather than dropped.
+            for run in slots.iter().flatten().filter_map(|r| r.as_ref().ok()) {
+                let line = serde_json::to_string(run).expect("cell run serialises");
+                writeln!(file, "{line}").expect("rewrite checkpoint");
+            }
+            let mut leftovers: Vec<&CellRun> = prior.values().collect();
+            leftovers.sort_by(|a, b| a.config_hash.cmp(&b.config_hash));
+            for run in leftovers {
+                let line = serde_json::to_string(run).expect("cell run serialises");
+                writeln!(file, "{line}").expect("rewrite checkpoint");
+            }
+            file.flush().expect("flush checkpoint");
+            Some(Mutex::new(file))
+        }
+        None => None,
+    };
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        opts.threads
+    };
+    let pending = total - resumed;
+    let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(resumed);
+    let results: Mutex<Vec<Option<Result<CellRun, CellError>>>> = Mutex::new(slots);
+    let shared_totals: Mutex<EventTotals> = Mutex::new(totals);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(pending.max(1)) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                if results.lock()[i].is_some() {
+                    continue; // restored from the checkpoint
+                }
+                let job = &jobs[i];
+                // Panic isolation: a failing cell must not take down
+                // the sweep (nor this worker, which keeps pulling
+                // jobs). The captured state is only read on success.
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| execute_cell(&job.cfg, opts.validate)));
+                let slot = match outcome {
+                    Ok((metrics, fingerprint, violations)) => {
+                        let run = CellRun {
+                            index: i,
+                            config_hash: hashes[i].clone(),
+                            seed: job.cfg.seed,
+                            metrics,
+                            fingerprint,
+                            violations,
+                        };
+                        if let Some(w) = &writer {
+                            let line = serde_json::to_string(&run).expect("cell run serialises");
+                            let mut f = w.lock();
+                            // Flush per cell: the file must survive a
+                            // kill right up to the last finished job.
+                            let _ = writeln!(f, "{line}");
+                            let _ = f.flush();
+                        }
+                        shared_totals.lock().absorb(&run.fingerprint.events);
+                        if let Some(ev) = opts.events {
+                            ev(&SweepEvent::CellCompleted {
+                                index: i as u64,
+                                total: total as u64,
+                                config_hash: run.config_hash.clone(),
+                                label: job.label.clone(),
+                                seed: run.seed,
+                                violations: run.violations,
+                            });
+                        }
+                        Ok(run)
+                    }
+                    Err(payload) => {
+                        let err = CellError {
+                            index: i,
+                            config_hash: hashes[i].clone(),
+                            label: job.label.clone(),
+                            policy: job.policy.clone(),
+                            seed: job.cfg.seed,
+                            panic: panic_message(payload.as_ref()),
+                            config: configs[i].clone(),
+                        };
+                        if let Some(ev) = opts.events {
+                            ev(&SweepEvent::CellFailed {
+                                index: i as u64,
+                                total: total as u64,
+                                config_hash: err.config_hash.clone(),
+                                label: err.label.clone(),
+                                seed: err.seed,
+                                panic: err.panic.clone(),
+                            });
+                        }
+                        Err(err)
+                    }
+                };
+                results.lock()[i] = Some(slot);
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(progress) = opts.progress {
+                    progress(SweepProgress {
+                        completed: done,
+                        total,
+                        axis_label: job.label.clone(),
+                        policy: job.policy.clone(),
+                    });
+                }
+            });
+        }
+    })
+    // The workers themselves cannot panic (jobs run under
+    // catch_unwind); only callback panics propagate here.
+    .expect("sweep observer panicked");
+
+    let mut runs = Vec::with_capacity(total);
+    let mut errors = Vec::new();
+    let mut violations = 0u64;
+    for slot in results.into_inner() {
+        match slot.expect("job not executed") {
+            Ok(run) => {
+                violations += run.violations;
+                runs.push(Some(run));
+            }
+            Err(err) => {
+                errors.push(err);
+                runs.push(None);
+            }
+        }
+    }
+    CellsOutput {
+        runs,
+        errors,
+        totals: shared_totals.into_inner(),
+        violations,
+        resumed,
+        executed: total - resumed,
+    }
+}
+
+/// Builds and runs one world, returning the aggregation inputs, the
+/// run's integer fingerprint, and the invariant-violation count.
+fn execute_cell(cfg: &ScenarioConfig, validate: bool) -> (CellMetrics, ReportFingerprint, u64) {
+    let mut world = World::build(cfg);
+    // Counting-only telemetry: no ring, no sink.
+    world.attach_recorder(Recorder::enabled(0));
+    if validate {
+        world.enable_validation(dtn_validate::ValidateConfig::default());
+        let (report, validation, recorder) = world.run_validated();
+        let fp = crate::replay::fingerprint(&report, recorder.totals());
+        (
+            CellMetrics::from_report(&report),
+            fp,
+            validation.violation_count,
+        )
+    } else {
+        let (report, recorder) = world.run_with_recorder();
+        let fp = crate::replay::fingerprint(&report, recorder.totals());
+        (CellMetrics::from_report(&report), fp, 0)
+    }
+}
+
+/// Stringifies a panic payload (the two standard payload types, then a
+/// generic fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Loads a checkpoint file into a `config hash -> CellRun` map. Lines
+/// that fail to parse are skipped: a process killed mid-write leaves a
+/// truncated tail, which resuming must tolerate (that cell simply
+/// re-runs). A missing file is an empty checkpoint.
+pub fn load_checkpoint(path: &Path) -> HashMap<String, CellRun> {
+    let mut map = HashMap::new();
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Ok(run) = serde_json::from_str::<CellRun>(line) {
+            map.insert(run.config_hash.clone(), run);
+        }
+    }
+    map
 }
 
 #[derive(Clone, Default)]
@@ -280,6 +733,7 @@ struct CellAgg {
     overhead: OnlineStats,
     latency: OnlineStats,
     created: OnlineStats,
+    violations: u64,
 }
 
 #[cfg(test)]
@@ -296,6 +750,7 @@ mod tests {
             axis: SweepAxis::InitialCopies(vec![8, 16]),
             policies: vec![PolicyKind::Fifo, PolicyKind::Sdsrp],
             seeds: vec![1, 2],
+            validate: false,
         }
     }
 
@@ -336,6 +791,7 @@ mod tests {
             assert_eq!(c.runs, 2);
             assert!(c.created > 0.0);
             assert!((0.0..=1.0).contains(&c.delivery_ratio));
+            assert_eq!(c.violations, 0);
         }
         // Ordering: axis-major, then policy.
         assert_eq!(cells[0].axis_label, "8");
@@ -358,21 +814,79 @@ mod tests {
         let spec = quick_spec();
         let seen = AtomicUsize::new(0);
         let max_completed = AtomicUsize::new(0);
-        let (cells, totals) = run_sweep_observed(&spec, 2, &|p: SweepProgress| {
+        let out = run_sweep_observed(&spec, 2, &|p: SweepProgress| {
             seen.fetch_add(1, Ordering::Relaxed);
             max_completed.fetch_max(p.completed, Ordering::Relaxed);
             assert_eq!(p.total, 8); // 2 axis points x 2 policies x 2 seeds
             assert!(!p.axis_label.is_empty());
             assert!(!p.policy.is_empty());
         });
-        assert_eq!(cells.len(), 4);
+        assert_eq!(out.cells.len(), 4);
         assert_eq!(seen.load(Ordering::Relaxed), 8);
         assert_eq!(max_completed.load(Ordering::Relaxed), 8);
+        assert!(out.errors.is_empty());
+        assert_eq!(out.executed, 8);
+        assert_eq!(out.resumed, 0);
+        assert_eq!(out.runs.iter().flatten().count(), 8);
         // The aggregate totals reconcile with the aggregated reports:
         // every counted generation produced one MessageGenerated event.
-        let created: f64 = cells.iter().map(|c| c.created * c.runs as f64).sum();
-        assert_eq!(totals.generated, created.round() as u64);
-        assert!(totals.contacts_up > 0);
+        let created: f64 = out.cells.iter().map(|c| c.created * c.runs as f64).sum();
+        assert_eq!(out.totals.generated, created.round() as u64);
+        assert!(out.totals.contacts_up > 0);
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_other_cells_unchanged() {
+        // Axis point 1 asks for a negative buffer: every run at that
+        // point fails `ScenarioConfig::validate` inside the worker.
+        let clean = quick_spec();
+        let mut poisoned = clean.clone();
+        poisoned.axis = SweepAxis::InitialCopies(vec![8, 16, 0]);
+
+        let good = run_sweep_observed(&clean, 2, &|_| {});
+        let out = run_sweep_observed(&poisoned, 2, &|_| {});
+
+        // Both seeds of both policies at the poisoned point failed,
+        // as structured errors carrying the panic payload.
+        assert_eq!(out.errors.len(), 4);
+        for err in &out.errors {
+            assert_eq!(err.label, "0");
+            assert!(err.panic.contains("at least one copy"));
+            assert_eq!(err.config_hash.len(), 16);
+            assert!(err.config.contains("\"initial_copies\":0"));
+            assert!(!err.to_string().is_empty());
+        }
+        // All healthy cells are returned, bit-identical to a sweep
+        // that never contained the poisoned point.
+        assert_eq!(out.cells.len(), 3 * 2);
+        assert_eq!(&out.cells[..4], &good.cells[..]);
+        // The poisoned cells still appear, with zero aggregated runs.
+        for c in &out.cells[4..] {
+            assert_eq!(c.runs, 0);
+            assert_eq!(c.axis_label, "0");
+        }
+        assert_eq!(out.runs.iter().flatten().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn strict_run_sweep_still_aborts_on_cell_panic() {
+        let mut spec = quick_spec();
+        spec.axis = SweepAxis::InitialCopies(vec![8, 0]);
+        let _ = run_sweep(&spec, 2);
+    }
+
+    #[test]
+    fn validated_sweep_counts_violations() {
+        let mut spec = quick_spec();
+        spec.validate = true;
+        let out = run_sweep_observed(&spec, 2, &|_| {});
+        assert!(out.errors.is_empty());
+        // A healthy simulator has zero violations; the count is folded
+        // into every cell either way.
+        assert_eq!(out.violations, 0);
+        assert!(out.cells.iter().all(|c| c.violations == 0));
+        assert!(out.runs.iter().flatten().all(|r| r.violations == 0));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   event is never even constructed.
 //! * [`manifest`] — the per-run [`manifest::RunManifest`] (config hash,
 //!   seed, totals, wall clock) with structural diffing.
+//! * [`sweep`] — [`sweep::SweepEvent`], the lifecycle vocabulary of
+//!   hardened sweep/fuzz runs (cell completed/failed/skipped,
+//!   checkpoint resumed).
 //! * [`timeseries`] — sampled run histories (occupancy, contacts,
 //!   copies), folded in from `dtn-sim` so there is one instrumentation
 //!   path.
@@ -35,6 +38,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod ring;
 pub mod sink;
+pub mod sweep;
 pub mod timeseries;
 
 pub use event::{DropReason, EventTotals, SimEvent};
@@ -43,4 +47,5 @@ pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnaps
 pub use recorder::Recorder;
 pub use ring::EventRing;
 pub use sink::{CsvSink, EventSink, JsonlSink, MemorySink};
+pub use sweep::SweepEvent;
 pub use timeseries::{TimePoint, TimeSeries};

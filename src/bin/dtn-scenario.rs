@@ -29,9 +29,19 @@
 //! estimator oracle enabled; any violation makes the process exit
 //! non-zero. `--replay FILE.manifest.json` re-runs the scenario a
 //! manifest records and fails unless the re-run reproduces it exactly.
+//!
+//! `--sweep copies|buffer|genrate` sweeps the paper's axis of that name
+//! over the resolved base scenario with the paper's four policies,
+//! through the hardened runner: a panicking cell is reported and the
+//! rest of the sweep still completes. `--validate-cells` attaches the
+//! invariant checkers to every cell, `--checkpoint FILE` streams
+//! finished cells as JSONL, and `--resume` skips cells already in the
+//! checkpoint (bit-identical to an uninterrupted run).
 
 use sdsrp::sim::config::{presets, ImmunityMode, PolicyKind, RoutingKind, ScenarioConfig};
+use sdsrp::sim::output::{Metric, SeriesTable};
 use sdsrp::sim::replay::{manifest_for_run, replay_manifest};
+use sdsrp::sim::sweep::{run_sweep_hardened, SweepAxis, SweepCheckpoint, SweepOptions, SweepSpec};
 use sdsrp::sim::world::World;
 use sdsrp::telemetry::{JsonlSink, Recorder, RunManifest};
 use sdsrp::validate::ValidateConfig;
@@ -45,9 +55,83 @@ fn usage() -> ! {
          \t[--seed N] [--duration SECS] [--copies L] [--buffer-mb X]\n\
          \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
          \t[--timeseries FILE] [--telemetry FILE] [--validate]\n\
-         \t[--replay MANIFEST.json]"
+         \t[--replay MANIFEST.json]\n\
+         \t[--sweep copies|buffer|genrate [--seeds N] [--threads N]\n\
+         \t\t[--validate-cells] [--checkpoint FILE [--resume]]]"
     );
     exit(2);
+}
+
+/// `--sweep` mode: one paper axis x the paper's four policies through
+/// the hardened runner. Prints the three paper metrics as markdown.
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_mode(
+    base: ScenarioConfig,
+    axis_name: &str,
+    n_seeds: u64,
+    threads: usize,
+    validate_cells: bool,
+    checkpoint: Option<String>,
+    resume: bool,
+) -> ! {
+    let axis = match axis_name {
+        "copies" => SweepAxis::paper_copies(),
+        "buffer" => SweepAxis::paper_buffers(),
+        "genrate" => SweepAxis::paper_gen_rates(),
+        other => {
+            eprintln!("unknown sweep axis {other:?}");
+            usage()
+        }
+    };
+    let spec = SweepSpec {
+        base,
+        axis,
+        policies: PolicyKind::paper_four().to_vec(),
+        seeds: (1..=n_seeds).collect(),
+        validate: validate_cells,
+    };
+    let xlabel = spec.axis.name().to_string();
+    let progress = |p: sdsrp::sim::sweep::SweepProgress| {
+        eprint!("\rsweep: {}/{} runs done    ", p.completed, p.total);
+        use std::io::Write as _;
+        let _ = std::io::stderr().flush();
+    };
+    let opts = SweepOptions {
+        threads,
+        checkpoint: checkpoint.map(|path| SweepCheckpoint {
+            path: path.into(),
+            resume,
+        }),
+        progress: Some(&progress),
+        ..SweepOptions::default()
+    };
+    let out = run_sweep_hardened(&spec, &opts);
+    eprintln!(
+        "\rsweep: {} runs ({} executed, {} resumed), {} events",
+        out.runs.len(),
+        out.executed,
+        out.resumed,
+        out.totals.total()
+    );
+    for metric in [
+        Metric::DeliveryRatio,
+        Metric::AvgHopcount,
+        Metric::OverheadRatio,
+    ] {
+        let title = format!("{} vs {xlabel}", metric.name());
+        let table = SeriesTable::from_cells(&title, &xlabel, &out.cells, metric);
+        println!("{}", table.to_markdown());
+    }
+    for err in &out.errors {
+        eprintln!("{err}");
+    }
+    if validate_cells && out.violations > 0 {
+        eprintln!("{} invariant violation(s) across cells", out.violations);
+    }
+    if out.errors.is_empty() && (!validate_cells || out.violations == 0) {
+        exit(0);
+    }
+    exit(1);
 }
 
 /// Re-runs the scenario recorded in a manifest file and reports whether
@@ -128,6 +212,12 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut validate = false;
     let mut replay_path: Option<String> = None;
+    let mut sweep_axis: Option<String> = None;
+    let mut sweep_seeds: u64 = 3;
+    let mut sweep_threads: usize = 0;
+    let mut validate_cells = false;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
     type Override = Box<dyn Fn(&mut ScenarioConfig)>;
     let mut overrides: Vec<Override> = Vec::new();
 
@@ -209,6 +299,16 @@ fn main() {
             "--telemetry" => telemetry_path = Some(next(&args, &mut i)),
             "--validate" => validate = true,
             "--replay" => replay_path = Some(next(&args, &mut i)),
+            "--sweep" => sweep_axis = Some(next(&args, &mut i)),
+            "--seeds" => {
+                sweep_seeds = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                sweep_threads = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--validate-cells" => validate_cells = true,
+            "--checkpoint" => checkpoint = Some(next(&args, &mut i)),
+            "--resume" => resume = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -225,6 +325,18 @@ fn main() {
     let mut cfg = cfg.unwrap_or_else(presets::smoke);
     for f in &overrides {
         f(&mut cfg);
+    }
+
+    if let Some(axis) = &sweep_axis {
+        run_sweep_mode(
+            cfg,
+            axis,
+            sweep_seeds,
+            sweep_threads,
+            validate_cells,
+            checkpoint,
+            resume,
+        );
     }
 
     if emit_config {

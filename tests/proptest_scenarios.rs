@@ -3,93 +3,16 @@
 //! bit-exact determinism.
 
 use proptest::prelude::*;
-use sdsrp::core::geometry::Rect;
-use sdsrp::core::time::SimDuration;
-use sdsrp::core::units::Bytes;
-use sdsrp::mobility::random_waypoint::RandomWaypointConfig;
-use sdsrp::mobility::MobilityConfig;
-use sdsrp::net::LinkConfig;
-use sdsrp::sim::config::{PolicyKind, RoutingKind, ScenarioConfig};
+use sdsrp::sim::config::ScenarioConfig;
+use sdsrp::sim::scenario_gen::random_scenario;
 use sdsrp::sim::world::World;
 
-fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Fifo),
-        Just(PolicyKind::Lifo),
-        Just(PolicyKind::TtlRatio),
-        Just(PolicyKind::CopiesRatio),
-        Just(PolicyKind::Mofo),
-        Just(PolicyKind::Shli),
-        Just(PolicyKind::Random),
-        Just(PolicyKind::Sdsrp),
-        Just(PolicyKind::Knapsack),
-    ]
-}
-
-fn immunity_strategy() -> impl Strategy<Value = sdsrp::sim::config::ImmunityMode> {
-    use sdsrp::sim::config::ImmunityMode;
-    prop_oneof![
-        Just(ImmunityMode::None),
-        Just(ImmunityMode::OracleFlood),
-        Just(ImmunityMode::AntipacketGossip),
-    ]
-}
-
-fn routing_strategy() -> impl Strategy<Value = RoutingKind> {
-    prop_oneof![
-        Just(RoutingKind::SprayAndWaitBinary),
-        Just(RoutingKind::SprayAndWaitSource),
-        Just(RoutingKind::Epidemic),
-        Just(RoutingKind::Direct),
-        Just(RoutingKind::SprayAndFocus {
-            handoff_threshold: 30.0
-        }),
-    ]
-}
-
+/// Scenarios come from the shared seeded generator (the same one the
+/// `dtn-fuzz` nightly uses): proptest explores the generator's `u64`
+/// seed space, and any failure replays from that seed alone via
+/// `dtn-fuzz --cells 1 --seed N`.
 fn scenario_strategy() -> impl Strategy<Value = ScenarioConfig> {
-    (
-        4usize..16,      // nodes
-        300.0f64..900.0, // duration
-        policy_strategy(),
-        routing_strategy(),
-        1u32..24,     // initial copies
-        1u64..1000,   // seed
-        1.0f64..4.0,  // buffer MB
-        4.0f64..40.0, // gen interval lo
-        immunity_strategy(),
-    )
-        .prop_map(
-            |(n, duration, policy, routing, copies, seed, buffer_mb, gen_lo, immunity)| {
-                ScenarioConfig {
-                    name: "prop".into(),
-                    n_nodes: n,
-                    duration_secs: duration,
-                    tick_secs: 1.0,
-                    mobility: MobilityConfig::RandomWaypoint(RandomWaypointConfig {
-                        area: Rect::from_size(800.0, 600.0),
-                        min_speed: 1.0,
-                        max_speed: 3.0,
-                        min_pause: 0.0,
-                        max_pause: 10.0,
-                    }),
-                    link: LinkConfig::paper(),
-                    buffer_capacity: Bytes::from_mb(buffer_mb),
-                    message_size: Bytes::from_mb(0.5),
-                    gen_interval: (gen_lo, gen_lo + 5.0),
-                    ttl: SimDuration::from_mins(30.0),
-                    initial_copies: copies,
-                    policy,
-                    routing,
-                    seed,
-                    oracle: false,
-                    immunity,
-                    message_size_max: Some(Bytes::from_mb(0.8)),
-                    traffic: Default::default(),
-                    warmup_secs: 0.0,
-                }
-            },
-        )
+    (0u64..1_000_000).prop_map(random_scenario)
 }
 
 proptest! {

@@ -200,6 +200,7 @@ fn sweeps_are_thread_count_invariant() {
         axis: SweepAxis::InitialCopies(vec![8, 16]),
         policies: vec![PolicyKind::Fifo, PolicyKind::Sdsrp],
         seeds: vec![1, 2],
+        validate: false,
     };
     let diffs = differential_thread_counts(&spec, 1, 4);
     assert!(
