@@ -1,0 +1,80 @@
+//! Micro-bench: the full `BufferPolicy` dispatch of SDSRP's
+//! `send_priority`/`keep_priority` over a realistic buffer, with the
+//! priority memo cache on vs off — the per-message cost the world pays
+//! on every contact (complements `priority.rs`, which times the raw
+//! Eq. 10/13/15 arithmetic without the policy wrapper or cache).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_buffer::policy::BufferPolicy;
+use dtn_buffer::view::TestMessage;
+use dtn_core::ids::{MessageId, NodeId};
+use dtn_core::time::SimTime;
+use sdsrp_core::{Sdsrp, SdsrpConfig};
+use std::hint::black_box;
+
+const NOW: f64 = 4_000.0;
+
+/// A buffer of `n` messages with varied copies and spray histories —
+/// roughly what a pressured smoke-scenario node holds.
+fn buffer(n: usize) -> Vec<TestMessage> {
+    (0..n)
+        .map(|i| {
+            let mut m = TestMessage::sample(i as u64);
+            m.id = MessageId(i as u64);
+            m.copies = 1 + (i as u32 % 16);
+            m.spray_times = (0..i % 5)
+                .map(|k| SimTime::from_secs(500.0 * (k + 1) as f64))
+                .collect();
+            m
+        })
+        .collect()
+}
+
+/// An SDSRP policy with a warmed-up λ estimator (two closed contacts),
+/// cache toggled per the argument.
+fn policy(cached: bool) -> Sdsrp {
+    let mut p = Sdsrp::new(NodeId(0), SdsrpConfig::paper(100));
+    p.set_priority_cache(cached);
+    for (up, down) in [(100.0, 160.0), (900.0, 950.0)] {
+        p.on_contact_up(SimTime::from_secs(up), NodeId(7));
+        p.on_contact_down(SimTime::from_secs(down), NodeId(7));
+    }
+    p.on_contact_up(SimTime::from_secs(1_800.0), NodeId(7));
+    p.on_contact_down(SimTime::from_secs(1_850.0), NodeId(7));
+    p
+}
+
+fn bench_policy_cache(c: &mut Criterion) {
+    let msgs = buffer(64);
+    let now = SimTime::from_secs(NOW);
+    let mut g = c.benchmark_group("policy_cache");
+
+    for (label, cached) in [("cached", true), ("uncached", false)] {
+        g.bench_function(format!("send_priority_{label}"), |b| {
+            let mut p = policy(cached);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for m in &msgs {
+                    acc += p.send_priority(now, &m.view());
+                }
+                black_box(acc)
+            })
+        });
+
+        g.bench_function(format!("keep_priority_{label}"), |b| {
+            let mut p = policy(cached);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for m in &msgs {
+                    acc += p.keep_priority(now, &m.view());
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy_cache);
+criterion_main!(benches);

@@ -1,0 +1,351 @@
+//! `dtn-bench` — the macro-benchmark harness that seeds the
+//! `BENCH_*.json` performance trajectory.
+//!
+//! Times three macro scenarios end-to-end (single-threaded worlds):
+//!
+//! * **headline** — the pinned golden scenario (smoke preset, SDSRP,
+//!   seed 42, 3600 s), exactly the config behind
+//!   `tests/golden/headline_smoke.json`;
+//! * **buffer-pressure** — 80 nodes, 5400 s, one message every 8–12 s
+//!   into 1.5 MB buffers: the paper's small-buffer regime where the
+//!   per-contact drop ranking dominates runtime;
+//! * **contact-dense** — 120 nodes in the smoke playground: contact
+//!   churn (and therefore send scheduling + λ updates) dominates.
+//!
+//! Each scenario also runs with the SDSRP priority cache disabled (the
+//! pre-optimisation algorithm) so every report carries its own
+//! cached-vs-uncached speedup, and a sweep-scaling section times the
+//! buffer-pressure cell batch across worker-thread counts. The whole
+//! report — wall clock, contacts/sec, events/sec, peak RSS, config
+//! hash, cache hit rates, fingerprints — is written as
+//! `BENCH_sdsrp.json` (see EXPERIMENTS.md §Benchmarking for how to
+//! read and compare trajectories).
+//!
+//! Correctness gate: the headline fingerprint is compared against the
+//! committed golden snapshot and the process exits non-zero on any
+//! mismatch, so a perf "win" that changes behaviour cannot land a
+//! trajectory point.
+//!
+//! ```text
+//! cargo run --release -p dtn-bench --bin dtn-bench            # full
+//! cargo run --release -p dtn-bench --bin dtn-bench -- --quick # CI smoke
+//! dtn-bench [--quick] [--out FILE] [--iters N]
+//! ```
+
+use dtn_sim::config::{presets, PolicyKind, ScenarioConfig};
+use dtn_sim::replay::fingerprint;
+use dtn_sim::sweep::{run_cells, CellJob, SweepOptions};
+use dtn_sim::world::World;
+use dtn_telemetry::{hash_config_json, peak_rss_bytes, Recorder};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed macro-scenario entry in the JSON report.
+#[derive(Serialize)]
+struct ScenarioResult {
+    name: String,
+    config_hash: String,
+    sim_duration_secs: f64,
+    n_nodes: usize,
+    /// Best-of-`iters` wall clock with the priority cache on.
+    wall_clock_secs: f64,
+    /// Best-of-`iters` wall clock with the cache off (the pre-PR
+    /// per-contact recompute path).
+    wall_clock_uncached_secs: f64,
+    /// `wall_clock_uncached_secs / wall_clock_secs`.
+    speedup: f64,
+    events_processed: u64,
+    events_per_sec: f64,
+    contacts_up: u64,
+    contacts_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    /// Process-wide peak RSS after this scenario (monotone high-water
+    /// mark — see [`dtn_telemetry::peak_rss_bytes`]).
+    peak_rss_bytes: Option<u64>,
+    /// Canonical fingerprint JSON of the cached run; the uncached run
+    /// must render identically or the harness aborts.
+    fingerprint: String,
+}
+
+/// One sweep-scaling entry: the buffer-pressure cell batch on `threads`
+/// workers.
+#[derive(Serialize)]
+struct ScalingResult {
+    threads: usize,
+    cells: usize,
+    wall_clock_secs: f64,
+    events_total: u64,
+    events_per_sec: f64,
+}
+
+/// Top-level `BENCH_sdsrp.json` schema.
+#[derive(Serialize)]
+struct BenchReport {
+    schema: String,
+    quick: bool,
+    iters: usize,
+    threads_available: usize,
+    golden_fingerprint_ok: bool,
+    scenarios: Vec<ScenarioResult>,
+    sweep_scaling: Vec<ScalingResult>,
+    peak_rss_bytes: Option<u64>,
+}
+
+/// The exact pinned config behind `tests/golden/headline_smoke.json`
+/// (keep in sync with `tests/golden_headline.rs`).
+fn headline_cfg() -> ScenarioConfig {
+    let mut cfg = presets::smoke();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.seed = 42;
+    cfg.duration_secs = 3_600.0;
+    cfg
+}
+
+/// Small buffers + fast generation: drop ranking dominates.
+fn buffer_pressure_cfg(quick: bool) -> ScenarioConfig {
+    let mut cfg = presets::smoke();
+    cfg.name = "buffer-pressure".into();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.seed = 42;
+    cfg.n_nodes = 80;
+    cfg.duration_secs = if quick { 1_200.0 } else { 5_400.0 };
+    cfg.gen_interval = (8.0, 12.0);
+    cfg.buffer_capacity = dtn_core::units::Bytes::new(1_500_000);
+    cfg
+}
+
+/// Many nodes in the smoke playground: contact churn dominates.
+fn contact_dense_cfg(quick: bool) -> ScenarioConfig {
+    let mut cfg = presets::smoke();
+    cfg.name = "contact-dense".into();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.seed = 42;
+    cfg.n_nodes = 120;
+    cfg.duration_secs = if quick { 900.0 } else { 3_600.0 };
+    cfg
+}
+
+/// Runs `cfg` once to completion on a fresh world; returns wall clock,
+/// events processed, contact count, cache counters and the fingerprint.
+fn run_once(cfg: &ScenarioConfig, cache: bool) -> (f64, u64, u64, u64, u64, String) {
+    let mut world = World::build(cfg);
+    world.set_priority_cache(cache);
+    world.attach_recorder(Recorder::enabled(16));
+    let started = Instant::now();
+    let events = world.step_until(dtn_core::time::SimTime::from_secs(cfg.duration_secs));
+    let wall = started.elapsed().as_secs_f64();
+    let totals = world.recorder().totals().clone();
+    let stats = world.priority_cache_stats();
+    let fp = fingerprint(world.report(), &totals).to_canonical_json();
+    (
+        wall,
+        events,
+        totals.contacts_up,
+        stats.hits,
+        stats.misses,
+        fp,
+    )
+}
+
+/// Benchmarks one scenario: best-of-`iters` cached and uncached runs,
+/// asserting their fingerprints are bit-identical.
+fn bench_scenario(cfg: &ScenarioConfig, iters: usize) -> ScenarioResult {
+    let mut cached_best = f64::INFINITY;
+    let mut uncached_best = f64::INFINITY;
+    let mut events = 0;
+    let mut contacts = 0;
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut fp_cached = String::new();
+    for _ in 0..iters {
+        let (wall, ev, cu, h, m, fp) = run_once(cfg, true);
+        cached_best = cached_best.min(wall);
+        (events, contacts, hits, misses, fp_cached) = (ev, cu, h, m, fp);
+    }
+    let mut fp_uncached = String::new();
+    for _ in 0..iters {
+        let (wall, _, _, _, _, fp) = run_once(cfg, false);
+        uncached_best = uncached_best.min(wall);
+        fp_uncached = fp;
+    }
+    if fp_cached != fp_uncached {
+        eprintln!(
+            "FATAL: {} fingerprint diverged between cached and uncached paths:\n  cached:   {fp_cached}\n  uncached: {fp_uncached}",
+            cfg.name
+        );
+        std::process::exit(1);
+    }
+    let config_json = serde_json::to_string(cfg).expect("config serialises");
+    eprintln!(
+        "{:<16} cached {:7.3}s  uncached {:7.3}s  speedup {:.2}x  ({} events, {} contacts, {:.1}% cache hits)",
+        cfg.name,
+        cached_best,
+        uncached_best,
+        uncached_best / cached_best,
+        events,
+        contacts,
+        100.0 * hits as f64 / (hits + misses).max(1) as f64,
+    );
+    ScenarioResult {
+        name: cfg.name.clone(),
+        config_hash: hash_config_json(&config_json),
+        sim_duration_secs: cfg.duration_secs,
+        n_nodes: cfg.n_nodes,
+        wall_clock_secs: cached_best,
+        wall_clock_uncached_secs: uncached_best,
+        speedup: uncached_best / cached_best,
+        events_processed: events,
+        events_per_sec: events as f64 / cached_best,
+        contacts_up: contacts,
+        contacts_per_sec: contacts as f64 / cached_best,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        peak_rss_bytes: peak_rss_bytes(),
+        fingerprint: fp_cached,
+    }
+}
+
+/// Times the buffer-pressure cell batch (4 seeds x the paper's four
+/// policies) on `threads` sweep workers.
+fn bench_scaling(quick: bool, threads: usize) -> ScalingResult {
+    let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4] };
+    let jobs: Vec<CellJob> = seeds
+        .iter()
+        .flat_map(|&seed| {
+            PolicyKind::paper_four().into_iter().map(move |policy| {
+                let mut cfg = buffer_pressure_cfg(quick);
+                cfg.policy = policy;
+                cfg.seed = seed;
+                CellJob {
+                    label: format!("seed{seed}"),
+                    policy: policy.label().to_string(),
+                    cfg,
+                }
+            })
+        })
+        .collect();
+    let cells = jobs.len();
+    let opts = SweepOptions {
+        threads,
+        ..SweepOptions::default()
+    };
+    let started = Instant::now();
+    let out = run_cells(jobs, &opts);
+    let wall = started.elapsed().as_secs_f64();
+    if !out.errors.is_empty() {
+        for err in &out.errors {
+            eprintln!("{err}");
+        }
+        std::process::exit(1);
+    }
+    let events_total = out.totals.total();
+    eprintln!(
+        "sweep-scaling    {threads:>2} thread(s): {cells} cells in {wall:7.3}s ({:.0} events/s)",
+        events_total as f64 / wall
+    );
+    ScalingResult {
+        threads,
+        cells,
+        wall_clock_secs: wall,
+        events_total,
+        events_per_sec: events_total as f64 / wall,
+    }
+}
+
+/// Re-runs the pinned headline scenario and compares its canonical
+/// fingerprint against the committed golden snapshot.
+fn golden_check(headline_fp: &str) -> bool {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/headline_smoke.json");
+    match std::fs::read_to_string(&path) {
+        Ok(committed) => {
+            let ok = committed == headline_fp;
+            if !ok {
+                eprintln!(
+                    "FATAL: headline fingerprint drifted from {}:\n  golden: {committed}\n  bench:  {headline_fp}",
+                    path.display()
+                );
+            }
+            ok
+        }
+        Err(e) => {
+            eprintln!("FATAL: cannot read golden snapshot {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_sdsrp.json".to_string();
+    let mut iters: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--iters" => {
+                i += 1;
+                iters = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--iters needs a count"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: dtn-bench [--quick] [--out FILE] [--iters N])");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let iters = iters.unwrap_or(if quick { 1 } else { 3 });
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let scenarios: Vec<ScenarioResult> = [
+        headline_cfg(),
+        buffer_pressure_cfg(quick),
+        contact_dense_cfg(quick),
+    ]
+    .iter()
+    .map(|cfg| bench_scenario(cfg, iters))
+    .collect();
+
+    let golden_fingerprint_ok = golden_check(&scenarios[0].fingerprint);
+
+    let mut thread_counts = vec![1];
+    if threads_available > 1 {
+        thread_counts.push(threads_available);
+    }
+    let sweep_scaling: Vec<ScalingResult> = thread_counts
+        .into_iter()
+        .map(|t| bench_scaling(quick, t))
+        .collect();
+
+    let report = BenchReport {
+        schema: "dtn-bench/v1".into(),
+        quick,
+        iters,
+        threads_available,
+        golden_fingerprint_ok,
+        scenarios,
+        sweep_scaling,
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    let body = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, body).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("bench report written to {out_path}");
+    if !golden_fingerprint_ok {
+        std::process::exit(1);
+    }
+}

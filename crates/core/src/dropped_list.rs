@@ -9,11 +9,22 @@
 //! count of message `i` (input to Eq. 14); and "nodes reject receiving
 //! the message already in their dropped lists", which prevents a dropped
 //! copy from being counted twice.
+//!
+//! Both `d_i` queries and the gossip payload sit on the simulator's
+//! per-contact hot path, so the list maintains two derived caches: a
+//! per-message occurrence index (O(1) `drop_count`/`anyone_dropped`)
+//! and a memoised wire encoding (see
+//! [`DroppedList::encode_records`] for the deterministic binary
+//! format). Every mutator keeps them exactly in sync with the records.
 
 use dtn_core::ids::{MessageId, NodeId};
 use dtn_core::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Leading magic of the binary gossip payload (see
+/// [`DroppedList::encode_records`]).
+const GOSSIP_MAGIC: &[u8; 4] = b"DLG1";
 
 /// One origin's dropped-message record (a row of Fig. 5's structure).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,12 +36,46 @@ pub struct DroppedRecord {
 }
 
 /// A node's view of everyone's dropped lists.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `records` is the authoritative Fig. 5 state; `counts` and `encoded`
+/// are derived caches kept exactly in sync by every mutator, so the hot
+/// per-contact queries ([`drop_count`](Self::drop_count),
+/// [`anyone_dropped`](Self::anyone_dropped),
+/// [`to_gossip_bytes`](Self::to_gossip_bytes)) cost O(1) instead of a
+/// scan or re-serialisation over all origins.
+#[derive(Debug, Clone)]
 pub struct DroppedList {
     /// The node that owns (and may modify) the `own` record.
     owner: NodeId,
     /// Records per origin node, `owner`'s own record included.
     records: BTreeMap<NodeId, DroppedRecord>,
+    /// Derived: per message, the number of origins whose record lists it
+    /// (`d_i` of Eq. 14). Absent key means zero.
+    counts: HashMap<MessageId, u32>,
+    /// Derived: memoised gossip encoding of `records`, cleared by any
+    /// mutation that changes them.
+    encoded: Option<Vec<u8>>,
+}
+
+/// Equality is over the authoritative state only; the derived caches
+/// (`counts`, `encoded`) are reconstructible and never observable.
+impl PartialEq for DroppedList {
+    fn eq(&self, other: &Self) -> bool {
+        self.owner == other.owner && self.records == other.records
+    }
+}
+
+fn count_inc(counts: &mut HashMap<MessageId, u32>, msg: MessageId) {
+    *counts.entry(msg).or_insert(0) += 1;
+}
+
+fn count_dec(counts: &mut HashMap<MessageId, u32>, msg: MessageId) {
+    if let Some(c) = counts.get_mut(&msg) {
+        *c -= 1;
+        if *c == 0 {
+            counts.remove(&msg);
+        }
+    }
 }
 
 impl DroppedList {
@@ -39,6 +84,8 @@ impl DroppedList {
         DroppedList {
             owner,
             records: BTreeMap::new(),
+            counts: HashMap::new(),
+            encoded: None,
         }
     }
 
@@ -52,8 +99,11 @@ impl DroppedList {
                 dropped: BTreeSet::new(),
                 record_time: now,
             });
-        rec.dropped.insert(msg);
+        if rec.dropped.insert(msg) {
+            count_inc(&mut self.counts, msg);
+        }
         rec.record_time = now;
+        self.encoded = None;
     }
 
     /// Merges a peer's records: per origin, the record with the newest
@@ -67,27 +117,36 @@ impl DroppedList {
             }
             match self.records.get(&origin) {
                 Some(mine) if mine.record_time >= rec.record_time => {}
-                _ => {
+                stale => {
+                    if let Some(old) = stale {
+                        for &m in &old.dropped {
+                            count_dec(&mut self.counts, m);
+                        }
+                    }
+                    for &m in &rec.dropped {
+                        count_inc(&mut self.counts, m);
+                    }
                     self.records.insert(origin, rec.clone());
                     adopted += 1;
                 }
             }
         }
+        if adopted > 0 {
+            self.encoded = None;
+        }
         adopted
     }
 
     /// `d_i`: how many distinct nodes are known to have dropped `msg`.
+    /// O(1) via the maintained per-message index.
     pub fn drop_count(&self, msg: MessageId) -> u32 {
-        self.records
-            .values()
-            .filter(|r| r.dropped.contains(&msg))
-            .count() as u32
+        self.counts.get(&msg).copied().unwrap_or(0)
     }
 
     /// Whether any known record lists `msg` (the paper's receive-reject
-    /// test).
+    /// test). O(1) via the maintained per-message index.
     pub fn anyone_dropped(&self, msg: MessageId) -> bool {
-        self.records.values().any(|r| r.dropped.contains(&msg))
+        self.counts.contains_key(&msg)
     }
 
     /// Whether the owner itself dropped `msg`.
@@ -118,15 +177,35 @@ impl DroppedList {
     /// empty are removed; record times are untouched, matching the
     /// "only drops modify record time" rule.
     pub fn prune(&mut self, mut expired: impl FnMut(MessageId) -> bool) {
+        let counts = &mut self.counts;
+        let mut removed = false;
         for rec in self.records.values_mut() {
-            rec.dropped.retain(|&m| !expired(m));
+            rec.dropped.retain(|&m| {
+                if expired(m) {
+                    count_dec(counts, m);
+                    removed = true;
+                    false
+                } else {
+                    true
+                }
+            });
         }
         self.records.retain(|_, r| !r.dropped.is_empty());
+        if removed {
+            self.encoded = None;
+        }
     }
 
-    /// Serialises records for the contact gossip payload.
-    pub fn to_gossip_bytes(&self) -> Vec<u8> {
-        serde_json::to_vec(&self.records).expect("dropped list serialises")
+    /// Serialises records for the contact gossip payload
+    /// ([`encode_records`](Self::encode_records)). The encoding is
+    /// memoised: between drops/adoptions every contact reuses the same
+    /// buffer, so the per-contact cost is a `Vec` clone, not a
+    /// re-serialisation of every record.
+    pub fn to_gossip_bytes(&mut self) -> Vec<u8> {
+        let records = &self.records;
+        self.encoded
+            .get_or_insert_with(|| Self::encode_records(records))
+            .clone()
     }
 
     /// Merges a gossip payload produced by
@@ -134,10 +213,85 @@ impl DroppedList {
     /// ignored (a real radio would checksum, but robustness over panic
     /// here). Returns the number of records adopted.
     pub fn merge_gossip_bytes(&mut self, bytes: &[u8]) -> usize {
-        match serde_json::from_slice::<BTreeMap<NodeId, DroppedRecord>>(bytes) {
-            Ok(records) => self.merge(&records),
-            Err(_) => 0,
+        match Self::decode_records(bytes) {
+            Some(records) => self.merge(&records),
+            None => 0,
         }
+    }
+
+    /// Encodes a records map into the compact gossip wire format:
+    /// magic `"DLG1"`, a little-endian `u32` record count, then per
+    /// record the `u32` origin id, the `u64` bit pattern of its record
+    /// time, a `u32` entry count and that many `u64` message ids.
+    ///
+    /// `BTreeMap`/`BTreeSet` iteration is sorted, so equal maps encode
+    /// to byte-identical payloads regardless of insertion history —
+    /// required for deterministic replay of recorded gossip.
+    pub fn encode_records(records: &BTreeMap<NodeId, DroppedRecord>) -> Vec<u8> {
+        let entries: usize = records.values().map(|r| r.dropped.len()).sum();
+        let mut out = Vec::with_capacity(8 + records.len() * 16 + entries * 8);
+        out.extend_from_slice(GOSSIP_MAGIC);
+        out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        for (origin, rec) in records {
+            out.extend_from_slice(&origin.0.to_le_bytes());
+            out.extend_from_slice(&rec.record_time.as_secs().to_bits().to_le_bytes());
+            out.extend_from_slice(&(rec.dropped.len() as u32).to_le_bytes());
+            for m in &rec.dropped {
+                out.extend_from_slice(&m.0.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes an [`encode_records`](Self::encode_records) payload.
+    /// Returns `None` on any malformation — wrong magic, truncation,
+    /// trailing bytes, or a non-finite/negative record time.
+    pub fn decode_records(bytes: &[u8]) -> Option<BTreeMap<NodeId, DroppedRecord>> {
+        fn take<'a>(cur: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if cur.len() < n {
+                return None;
+            }
+            let (head, rest) = cur.split_at(n);
+            *cur = rest;
+            Some(head)
+        }
+        fn u32_at(cur: &mut &[u8]) -> Option<u32> {
+            take(cur, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        }
+        fn u64_at(cur: &mut &[u8]) -> Option<u64> {
+            take(cur, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+
+        let mut cur = bytes;
+        if take(&mut cur, 4)? != GOSSIP_MAGIC {
+            return None;
+        }
+        let n_records = u32_at(&mut cur)?;
+        let mut records = BTreeMap::new();
+        for _ in 0..n_records {
+            let origin = NodeId(u32_at(&mut cur)?);
+            let secs = f64::from_bits(u64_at(&mut cur)?);
+            if !secs.is_finite() || secs < 0.0 {
+                return None;
+            }
+            let record_time = SimTime::from_secs(secs);
+            let n_msgs = u32_at(&mut cur)?;
+            let mut dropped = BTreeSet::new();
+            for _ in 0..n_msgs {
+                dropped.insert(MessageId(u64_at(&mut cur)?));
+            }
+            records.insert(
+                origin,
+                DroppedRecord {
+                    dropped,
+                    record_time,
+                },
+            );
+        }
+        if !cur.is_empty() {
+            return None;
+        }
+        Some(records)
     }
 }
 
@@ -292,6 +446,77 @@ mod tests {
         // nothing.
         assert_eq!(a.merge_gossip_bytes(&payload), 0);
         assert_eq!(a, snapshot);
+    }
+
+    /// Recomputes `d_i` by brute force and checks the maintained index
+    /// against it for every message the list has ever heard about.
+    fn assert_counts_consistent(dl: &DroppedList, msgs: impl IntoIterator<Item = u64>) {
+        for id in msgs {
+            let m = MessageId(id);
+            let brute = dl
+                .records()
+                .values()
+                .filter(|r| r.dropped.contains(&m))
+                .count() as u32;
+            assert_eq!(dl.drop_count(m), brute, "index drifted for {m:?}");
+            assert_eq!(dl.anyone_dropped(m), brute > 0, "index drifted for {m:?}");
+        }
+    }
+
+    #[test]
+    fn counts_index_survives_merge_replacement_and_prune() {
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        a.record_own_drop(t(1.0), MessageId(1));
+        a.record_own_drop(t(1.0), MessageId(1)); // re-drop: no double count
+        b.record_own_drop(t(2.0), MessageId(1));
+        b.record_own_drop(t(3.0), MessageId(2));
+        a.merge(b.records());
+        assert_counts_consistent(&a, 1..=3);
+        assert_eq!(a.drop_count(MessageId(1)), 2);
+
+        // b revises its record: message 2 pruned away, message 3 added.
+        // The replacing merge must retire the old record's entries.
+        b.prune(|m| m == MessageId(2));
+        b.record_own_drop(t(9.0), MessageId(3));
+        a.merge(b.records());
+        assert_counts_consistent(&a, 1..=3);
+        assert_eq!(a.drop_count(MessageId(2)), 0);
+
+        a.prune(|m| m == MessageId(1));
+        assert_counts_consistent(&a, 1..=3);
+        assert!(!a.anyone_dropped(MessageId(1)));
+    }
+
+    #[test]
+    fn gossip_encoding_is_deterministic_and_memoised() {
+        let mut a = DroppedList::new(NodeId(0));
+        a.record_own_drop(t(3.0), MessageId(4));
+        a.record_own_drop(t(5.0), MessageId(2));
+        let first = a.to_gossip_bytes();
+        assert_eq!(first, a.to_gossip_bytes(), "memoised bytes differ");
+
+        // A fresh list with the same records encodes identically
+        // (BTree iteration order, not insertion order).
+        let mut b = DroppedList::new(NodeId(1));
+        b.merge_gossip_bytes(&first);
+        b.record_own_drop(t(7.0), MessageId(9));
+        let mut c = DroppedList::new(NodeId(2));
+        c.merge_gossip_bytes(&b.to_gossip_bytes());
+        assert_eq!(
+            DroppedList::encode_records(b.records()),
+            DroppedList::encode_records(c.records())
+        );
+
+        // Roundtrip is lossless, including record times.
+        let decoded = DroppedList::decode_records(&first).unwrap();
+        assert_eq!(&decoded, a.records());
+
+        // Truncated and trailing-garbage payloads are rejected whole.
+        assert_eq!(DroppedList::decode_records(&first[..first.len() - 1]), None);
+        let mut padded = first.clone();
+        padded.push(0);
+        assert_eq!(DroppedList::decode_records(&padded), None);
     }
 
     #[test]

@@ -103,15 +103,20 @@ impl LambdaEstimator {
         }
     }
 
-    /// Records a contact coming up with `peer` at `now`.
-    pub fn on_contact_up(&mut self, now: SimTime, peer: NodeId) {
+    /// Records a contact coming up with `peer` at `now`. Returns `true`
+    /// iff an intermeeting gap was actually sampled — i.e. iff this call
+    /// can move [`lambda`](Self::lambda). Callers memoising λ-derived
+    /// quantities only need to invalidate when this returns `true`.
+    pub fn on_contact_up(&mut self, now: SimTime, peer: NodeId) -> bool {
         if let Some(end) = self.last_contact_end.get(&peer) {
             let gap = (now - *end).as_secs();
             if gap > 0.0 {
                 self.samples.push(gap);
                 self.per_peer.entry(peer).or_default().push(gap);
+                return true;
             }
         }
+        false
     }
 
     /// Records the contact with `peer` ending at `now`.

@@ -15,15 +15,37 @@
 //!
 //! The same `U_i` drives scheduling (highest first) and dropping (lowest
 //! first); reception of messages present in the dropped list is refused.
+//!
+//! ## Priority memoisation
+//!
+//! The ranking hooks route through an exact-key memo (`UtilityCache`):
+//! per message the evaluated priority is cached together with every
+//! input it was derived from (`UtilityKey`), and invalidation is tied
+//! to the precise events that can change the remaining (policy-internal)
+//! inputs:
+//!
+//! * a contact-up that actually records an intermeeting sample moves λ
+//!   → clear everything (λ enters every priority);
+//! * an own drop moves `d_i` of that one message → evict its entry;
+//! * a gossip import that adopts ≥ 1 record may move any `d_i` → clear
+//!   the values but keep the (λ-only) model;
+//! * contact-down, sample-less contact-ups and adoption-free imports
+//!   change no input → the memo stays valid.
+//!
+//! A hit therefore returns the bit-identical float a recompute would —
+//! runs with the memo on and off produce identical simulations, which
+//! `tests/priority_cache_differential.rs` enforces
+//! fingerprint-for-fingerprint.
 
 use crate::dropped_list::DroppedList;
 use crate::estimator::{estimate_m, estimate_n, LambdaEstimator};
 use crate::priority::PriorityModel;
-use dtn_buffer::policy::BufferPolicy;
+use dtn_buffer::policy::{BufferPolicy, PriorityCacheStats};
 use dtn_buffer::view::MessageView;
 use dtn_core::ids::{MessageId, NodeId};
 use dtn_core::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Where the policy gets its intermeeting rate λ.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -92,11 +114,92 @@ impl SdsrpConfig {
     }
 }
 
+/// Exact inputs of one memoised [`Sdsrp::utility`] evaluation. Two
+/// evaluations with equal keys are guaranteed to produce the *same
+/// float*: every quantity `utility` reads is either fixed per message
+/// id (source, destination, size, created, TTL, initial copies), a pure
+/// function of `now` (remaining TTL, the Eq. 15 floor buckets), part of
+/// the key (copy tokens, spray timestamps, oracle `(m, n)`), or policy
+/// state guarded by the event-exact invalidation hooks (λ samples,
+/// dropped-list counts — see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct UtilityKey {
+    /// Bit pattern of the evaluation instant.
+    now_bits: u64,
+    /// Copy tokens held (changes on binary-spray splits).
+    copies: u32,
+    /// Spray-timestamp count plus an FNV-1a hash over the raw bit
+    /// patterns — together they pin the Eq. 15 input exactly.
+    spray_len: u32,
+    spray_hash: u64,
+    /// Encoded oracle `(m_i, n_i)` override (0 when absent).
+    oracle_key: u64,
+}
+
+impl UtilityKey {
+    fn of(now: SimTime, msg: &MessageView<'_>) -> Self {
+        let mut spray_hash = 0xcbf2_9ce4_8422_2325u64;
+        for t in msg.spray_times {
+            for b in t.as_secs().to_bits().to_le_bytes() {
+                spray_hash = (spray_hash ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+            }
+        }
+        let encode = |v: Option<u32>| v.map_or(0u64, |x| x as u64 + 1);
+        UtilityKey {
+            now_bits: now.as_secs().to_bits(),
+            copies: msg.copies,
+            spray_len: msg.spray_times.len() as u32,
+            spray_hash,
+            oracle_key: encode(msg.oracle_seen) << 33 | encode(msg.oracle_holders),
+        }
+    }
+}
+
+/// Per-message memo of [`Sdsrp::utility`] results, plus the
+/// [`PriorityModel`] shared by every evaluation between invalidations.
+///
+/// The hot path re-ranks the same `(node, message)` pairs many times at
+/// the same instant — every transfer completion re-arms all idle links
+/// of both endpoints, and each re-arm walks both buffers — so most
+/// lookups hit. Invalidation is event-based *and* exact: the hooks
+/// ([`BufferPolicy::on_contact_up`], `on_drop`, `import_gossip`) clear
+/// exactly the entries whose inputs (λ, `d_i`) their event can move —
+/// see the module docs for the per-event rules — and [`UtilityKey`]
+/// catches every remaining input (time, copy splits, spray history,
+/// oracle overrides), making a hit bit-identical to a recompute by
+/// construction.
+struct UtilityCache {
+    enabled: bool,
+    entries: HashMap<MessageId, (UtilityKey, f64)>,
+    model: Option<PriorityModel>,
+    hits: u64,
+    misses: u64,
+}
+
+impl UtilityCache {
+    fn new() -> Self {
+        UtilityCache {
+            enabled: true,
+            entries: HashMap::new(),
+            model: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drops every memoised value (λ or dropped-list state changed).
+    fn invalidate(&mut self) {
+        self.entries.clear();
+        self.model = None;
+    }
+}
+
 /// The SDSRP policy state for one node.
 pub struct Sdsrp {
     cfg: SdsrpConfig,
     lambda_est: LambdaEstimator,
     dropped: DroppedList,
+    cache: UtilityCache,
 }
 
 impl Sdsrp {
@@ -126,6 +229,7 @@ impl Sdsrp {
             cfg,
             lambda_est,
             dropped: DroppedList::new(node),
+            cache: UtilityCache::new(),
         }
     }
 
@@ -158,7 +262,39 @@ impl Sdsrp {
     /// all comparisons are unchanged. Zero-utility messages map to
     /// `-inf`.
     pub fn utility(&self, now: SimTime, msg: &MessageView<'_>) -> f64 {
-        let model = self.model();
+        self.utility_with(self.model(), now, msg)
+    }
+
+    /// [`Self::utility`] through the per-message memo — the form the
+    /// [`BufferPolicy`] ranking hooks use. A hit returns the exact float
+    /// a recompute would produce (see [`UtilityKey`]); simulation
+    /// results are bit-identical with the cache on or off.
+    fn utility_cached(&mut self, now: SimTime, msg: &MessageView<'_>) -> f64 {
+        if !self.cache.enabled {
+            return self.utility(now, msg);
+        }
+        let key = UtilityKey::of(now, msg);
+        if let Some((cached_key, value)) = self.cache.entries.get(&msg.id) {
+            if *cached_key == key {
+                self.cache.hits += 1;
+                return *value;
+            }
+        }
+        let model = match self.cache.model {
+            Some(m) => m,
+            None => {
+                let m = self.model();
+                self.cache.model = Some(m);
+                m
+            }
+        };
+        let value = self.utility_with(model, now, msg);
+        self.cache.misses += 1;
+        self.cache.entries.insert(msg.id, (key, value));
+        value
+    }
+
+    fn utility_with(&self, model: PriorityModel, now: SimTime, msg: &MessageView<'_>) -> f64 {
         // m_i: oracle if provided, else the Eq. 15 spray-tree estimate.
         let seen = msg
             .oracle_seen
@@ -188,7 +324,7 @@ impl BufferPolicy for Sdsrp {
     }
 
     fn send_priority(&mut self, now: SimTime, msg: &MessageView<'_>) -> f64 {
-        self.utility(now, msg)
+        self.utility_cached(now, msg)
     }
 
     fn accepts(&mut self, _now: SimTime, msg: MessageId) -> bool {
@@ -196,15 +332,27 @@ impl BufferPolicy for Sdsrp {
     }
 
     fn on_contact_up(&mut self, now: SimTime, peer: NodeId) {
-        self.lambda_est.on_contact_up(now, peer);
+        // λ only moves when an intermeeting gap is actually sampled
+        // (first contacts and zero gaps change nothing); only then is
+        // the memo stale — wholesale, since λ enters every priority.
+        if self.lambda_est.on_contact_up(now, peer) {
+            self.cache.invalidate();
+        }
     }
 
     fn on_contact_down(&mut self, now: SimTime, peer: NodeId) {
+        // Closing a contact only stamps the estimator's
+        // `last_contact_end`; no utility input changes, the memo stays
+        // exact.
         self.lambda_est.on_contact_down(now, peer);
     }
 
     fn on_drop(&mut self, now: SimTime, msg: MessageId) {
+        // An own drop changes d_i (Eq. 14) of *this* message only — λ
+        // and every other message's inputs are untouched, so evict the
+        // single entry and keep the memoised model.
         self.dropped.record_own_drop(now, msg);
+        self.cache.entries.remove(&msg);
     }
 
     fn export_gossip(&mut self, _now: SimTime) -> Option<Vec<u8>> {
@@ -216,11 +364,28 @@ impl BufferPolicy for Sdsrp {
     }
 
     fn import_gossip(&mut self, _now: SimTime, bytes: &[u8]) -> usize {
-        if self.cfg.gossip {
-            self.dropped.merge_gossip_bytes(bytes)
-        } else {
-            0
+        if !self.cfg.gossip {
+            return 0;
         }
+        let adopted = self.dropped.merge_gossip_bytes(bytes);
+        if adopted > 0 {
+            // Adopted records can change any message's d_i, but λ is
+            // untouched: drop the memoised values, keep the model.
+            self.cache.entries.clear();
+        }
+        adopted
+    }
+
+    fn set_priority_cache(&mut self, enabled: bool) {
+        self.cache.enabled = enabled;
+        self.cache.invalidate();
+    }
+
+    fn priority_cache_stats(&self) -> Option<PriorityCacheStats> {
+        Some(PriorityCacheStats {
+            hits: self.cache.hits,
+            misses: self.cache.misses,
+        })
     }
 }
 
@@ -547,5 +712,83 @@ mod tests {
         let mut cfg = oracle_cfg();
         cfg.taylor_terms = Some(0);
         let _ = Sdsrp::new(NodeId(0), cfg);
+    }
+
+    /// Online-λ config so contacts actually move λ (the harshest case
+    /// for the memo: every contact invalidates).
+    fn online_cfg() -> SdsrpConfig {
+        SdsrpConfig {
+            n_nodes: 100,
+            lambda: LambdaMode::Online {
+                prior: 1.0 / 2000.0,
+                min_samples: 1,
+            },
+            taylor_terms: None,
+            reject_dropped: true,
+            gossip: true,
+        }
+    }
+
+    #[test]
+    fn cached_ranking_is_bit_identical_to_uncached() {
+        // Twin policies fed the same event stream; one with the memo
+        // disabled. Every ranking must agree to the last bit, including
+        // repeats at the same instant (hits) and across λ / drop / gossip
+        // invalidations.
+        let mut cached = Sdsrp::new(NodeId(0), online_cfg());
+        let mut plain = Sdsrp::new(NodeId(0), online_cfg());
+        plain.set_priority_cache(false);
+
+        let mut peer = Sdsrp::new(NodeId(9), online_cfg());
+        peer.on_drop(t(40.0), MessageId(2));
+        let gossip = peer.export_gossip(t(50.0)).unwrap();
+
+        let msgs = [
+            msg_with(1, 16, 200.0, &[], 500.0),
+            msg_with(2, 4, 90.0, &[450.0, 200.0], 500.0),
+            msg_with(3, 1, 5.0, &[480.0, 300.0, 100.0], 500.0),
+        ];
+        let check = |cached: &mut Sdsrp, plain: &mut Sdsrp, now: SimTime| {
+            for m in &msgs {
+                // Twice: the second call is a guaranteed memo hit.
+                for _ in 0..2 {
+                    let a = cached.send_priority(now, &m.view());
+                    let b = plain.send_priority(now, &m.view());
+                    assert_eq!(a.to_bits(), b.to_bits(), "diverged on {:?}", m.id);
+                }
+            }
+        };
+
+        check(&mut cached, &mut plain, t(500.0));
+        for p in [&mut cached, &mut plain] {
+            p.on_contact_up(t(600.0), NodeId(3));
+            p.on_contact_down(t(620.0), NodeId(3));
+            p.on_contact_up(t(900.0), NodeId(3)); // λ sample lands
+        }
+        check(&mut cached, &mut plain, t(950.0));
+        for p in [&mut cached, &mut plain] {
+            p.on_drop(t(1000.0), MessageId(1));
+            p.import_gossip(t(1010.0), &gossip);
+        }
+        check(&mut cached, &mut plain, t(1050.0));
+        // Time moves with no intervening event: keys differ, no stale hit.
+        check(&mut cached, &mut plain, t(1051.0));
+
+        let stats = cached.priority_cache_stats().unwrap();
+        assert!(stats.hits > 0, "memo never hit: {stats:?}");
+        assert_eq!(plain.priority_cache_stats().unwrap().hits, 0);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_spray_history_at_same_instant() {
+        // Same id, same copies, same now — only the spray timestamps
+        // differ. The key must force a recompute (distinct value).
+        let mut p = Sdsrp::new(NodeId(0), sparse_cfg());
+        let now = t(5000.0);
+        let a = msg_with(1, 4, 100.0, &[4000.0], 5000.0);
+        let b = msg_with(1, 4, 100.0, &[500.0], 5000.0);
+        let ua = p.send_priority(now, &a.view());
+        let ub = p.send_priority(now, &b.view());
+        assert_ne!(ua, ub, "spray-history change not reflected");
     }
 }

@@ -37,6 +37,25 @@ use serde::{Deserialize, Serialize};
 pub const PEAK_PR: f64 = 1.0 - std::f64::consts::E.recip();
 
 /// Scenario-level constants of the priority model.
+///
+/// # Example
+///
+/// Eq. 10 ranks by the *marginal* delivery-ratio gain of one more
+/// copy: a message the network has barely seen outranks one that is
+/// almost certainly delivered already (high `m_i`, many holders), so
+/// the scheduler sends the former first and the drop step evicts the
+/// latter first:
+///
+/// ```
+/// use sdsrp_core::priority::PriorityModel;
+///
+/// // N = 100 nodes, E(I) = 1000 s  =>  λ = 1e-3  (Eq. 3).
+/// let model = PriorityModel::new(100, 1e-3);
+/// // log_priority(m_i seen, n_i holders, C_i copies, R_i remaining TTL)
+/// let fresh = model.log_priority(0, 1, 1, 600.0);
+/// let saturated = model.log_priority(90, 40, 1, 600.0);
+/// assert!(fresh > saturated);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PriorityModel {
     /// Total number of nodes `N` (≥ 2).

@@ -4,6 +4,8 @@ use crate::view::MessageView;
 use dtn_core::ids::{MessageId, NodeId};
 use dtn_core::time::SimTime;
 use dtn_core::units::Bytes;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A buffer-management strategy: ranks buffered messages for scheduling
 /// (send order) and for dropping, and may maintain distributed state via
@@ -80,6 +82,87 @@ pub trait BufferPolicy: Send {
     ) -> Option<AdmissionPlan> {
         None
     }
+
+    /// Enables or disables the policy's internal priority memoisation,
+    /// when it has one (SDSRP). The cached and uncached paths must rank
+    /// identically — the differential regression suite runs scenarios
+    /// both ways and asserts bit-identical fingerprints. Default: no-op
+    /// (stateless policies have nothing to cache).
+    fn set_priority_cache(&mut self, _enabled: bool) {}
+
+    /// Hit/miss counters of the policy's priority memoisation, when it
+    /// has one. Default: `None`.
+    fn priority_cache_stats(&self) -> Option<PriorityCacheStats> {
+        None
+    }
+}
+
+/// Aggregate hit/miss counters of a policy's priority memoisation (see
+/// [`BufferPolicy::priority_cache_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityCacheStats {
+    /// Ranking requests answered from the memo.
+    pub hits: u64,
+    /// Ranking requests that had to recompute.
+    pub misses: u64,
+}
+
+impl PriorityCacheStats {
+    /// Fraction of requests answered from the memo (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating across nodes).
+    pub fn merge(&mut self, other: PriorityCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Heap key for lazy lowest-keep-priority selection: orders ascending by
+/// `(priority, id)` — the exact total order the former full
+/// `sort_by` used, so eviction sequences are unchanged — and is consumed
+/// through `Reverse` so a max-heap pops the cheapest victim first.
+///
+/// The `Ord` impl panics on NaN priorities, like the comparator it
+/// replaces: a NaN ranking is a policy bug, not an ordering choice.
+#[derive(Debug, Clone, Copy)]
+pub struct EvictionRank {
+    /// The policy's retention priority (lower is evicted first).
+    pub priority: f64,
+    /// Message id (ascending tie-break: older id evicted first).
+    pub id: MessageId,
+    /// Message size, carried along for the free-space accounting.
+    pub size: Bytes,
+}
+
+impl PartialEq for EvictionRank {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for EvictionRank {}
+
+impl PartialOrd for EvictionRank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EvictionRank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .partial_cmp(&other.priority)
+            .expect("NaN priority")
+            .then(self.id.cmp(&other.id))
+    }
 }
 
 /// Outcome of the overflow algorithm for one incoming message.
@@ -123,39 +206,40 @@ pub fn plan_admission(
     }
 
     let incoming_priority = policy.keep_priority(now, incoming);
-    // Rank residents ascending by keep priority; ties broken towards
-    // evicting the older message id first (deterministic).
-    let mut ranked: Vec<(f64, MessageId, Bytes)> = residents
+    // Lazy select-k instead of a full sort: heapify is O(B) and only the
+    // k victims actually popped cost O(log B) each, versus the former
+    // O(B log B) `sort_by` over every resident. [`EvictionRank`] orders
+    // ascending by `(keep priority, id)` — the same total order the sort
+    // used (ties evict the older message id first) — so the victim
+    // sequence is bit-identical.
+    let mut ranked: BinaryHeap<Reverse<EvictionRank>> = residents
         .iter()
-        .map(|m| (policy.keep_priority(now, m), m.id, m.size))
+        .map(|m| {
+            Reverse(EvictionRank {
+                priority: policy.keep_priority(now, m),
+                id: m.id,
+                size: m.size,
+            })
+        })
         .collect();
-    ranked.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("NaN priority")
-            .then(a.1.cmp(&b.1))
-    });
 
     let mut evict = Vec::new();
     let mut freed = free;
-    for (prio, id, size) in ranked {
-        if freed >= incoming.size {
-            break;
-        }
-        if incoming_priority <= prio {
+    while freed < incoming.size {
+        let Some(Reverse(victim)) = ranked.pop() else {
+            // Even evicting everything cheaper than the newcomer is not
+            // enough.
+            return AdmissionPlan::RejectIncoming;
+        };
+        if incoming_priority <= victim.priority {
             // The newcomer is now the lowest-priority candidate: refuse
             // it (Algorithm 1 line 10-11 with the comparison inverted).
             return AdmissionPlan::RejectIncoming;
         }
-        evict.push(id);
-        freed += size;
+        evict.push(victim.id);
+        freed += victim.size;
     }
-    if freed >= incoming.size {
-        AdmissionPlan::Admit { evict }
-    } else {
-        // Even evicting everything cheaper than the newcomer is not
-        // enough.
-        AdmissionPlan::RejectIncoming
-    }
+    AdmissionPlan::Admit { evict }
 }
 
 /// Sorts message ids by descending send priority (scheduling order for a

@@ -350,6 +350,33 @@ pub struct SweepOutput {
 /// the whole sweep (differential harnesses and golden tests rely on
 /// all-or-nothing results). Use [`run_sweep_observed`] or
 /// [`run_sweep_hardened`] for fault-tolerant behaviour.
+///
+/// # Example
+///
+/// A miniature Fig. 8-style comparison — two initial-copy points, two
+/// policies, one seed — produces one [`SweepCell`] per
+/// `(axis point, policy)` pair:
+///
+/// ```
+/// use dtn_sim::config::{presets, PolicyKind};
+/// use dtn_sim::sweep::{run_sweep, SweepAxis, SweepSpec};
+///
+/// let mut base = presets::smoke();
+/// base.n_nodes = 8;
+/// base.duration_secs = 120.0;
+/// let spec = SweepSpec {
+///     base,
+///     axis: SweepAxis::InitialCopies(vec![4, 8]),
+///     policies: vec![PolicyKind::Fifo, PolicyKind::Sdsrp],
+///     seeds: vec![1],
+///     validate: false,
+/// };
+/// let cells = run_sweep(&spec, 1);
+/// assert_eq!(cells.len(), 4); // 2 axis points x 2 policies
+/// assert!(cells
+///     .iter()
+///     .all(|c| (0.0..=1.0).contains(&c.delivery_ratio)));
+/// ```
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
     let out = run_sweep_observed(spec, threads, &|_| {});
     if let Some(err) = out.errors.first() {

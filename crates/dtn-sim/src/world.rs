@@ -26,7 +26,7 @@ use crate::config::{ImmunityMode, RoutingKind, ScenarioConfig};
 use crate::message::{BufferedCopy, Message};
 use crate::node::{make_view, two_nodes, Node};
 use crate::report::Report;
-use dtn_buffer::policy::{plan_admission, AdmissionPlan};
+use dtn_buffer::policy::{plan_admission, AdmissionPlan, EvictionRank, PriorityCacheStats};
 use dtn_core::event::EventQueue;
 use dtn_core::geometry::Point2;
 use dtn_core::ids::{MessageId, NodeId, NodePair};
@@ -153,7 +153,19 @@ pub struct World {
     /// a refused candidate is re-examined on every scheduling pass.
     refused_seen: HashSet<(NodeId, MessageId)>,
     scratch_events: Vec<ContactEvent>,
+    /// Reusable idle-pair buffer for [`Self::rearm_idle_links`] — the
+    /// rearm sweep runs on every tick and twice per transfer completion,
+    /// so its allocation is hoisted out of the hot path.
+    scratch_idle: Vec<NodePair>,
+    /// Recycled spray-timestamp vectors: replications pop one instead of
+    /// allocating a fresh clone, removals push theirs back (bounded by
+    /// [`SPRAY_POOL_CAP`]).
+    spray_pool: Vec<Vec<SimTime>>,
 }
+
+/// Upper bound on [`World::spray_pool`] — enough to cover the buffered
+/// copies of a busy node without hoarding memory on large sweeps.
+const SPRAY_POOL_CAP: usize = 64;
 
 impl World {
     /// Builds a world from a validated scenario.
@@ -176,7 +188,7 @@ impl World {
         let mobility = dtn_mobility::build_fleet(&cfg.mobility, cfg.n_nodes, cfg.seed);
         let area = cfg.mobility.area();
         let tracker = ContactTracker::new(area, cfg.link.range);
-        let nodes = NodeId::all(cfg.n_nodes)
+        let nodes: Vec<Node> = NodeId::all(cfg.n_nodes)
             .map(|id| {
                 Node::new(
                     id,
@@ -214,6 +226,8 @@ impl World {
             validate_metrics: None,
             refused_seen: HashSet::new(),
             scratch_events: Vec::new(),
+            scratch_idle: Vec::new(),
+            spray_pool: Vec::new(),
         }
     }
 
@@ -504,20 +518,8 @@ impl World {
         }
 
         // Catch-all: restart any idle live link (new messages may have
-        // arrived since the link went idle). Sorted: `links` is a
-        // HashMap and its iteration order must never leak into event
-        // order (same-instant TransferComplete events apply in push
-        // order).
-        let mut idle: Vec<NodePair> = self
-            .links
-            .iter()
-            .filter(|(_, s)| s.in_flight.is_none())
-            .map(|(&p, _)| p)
-            .collect();
-        idle.sort();
-        for pair in idle {
-            self.try_start_transfer(pair);
-        }
+        // arrived since the link went idle).
+        self.rearm_idle_links(None);
 
         self.run_validation_sweep();
 
@@ -638,6 +640,7 @@ impl World {
                 if let Some(v) = self.validator.as_mut() {
                     v.on_expired(id, removed.copies);
                 }
+                recycle_spray(&mut self.spray_pool, removed);
             }
         }
     }
@@ -731,7 +734,7 @@ impl World {
             self.queue.push(next, WorldEvent::Generate);
         }
 
-        self.kick_links_of(source);
+        self.rearm_idle_links(Some(source));
     }
 
     /// Forced admission for newly generated messages: evicts the
@@ -742,34 +745,39 @@ impl World {
         let now = self.now;
         let msg = self.catalog[msg_id.index()];
         let node = &mut self.nodes[node_id.index()];
-        // Rank residents ascending by keep priority.
-        let mut ranked: Vec<(f64, MessageId, dtn_core::units::Bytes)> = {
-            let policy = node.policy.as_mut();
-            let catalog = &self.catalog;
-            let oracle = self.oracle.as_ref();
-            node.buffer
-                .values()
-                .map(|c| {
-                    let m = &catalog[c.msg.index()];
-                    let oi = oracle.map(|o| o.of(c.msg));
-                    let view = make_view(m, c, now, oi);
-                    (policy.keep_priority(now, &view), c.msg, m.size)
-                })
-                .collect()
-        };
-        ranked.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("NaN priority")
-                .then(a.1.cmp(&b.1))
-        });
         let mut free = node.free();
-        let mut victims = Vec::new();
-        for (_, id, size) in ranked {
-            if free >= msg.size {
-                break;
+        let mut victims: Vec<(MessageId, dtn_core::units::Bytes)> = Vec::new();
+        if free < msg.size {
+            // Lazy lowest-keep-priority selection: heapify every
+            // resident in O(B), pop only the victims actually needed.
+            // `EvictionRank` orders by `(priority, id)` — the total
+            // order the former full sort used — so the victim sequence
+            // is unchanged.
+            let mut ranked: std::collections::BinaryHeap<std::cmp::Reverse<EvictionRank>> = {
+                let policy = node.policy.as_mut();
+                let catalog = &self.catalog;
+                let oracle = self.oracle.as_ref();
+                node.buffer
+                    .values()
+                    .map(|c| {
+                        let m = &catalog[c.msg.index()];
+                        let oi = oracle.map(|o| o.of(c.msg));
+                        let view = make_view(m, c, now, oi);
+                        std::cmp::Reverse(EvictionRank {
+                            priority: policy.keep_priority(now, &view),
+                            id: c.msg,
+                            size: m.size,
+                        })
+                    })
+                    .collect()
+            };
+            while free < msg.size {
+                let Some(std::cmp::Reverse(v)) = ranked.pop() else {
+                    break;
+                };
+                victims.push((v.id, v.size));
+                free += v.size;
             }
-            victims.push((id, size));
-            free += size;
         }
         for (victim, size) in victims {
             let node = &mut self.nodes[node_id.index()];
@@ -790,6 +798,7 @@ impl World {
             if let Some(v) = self.validator.as_mut() {
                 v.on_evicted(victim, node_id, removed.copies);
             }
+            recycle_spray(&mut self.spray_pool, removed);
         }
         self.nodes[node_id.index()].insert_copy(copy, msg.size);
         if let Some(o) = self.oracle.as_mut() {
@@ -849,6 +858,7 @@ impl World {
                 if let Some(v) = self.validator.as_mut() {
                     v.on_rejected_incoming(msg_id, node_id, incoming_tokens);
                 }
+                recycle_spray(&mut self.spray_pool, copy);
                 false
             }
             AdmissionPlan::Admit { evict } => {
@@ -871,6 +881,7 @@ impl World {
                     if let Some(v) = self.validator.as_mut() {
                         v.on_evicted(victim, node_id, removed.copies);
                     }
+                    recycle_spray(&mut self.spray_pool, removed);
                 }
                 self.nodes[node_id.index()].insert_copy(copy, msg.size);
                 if let Some(o) = self.oracle.as_mut() {
@@ -1008,8 +1019,8 @@ impl World {
         // Link is free again: keep the contact busy, and buffers changed
         // so other idle links of both endpoints may have work now.
         self.try_start_transfer(pair);
-        self.kick_links_of(pair.lo());
-        self.kick_links_of(pair.hi());
+        self.rearm_idle_links(Some(pair.lo()));
+        self.rearm_idle_links(Some(pair.hi()));
     }
 
     fn apply_transfer(&mut self, f: InFlight) {
@@ -1113,6 +1124,11 @@ impl World {
                         copies,
                     });
                 }
+                // Reuse a pooled spray-history allocation for the
+                // receiver's copy instead of cloning a fresh one on
+                // every replication (the former per-contact hot-path
+                // allocation).
+                let mut spray = self.spray_pool.pop().unwrap_or_default();
                 let (incoming, before) = {
                     let sender = &mut self.nodes[f.from.index()];
                     let copy = sender.buffer.get_mut(&f.msg).expect("checked above");
@@ -1125,13 +1141,15 @@ impl World {
                         // the timestamp (paper Fig. 6).
                         copy.spray_times.push(now);
                     }
+                    spray.clear();
+                    spray.extend_from_slice(&copy.spray_times);
                     let incoming = BufferedCopy {
                         msg: f.msg,
                         received: now,
                         copies: receiver_gets.max(1),
                         hops: copy.hops + 1,
                         forward_count: 0,
-                        spray_times: copy.spray_times.clone(),
+                        spray_times: spray,
                     };
                     (incoming, before)
                 };
@@ -1227,6 +1245,7 @@ impl World {
                 if let Some(v) = self.validator.as_mut() {
                     v.on_immunity_purge(msg, removed.copies);
                 }
+                recycle_spray(&mut self.spray_pool, removed);
             }
             node.acked.insert(msg);
         }
@@ -1260,6 +1279,7 @@ impl World {
             if let Some(v) = self.validator.as_mut() {
                 v.on_immunity_purge(id, removed.copies);
             }
+            recycle_spray(&mut self.spray_pool, removed);
         }
     }
 
@@ -1355,19 +1375,35 @@ impl World {
         }
     }
 
-    /// Re-arms every idle live link touching `node` (sorted so HashMap
-    /// iteration order never reaches the event queue).
-    fn kick_links_of(&mut self, node: NodeId) {
-        let mut idle: Vec<NodePair> = self
-            .links
-            .iter()
-            .filter(|(p, s)| s.in_flight.is_none() && (p.lo() == node || p.hi() == node))
-            .map(|(&p, _)| p)
-            .collect();
-        idle.sort();
-        for pair in idle {
+    /// Re-arms every idle live link — all of them, or only those
+    /// touching `node`. The single rearm path in the simulator (the
+    /// per-tick catch-all and the per-transfer kicks both land here).
+    ///
+    /// Sorting the collected pairs is a *correctness* requirement, not a
+    /// nicety: `links` is a HashMap, and same-instant `TransferComplete`
+    /// events apply in push order, so iterating the map directly would
+    /// leak its nondeterministic iteration order into the event queue
+    /// and break run reproducibility. The pair list lives in a reusable
+    /// scratch buffer (`scratch_idle`) so the sweep allocates nothing in
+    /// steady state.
+    fn rearm_idle_links(&mut self, touching: Option<NodeId>) {
+        let mut idle = std::mem::take(&mut self.scratch_idle);
+        idle.clear();
+        idle.extend(
+            self.links
+                .iter()
+                .filter(|(p, s)| {
+                    s.in_flight.is_none() && touching.is_none_or(|n| p.lo() == n || p.hi() == n)
+                })
+                .map(|(&p, _)| p),
+        );
+        // Keys are distinct, so unstable sorting yields the same order a
+        // stable sort would.
+        idle.sort_unstable();
+        for &pair in &idle {
             self.try_start_transfer(pair);
         }
+        self.scratch_idle = idle;
     }
 
     /// Read access to the report while building tests.
@@ -1378,6 +1414,43 @@ impl World {
     /// Number of generated messages so far.
     pub fn catalog_len(&self) -> usize {
         self.catalog.len()
+    }
+
+    /// Enables or disables priority memoisation on every node's buffer
+    /// policy. A *runtime* toggle (not part of [`ScenarioConfig`], so
+    /// config hashes and manifests are unaffected): the cache is a pure
+    /// optimisation and results are bit-identical either way, which the
+    /// differential regression suite enforces by running with it off as
+    /// the reference path. Call right after `build` — flipping it
+    /// mid-run is safe (the cache self-invalidates) but pointless.
+    pub fn set_priority_cache(&mut self, enabled: bool) {
+        for node in &mut self.nodes {
+            node.policy.set_priority_cache(enabled);
+        }
+    }
+
+    /// Aggregate priority-cache hit/miss counters across every node's
+    /// buffer policy. Policies without a cache contribute nothing, so
+    /// the result is `(0, 0)`-shaped for non-SDSRP runs.
+    pub fn priority_cache_stats(&self) -> PriorityCacheStats {
+        let mut total = PriorityCacheStats::default();
+        for node in &self.nodes {
+            if let Some(stats) = node.policy.priority_cache_stats() {
+                total.merge(stats);
+            }
+        }
+        total
+    }
+}
+
+/// Returns a removed copy's spray-timestamp allocation to the pool so
+/// the next replication reuses it instead of allocating a fresh clone.
+/// Purely an allocation-recycling measure: the vector is cleared, so
+/// simulation state is untouched.
+fn recycle_spray(pool: &mut Vec<Vec<SimTime>>, mut copy: BufferedCopy) {
+    if pool.len() < SPRAY_POOL_CAP && copy.spray_times.capacity() > 0 {
+        copy.spray_times.clear();
+        pool.push(std::mem::take(&mut copy.spray_times));
     }
 }
 

@@ -16,6 +16,8 @@
 //!   event is never even constructed.
 //! * [`manifest`] — the per-run [`manifest::RunManifest`] (config hash,
 //!   seed, totals, wall clock) with structural diffing.
+//! * [`perf`] — process-level probes ([`perf::peak_rss_bytes`]) shared
+//!   by the `dtn-bench` harness and the sweep runner.
 //! * [`sweep`] — [`sweep::SweepEvent`], the lifecycle vocabulary of
 //!   hardened sweep/fuzz runs (cell completed/failed/skipped,
 //!   checkpoint resumed).
@@ -35,6 +37,7 @@
 pub mod event;
 pub mod manifest;
 pub mod metrics;
+pub mod perf;
 pub mod recorder;
 pub mod ring;
 pub mod sink;
@@ -44,6 +47,7 @@ pub mod timeseries;
 pub use event::{DropReason, EventTotals, SimEvent};
 pub use manifest::{hash_config_json, RunManifest};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use perf::peak_rss_bytes;
 pub use recorder::Recorder;
 pub use ring::EventRing;
 pub use sink::{CsvSink, EventSink, JsonlSink, MemorySink};

@@ -1,0 +1,45 @@
+//! Process-level performance probes used by the benchmark harness.
+//!
+//! Kept here (the bottom of the dependency graph) so `dtn-bench` and
+//! the sweep runner report resource usage through one code path.
+
+/// Peak resident-set size of the current process in bytes (`VmHWM`
+/// from `/proc/self/status`). This is a monotone process-wide
+/// high-water mark: it never decreases, so per-phase readings taken
+/// later in a run can only grow. Returns `None` when the platform does
+/// not expose it (anything but Linux) or the probe fails.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_and_monotone() {
+        let before = peak_rss_bytes().expect("VmHWM readable on linux");
+        assert!(before > 0);
+        // Touch a few MB so the high-water mark has a chance to move;
+        // either way it must never decrease.
+        let buf = vec![1u8; 4 << 20];
+        std::hint::black_box(&buf);
+        let after = peak_rss_bytes().expect("VmHWM readable on linux");
+        assert!(after >= before);
+    }
+}

@@ -13,10 +13,10 @@ use crate::truth::MessageTruth;
 use crate::violation::{Violation, ViolationKind};
 use dtn_core::ids::{MessageId, NodeId};
 use dtn_core::time::SimTime;
-use sdsrp_core::dropped_list::DroppedRecord;
+use sdsrp_core::dropped_list::DroppedList;
 use sdsrp_core::estimator::{estimate_m, estimate_n};
 use sdsrp_core::priority::PriorityModel;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Tuning for one validation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -262,7 +262,7 @@ impl Validator {
     /// monotonicity per `(exporter, origin)` and that every claimed
     /// drop really happened (`d_i` soundness).
     pub fn on_gossip_export(&mut self, now: SimTime, exporter: NodeId, bytes: &[u8]) {
-        let Ok(records) = serde_json::from_slice::<BTreeMap<NodeId, DroppedRecord>>(bytes) else {
+        let Some(records) = DroppedList::decode_records(bytes) else {
             return; // not a dropped-list payload
         };
         let t = now.as_secs();
@@ -626,8 +626,8 @@ mod tests {
 
     #[test]
     fn gossip_regression_and_overcount_detected() {
-        use sdsrp_core::dropped_list::DroppedRecord;
-        use std::collections::BTreeSet;
+        use sdsrp_core::dropped_list::{DroppedList, DroppedRecord};
+        use std::collections::{BTreeMap, BTreeSet};
         let mut v = validator();
         v.on_generated(MessageId(0), NodeId(0), 4, 600.0);
         // Node 3 genuinely dropped msg 0; node 4 never did.
@@ -643,13 +643,13 @@ mod tests {
             }
         };
         let honest: BTreeMap<NodeId, DroppedRecord> = [(NodeId(3), rec(10.0))].into();
-        let bytes = serde_json::to_vec(&honest).unwrap();
+        let bytes = DroppedList::encode_records(&honest);
         v.on_gossip_export(SimTime::from_secs(11.0), NodeId(3), &bytes);
         assert!(v.report().ok(), "{:?}", v.report().violations);
 
         // Same exporter, the origin's record time goes backwards.
         let stale: BTreeMap<NodeId, DroppedRecord> = [(NodeId(3), rec(5.0))].into();
-        let bytes = serde_json::to_vec(&stale).unwrap();
+        let bytes = DroppedList::encode_records(&stale);
         v.on_gossip_export(SimTime::from_secs(12.0), NodeId(3), &bytes);
         assert!(v
             .report()
@@ -659,7 +659,7 @@ mod tests {
 
         // A record claiming a drop that never happened.
         let fabricated: BTreeMap<NodeId, DroppedRecord> = [(NodeId(4), rec(13.0))].into();
-        let bytes = serde_json::to_vec(&fabricated).unwrap();
+        let bytes = DroppedList::encode_records(&fabricated);
         v.on_gossip_export(SimTime::from_secs(14.0), NodeId(5), &bytes);
         assert!(v
             .report()

@@ -19,7 +19,7 @@
 //! `--routing NAME`, `--seed N`, `--duration SECS`, `--copies L`,
 //! `--buffer-mb X`, `--immunity none|oracle|gossip`, `--json`,
 //! `--emit-config`, `--timeseries FILE`, `--telemetry FILE`,
-//! `--validate`, `--replay MANIFEST`.
+//! `--validate`, `--no-priority-cache`, `--replay MANIFEST`.
 //!
 //! `--telemetry FILE` streams every simulation event as one JSON object
 //! per line to `FILE` and writes a run manifest (config hash, seed,
@@ -29,6 +29,10 @@
 //! estimator oracle enabled; any violation makes the process exit
 //! non-zero. `--replay FILE.manifest.json` re-runs the scenario a
 //! manifest records and fails unless the re-run reproduces it exactly.
+//!
+//! `--no-priority-cache` disables the SDSRP priority memoisation cache
+//! (the reference path used by the differential regression suite).
+//! Results are bit-identical either way; this flag only changes speed.
 //!
 //! `--sweep copies|buffer|genrate` sweeps the paper's axis of that name
 //! over the resolved base scenario with the paper's four policies,
@@ -55,7 +59,7 @@ fn usage() -> ! {
          \t[--seed N] [--duration SECS] [--copies L] [--buffer-mb X]\n\
          \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
          \t[--timeseries FILE] [--telemetry FILE] [--validate]\n\
-         \t[--replay MANIFEST.json]\n\
+         \t[--no-priority-cache] [--replay MANIFEST.json]\n\
          \t[--sweep copies|buffer|genrate [--seeds N] [--threads N]\n\
          \t\t[--validate-cells] [--checkpoint FILE [--resume]]]"
     );
@@ -211,6 +215,7 @@ fn main() {
     let mut timeseries_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
     let mut validate = false;
+    let mut priority_cache = true;
     let mut replay_path: Option<String> = None;
     let mut sweep_axis: Option<String> = None;
     let mut sweep_seeds: u64 = 3;
@@ -293,6 +298,7 @@ fn main() {
                 let w: f64 = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
                 overrides.push(Box::new(move |c| c.warmup_secs = w));
             }
+            "--no-priority-cache" => priority_cache = false,
             "--json" => json_out = true,
             "--emit-config" => emit_config = true,
             "--timeseries" => timeseries_path = Some(next(&args, &mut i)),
@@ -348,6 +354,9 @@ fn main() {
     }
 
     let mut world = World::build(&cfg);
+    if !priority_cache {
+        world.set_priority_cache(false);
+    }
     if let Some(path) = &telemetry_path {
         let sink = JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
             eprintln!("cannot create {path}: {e}");

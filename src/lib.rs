@@ -22,7 +22,7 @@
 //!   manifests ([`dtn_telemetry`]).
 //! * [`validate`] — simulation invariants, the estimator oracle and
 //!   run fingerprints ([`dtn_validate`]); replay harnesses live in
-//!   [`sim::replay`](dtn_sim::replay).
+//!   [`sim::replay`].
 //!
 //! ## Quick start
 //!

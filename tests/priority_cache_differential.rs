@@ -1,0 +1,120 @@
+//! Differential regression suite for the SDSRP priority memo cache.
+//!
+//! The cache (`sdsrp_core::policy`, "Priority memoisation") is a pure
+//! optimisation: its hits must return the exact f64 a recompute would
+//! produce, so every observable of a run — the integer
+//! `ReportFingerprint` included — must be bit-identical with the cache
+//! on (the default) and off (the `--no-priority-cache` reference path,
+//! i.e. the pre-optimisation per-contact recompute algorithm). This
+//! suite enforces that across the pinned golden scenarios and a seeded
+//! batch from the fuzz scenario generator.
+
+use sdsrp::sim::config::{presets, PolicyKind, ScenarioConfig};
+use sdsrp::sim::replay::fingerprint;
+use sdsrp::sim::scenario_gen::random_scenario;
+use sdsrp::sim::world::World;
+use sdsrp::telemetry::Recorder;
+
+/// Runs `cfg` to completion with the cache toggled and returns the
+/// canonical fingerprint rendering plus the cache hit count.
+fn run_fingerprint(cfg: &ScenarioConfig, cache: bool) -> (String, u64) {
+    let mut world = World::build(cfg);
+    world.set_priority_cache(cache);
+    world.attach_recorder(Recorder::enabled(16));
+    let stats_probe = world.priority_cache_stats();
+    assert_eq!(stats_probe.hits + stats_probe.misses, 0);
+    world.step_until(dtn_core::time::SimTime::from_secs(cfg.duration_secs));
+    let hits = world.priority_cache_stats().hits;
+    let totals = world.recorder().totals().clone();
+    let fp = fingerprint(world.report(), &totals).to_canonical_json();
+    (fp, hits)
+}
+
+fn assert_cache_invariant(cfg: &ScenarioConfig) {
+    let (cached, hits) = run_fingerprint(cfg, true);
+    let (uncached, uncached_hits) = run_fingerprint(cfg, false);
+    assert_eq!(
+        cached, uncached,
+        "{}: fingerprint diverged between cached and uncached priority paths",
+        cfg.name
+    );
+    assert_eq!(
+        uncached_hits, 0,
+        "{}: disabled cache must never serve hits",
+        cfg.name
+    );
+    // SDSRP runs should actually exercise the cache, otherwise this
+    // suite silently stops testing anything.
+    if cfg.policy == PolicyKind::Sdsrp {
+        assert!(hits > 0, "{}: SDSRP run produced no cache hits", cfg.name);
+    }
+}
+
+/// The pinned golden scenario (see `tests/golden_headline.rs`): the
+/// cached path must reproduce the committed snapshot, not merely agree
+/// with the uncached path.
+#[test]
+fn golden_headline_is_cache_invariant_and_matches_snapshot() {
+    let mut cfg = presets::smoke();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.seed = 42;
+    cfg.duration_secs = 3_600.0;
+    assert_cache_invariant(&cfg);
+
+    let (cached, _) = run_fingerprint(&cfg, true);
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/headline_smoke.json");
+    let committed = std::fs::read_to_string(&golden).expect("golden snapshot exists");
+    assert_eq!(
+        cached, committed,
+        "cached run drifted from the committed golden snapshot"
+    );
+}
+
+/// The paper's Table II scenario, shortened to test length.
+#[test]
+fn paper_preset_is_cache_invariant() {
+    let mut cfg = presets::random_waypoint_paper();
+    cfg.duration_secs = 1_800.0;
+    cfg.seed = 7;
+    assert_cache_invariant(&cfg);
+}
+
+/// A buffer-pressure variant where eviction ranking (keep_priority on
+/// every resident, per admission) dominates — the regime the cache and
+/// the lazy eviction heap were built for.
+#[test]
+fn buffer_pressure_is_cache_invariant() {
+    let mut cfg = presets::smoke();
+    cfg.name = "pressure-diff".into();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.n_nodes = 60;
+    cfg.duration_secs = 1_500.0;
+    cfg.gen_interval = (8.0, 12.0);
+    cfg.buffer_capacity = sdsrp::core::units::Bytes::new(1_500_000);
+    cfg.seed = 3;
+    assert_cache_invariant(&cfg);
+}
+
+/// Seeded batch from the fuzz generator: random policies, routings and
+/// immunity modes. Non-SDSRP policies have no cache, so this doubles as
+/// a check that `set_priority_cache(false)` is harmless on them.
+#[test]
+fn scenario_gen_batch_is_cache_invariant() {
+    for seed in 0..12u64 {
+        let cfg = random_scenario(seed);
+        assert_cache_invariant(&cfg);
+    }
+}
+
+/// A couple of explicitly-SDSRP fuzz scenarios so the batch always
+/// exercises the cached policy regardless of what the pool draws.
+#[test]
+fn scenario_gen_sdsrp_batch_is_cache_invariant() {
+    for seed in 0..6u64 {
+        let mut cfg = random_scenario(seed);
+        cfg.policy = PolicyKind::Sdsrp;
+        cfg.name = format!("fuzz-sdsrp-{seed}");
+        assert_cache_invariant(&cfg);
+    }
+}
