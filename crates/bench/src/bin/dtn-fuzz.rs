@@ -8,7 +8,13 @@
 //! ```text
 //! dtn-fuzz --cells 50 --validate             # the nightly CI job
 //! dtn-fuzz --cells 1 --seed 1234 --validate  # replay case 1234
+//! dtn-fuzz --cells 50 --validate --faults    # churn fuzzing
 //! ```
+//!
+//! `--faults` attaches `random_fault_plan(seed)` to every case: random
+//! crash/reboot churn, radio blackouts, transfer aborts and clock skew,
+//! drawn from a seed-paired RNG so the fault plan is as replayable as
+//! the scenario itself.
 //!
 //! Cells run through the hardened runner (`run_cells`): a panicking
 //! case is reported as a structured `CellError` (with the full config
@@ -17,7 +23,7 @@
 //! `--resume` skips them on the next invocation. Exit status is
 //! non-zero if any case panicked or violated an invariant.
 
-use dtn_sim::scenario_gen::random_scenario;
+use dtn_sim::scenario_gen::{random_fault_plan, random_scenario};
 use dtn_sim::sweep::{run_cells, CellJob, SweepCheckpoint, SweepOptions};
 use dtn_telemetry::manifest::hash_config_json;
 use dtn_telemetry::SweepEvent;
@@ -29,6 +35,7 @@ struct FuzzCli {
     cells: u64,
     seed: u64,
     validate: bool,
+    faults: bool,
     threads: usize,
     checkpoint: Option<PathBuf>,
     resume: bool,
@@ -37,12 +44,14 @@ struct FuzzCli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dtn-fuzz [--cells N] [--seed BASE] [--validate] [--threads N]\n\
-         \x20               [--checkpoint PATH [--resume]] [--events PATH]\n\
+        "usage: dtn-fuzz [--cells N] [--seed BASE] [--validate] [--faults]\n\
+         \x20               [--threads N] [--checkpoint PATH [--resume]] [--events PATH]\n\
          \n\
          Runs N random scenarios (generator seeds BASE..BASE+N) through the\n\
          hardened cell runner. --validate attaches the dtn-validate checkers\n\
-         to every run. --events streams structured lifecycle events as JSONL.\n\
+         to every run. --faults attaches a seeded random fault plan (node\n\
+         crashes, blackouts, transfer aborts, clock skew) to every case.\n\
+         --events streams structured lifecycle events as JSONL.\n\
          Exits non-zero on any panic or invariant violation."
     );
     std::process::exit(2);
@@ -53,6 +62,7 @@ fn parse() -> FuzzCli {
         cells: 50,
         seed: 1,
         validate: false,
+        faults: false,
         threads: 0,
         checkpoint: None,
         resume: false,
@@ -84,6 +94,7 @@ fn parse() -> FuzzCli {
                     .unwrap_or_else(|| usage());
             }
             "--validate" => cli.validate = true,
+            "--faults" => cli.faults = true,
             "--resume" => cli.resume = true,
             "--checkpoint" => {
                 i += 1;
@@ -124,7 +135,10 @@ fn main() {
     let mut jobs = Vec::with_capacity(cli.cells as usize);
     for i in 0..cli.cells {
         let gen_seed = cli.seed + i;
-        let cfg = random_scenario(gen_seed);
+        let mut cfg = random_scenario(gen_seed);
+        if cli.faults {
+            cfg.faults = random_fault_plan(gen_seed);
+        }
         let config_json = serde_json::to_string(&cfg).expect("config serialises");
         log_event(&SweepEvent::FuzzCaseGenerated {
             index: i,
@@ -170,6 +184,12 @@ fn main() {
         out.violations,
         if cli.validate { "on" } else { "off" },
     );
+    if cli.faults {
+        println!(
+            "faults: {} crash(es), {} blackout(s), {} injected abort(s) across all cases",
+            out.totals.node_crashes, out.totals.blackouts, out.totals.fault_aborts,
+        );
+    }
     println!(
         "events: {} total ({} delivered, {} dropped, {} contacts)",
         out.totals.total(),
@@ -184,8 +204,9 @@ fn main() {
     for err in &out.errors {
         eprintln!("\n{err}");
         eprintln!(
-            "  replay: dtn-fuzz --cells 1 --seed {}",
-            cli.seed + err.index as u64
+            "  replay: dtn-fuzz --cells 1 --seed {}{}",
+            cli.seed + err.index as u64,
+            if cli.faults { " --faults" } else { "" }
         );
         eprintln!("  config: {}", err.config);
     }

@@ -89,8 +89,13 @@ impl DroppedList {
         }
     }
 
-    /// Registers that the owner dropped `msg` at `now` (Fig. 5: only a
-    /// new drop action in the owner's buffer updates its record time).
+    /// Registers that the owner dropped `msg` at `now` (Fig. 5: the
+    /// record time moves *if and only if* a new drop action occurs).
+    ///
+    /// A re-drop of a message already in the owner's record is a no-op:
+    /// bumping the time anyway would make every peer's newest-wins merge
+    /// re-adopt an unchanged record — a network-wide gossip-adoption and
+    /// cache-invalidation storm carrying zero information.
     pub fn record_own_drop(&mut self, now: SimTime, msg: MessageId) {
         let rec = self
             .records
@@ -101,8 +106,17 @@ impl DroppedList {
             });
         if rec.dropped.insert(msg) {
             count_inc(&mut self.counts, msg);
+            rec.record_time = now;
+            self.encoded = None;
         }
-        rec.record_time = now;
+    }
+
+    /// Wipes all records (own and adopted) and the derived caches,
+    /// keeping the owner. Models the owner losing its dropped-list state
+    /// in a crash: the rebooted node starts gossiping from scratch.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.counts.clear();
         self.encoded = None;
     }
 
@@ -314,6 +328,70 @@ mod tests {
         assert_eq!(dl.entry_count(), 2);
         assert_eq!(dl.origin_count(), 1);
         assert_eq!(dl.records()[&NodeId(3)].record_time, t(12.0));
+    }
+
+    #[test]
+    fn redrop_of_known_message_does_not_bump_record_time() {
+        // Fig. 5: the record time moves iff a new drop action occurs. A
+        // re-drop of an already-recorded message must leave the record
+        // (and its memoised encoding) untouched.
+        let mut dl = DroppedList::new(NodeId(3));
+        dl.record_own_drop(t(10.0), MessageId(1));
+        let encoded = dl.to_gossip_bytes();
+        dl.record_own_drop(t(50.0), MessageId(1));
+        assert_eq!(dl.records()[&NodeId(3)].record_time, t(10.0));
+        assert_eq!(dl.drop_count(MessageId(1)), 1);
+        assert_eq!(
+            dl.to_gossip_bytes(),
+            encoded,
+            "no-op re-drop must not re-encode"
+        );
+        // A genuinely new drop still bumps the time.
+        dl.record_own_drop(t(60.0), MessageId(2));
+        assert_eq!(dl.records()[&NodeId(3)].record_time, t(60.0));
+    }
+
+    #[test]
+    fn redrop_does_not_cause_merge_storm() {
+        // Regression: node A drops message 1 once, gossips it to B, then
+        // "re-drops" the same message (e.g. it re-admitted and re-evicted
+        // the copy). Before the fix the re-drop bumped A's record time,
+        // so A's next export looked newer than B's copy and B adopted an
+        // informationally identical record — and so on across the whole
+        // network, every re-drop, forever.
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        a.record_own_drop(t(5.0), MessageId(1));
+        assert_eq!(b.merge_gossip_bytes(&a.to_gossip_bytes()), 1);
+
+        for k in 0..10 {
+            a.record_own_drop(t(10.0 + k as f64), MessageId(1));
+            assert_eq!(
+                b.merge_gossip_bytes(&a.to_gossip_bytes()),
+                0,
+                "no-op re-drop #{k} forced a gossip adoption"
+            );
+        }
+        assert_eq!(b.drop_count(MessageId(1)), 1);
+    }
+
+    #[test]
+    fn clear_wipes_records_and_caches() {
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        b.record_own_drop(t(2.0), MessageId(9));
+        a.record_own_drop(t(1.0), MessageId(1));
+        a.merge(b.records());
+        assert_eq!(a.origin_count(), 2);
+        a.clear();
+        assert_eq!(a.origin_count(), 0);
+        assert_eq!(a.entry_count(), 0);
+        assert_eq!(a.drop_count(MessageId(1)), 0);
+        assert!(!a.anyone_dropped(MessageId(9)));
+        // The cleared list still works: drops re-record, merges re-adopt.
+        a.record_own_drop(t(20.0), MessageId(1));
+        assert!(a.own_dropped(MessageId(1)));
+        assert_eq!(a.merge(b.records()), 1);
     }
 
     #[test]

@@ -74,6 +74,23 @@ pub fn estimate_n(seen: u32, dropped: u32) -> u32 {
 /// start yields one intermeeting sample (Definition 1). `λ = 1/mean`.
 /// Until `min_samples` samples have accumulated the estimator reports
 /// the configured prior (cold-start behaviour the paper leaves implicit).
+///
+/// ## Churn hygiene
+///
+/// `last_contact_end` entries would otherwise live forever: a peer that
+/// crashes, reboots, or sits out a long radio blackout produces one
+/// enormous "intermeeting" gap on its next contact, permanently skewing
+/// the running mean. Two defences exist:
+///
+/// * [`with_max_gap`](Self::with_max_gap) ages stale endpoints out —
+///   a gap beyond the cutoff is discarded (the endpoint is treated as
+///   lost history, not a sample);
+/// * [`reset`](Self::reset) / [`forget_peer`](Self::forget_peer) let
+///   the owner drop state explicitly when it *observes* churn (its own
+///   crash wipe, a peer known to have rebooted).
+///
+/// The default cutoff is `+∞`, so estimators built through the existing
+/// constructors behave bit-identically to before.
 #[derive(Debug, Clone)]
 pub struct LambdaEstimator {
     last_contact_end: HashMap<NodeId, SimTime>,
@@ -81,6 +98,7 @@ pub struct LambdaEstimator {
     per_peer: HashMap<NodeId, OnlineStats>,
     prior_lambda: f64,
     min_samples: u64,
+    max_gap: f64,
 }
 
 impl LambdaEstimator {
@@ -100,16 +118,40 @@ impl LambdaEstimator {
             per_peer: HashMap::new(),
             prior_lambda,
             min_samples,
+            max_gap: f64::INFINITY,
         }
+    }
+
+    /// Sets the staleness cutoff: an intermeeting gap longer than
+    /// `max_gap` seconds is treated as a lost contact-history endpoint
+    /// (the peer was presumably down) and discarded instead of sampled.
+    ///
+    /// # Panics
+    /// Panics if `max_gap` is not strictly positive.
+    pub fn with_max_gap(mut self, max_gap: f64) -> Self {
+        assert!(max_gap > 0.0, "max gap must be positive");
+        self.max_gap = max_gap;
+        self
     }
 
     /// Records a contact coming up with `peer` at `now`. Returns `true`
     /// iff an intermeeting gap was actually sampled — i.e. iff this call
     /// can move [`lambda`](Self::lambda). Callers memoising λ-derived
     /// quantities only need to invalidate when this returns `true`.
+    ///
+    /// Gaps beyond the [`with_max_gap`](Self::with_max_gap) cutoff are
+    /// discarded: the stale endpoint is dropped (not sampled) and the
+    /// call returns `false`.
     pub fn on_contact_up(&mut self, now: SimTime, peer: NodeId) -> bool {
         if let Some(end) = self.last_contact_end.get(&peer) {
             let gap = (now - *end).as_secs();
+            if gap > self.max_gap {
+                // The peer was silent far longer than any plausible
+                // intermeeting time: age the endpoint out rather than
+                // poison the mean with one enormous bogus sample.
+                self.last_contact_end.remove(&peer);
+                return false;
+            }
             if gap > 0.0 {
                 self.samples.push(gap);
                 self.per_peer.entry(peer).or_default().push(gap);
@@ -117,6 +159,23 @@ impl LambdaEstimator {
             }
         }
         false
+    }
+
+    /// Drops all contact history *about* `peer` (its pending endpoint
+    /// and its per-peer gap statistics); the pooled mean keeps samples
+    /// already absorbed. Use when this node learns `peer` has rebooted.
+    pub fn forget_peer(&mut self, peer: NodeId) {
+        self.last_contact_end.remove(&peer);
+        self.per_peer.remove(&peer);
+    }
+
+    /// Wipes every sample and endpoint, returning the estimator to its
+    /// cold-start state (prior, `min_samples` and the staleness cutoff
+    /// are kept). Used when the owning node itself crashes.
+    pub fn reset(&mut self) {
+        self.last_contact_end.clear();
+        self.samples = OnlineStats::new();
+        self.per_peer.clear();
     }
 
     /// Records the contact with `peer` ending at `now`.
@@ -293,6 +352,83 @@ mod tests {
         est.on_contact_down(t(10.0), NodeId(3));
         est.on_contact_up(t(10.0), NodeId(3));
         assert_eq!(est.sample_count(), 0);
+    }
+
+    #[test]
+    fn lambda_recovers_after_peer_crash_with_max_gap() {
+        // Regression: a peer that goes silent for a whole reboot used to
+        // contribute one enormous intermeeting sample that permanently
+        // skewed the running mean. With a staleness cutoff the bogus gap
+        // is discarded and λ converges back to the true cadence.
+        let mut est = LambdaEstimator::new(1.0 / 2000.0, 1).with_max_gap(1000.0);
+        let peer = NodeId(7);
+        // Healthy cadence: gaps of 100 s.
+        est.on_contact_down(t(0.0), peer);
+        est.on_contact_up(t(100.0), peer);
+        est.on_contact_down(t(110.0), peer);
+        est.on_contact_up(t(210.0), peer);
+        est.on_contact_down(t(220.0), peer);
+        assert!((est.lambda() - 1.0 / 100.0).abs() < 1e-12);
+
+        // The peer crashes and is silent for 50 000 s. Its reappearance
+        // must NOT be sampled (gap 50 000 > cutoff 1000).
+        let sampled = est.on_contact_up(t(50_220.0), peer);
+        assert!(!sampled, "stale gap must not be a sample");
+        assert_eq!(est.sample_count(), 2);
+        assert!((est.lambda() - 1.0 / 100.0).abs() < 1e-12);
+
+        // Post-reboot cadence resumes at 100 s: λ stays at the truth.
+        est.on_contact_down(t(50_230.0), peer);
+        est.on_contact_up(t(50_330.0), peer);
+        assert_eq!(est.sample_count(), 3);
+        assert!((est.lambda() - 1.0 / 100.0).abs() < 1e-12);
+
+        // Counterfactual without the cutoff: the same history would put
+        // a 50 000 s sample in the mean and crater λ.
+        let mut skewed = LambdaEstimator::new(1.0 / 2000.0, 1);
+        skewed.on_contact_down(t(0.0), peer);
+        skewed.on_contact_up(t(100.0), peer);
+        skewed.on_contact_down(t(110.0), peer);
+        skewed.on_contact_up(t(210.0), peer);
+        skewed.on_contact_down(t(220.0), peer);
+        skewed.on_contact_up(t(50_220.0), peer);
+        assert!(skewed.lambda() < 1.0 / 10_000.0, "bug no longer reproduces");
+    }
+
+    #[test]
+    fn reset_returns_to_cold_start() {
+        let mut est = LambdaEstimator::new(0.01, 2);
+        est.on_contact_down(t(0.0), NodeId(1));
+        est.on_contact_up(t(50.0), NodeId(1));
+        est.on_contact_down(t(60.0), NodeId(1));
+        est.on_contact_up(t(110.0), NodeId(1));
+        assert_eq!(est.sample_count(), 2);
+        assert!((est.lambda() - 1.0 / 50.0).abs() < 1e-12);
+        est.reset();
+        assert_eq!(est.sample_count(), 0);
+        assert_eq!(est.lambda(), 0.01, "prior survives the reset");
+        // The pre-crash endpoint is gone: the next contact-up is a first
+        // contact, not a bogus crash-spanning gap.
+        assert!(!est.on_contact_up(t(5000.0), NodeId(1)));
+    }
+
+    #[test]
+    fn forget_peer_drops_only_that_peer() {
+        let mut est = LambdaEstimator::new(1.0, 2);
+        for k in 0..3 {
+            est.on_contact_up(t(k as f64 * 100.0), NodeId(1));
+            est.on_contact_down(t(k as f64 * 100.0 + 10.0), NodeId(1));
+            est.on_contact_up(t(k as f64 * 100.0 + 1.0), NodeId(2));
+            est.on_contact_down(t(k as f64 * 100.0 + 11.0), NodeId(2));
+        }
+        let pooled_before = est.lambda();
+        est.forget_peer(NodeId(2));
+        // Pooled stats keep absorbed samples; peer 2's history is gone.
+        assert_eq!(est.lambda(), pooled_before);
+        assert_eq!(est.lambda_for(NodeId(2)), est.lambda());
+        assert_ne!(est.lambda_for(NodeId(1)), 0.0);
+        // Peer 2's next contact is a first contact again.
+        assert!(!est.on_contact_up(t(10_000.0), NodeId(2)));
     }
 
     proptest! {

@@ -355,6 +355,18 @@ impl BufferPolicy for Sdsrp {
         self.cache.entries.remove(&msg);
     }
 
+    fn on_node_reset(&mut self, _now: SimTime) {
+        // A crash wipes all distributed state: the λ estimator returns
+        // to its prior (contact-history endpoints included — otherwise
+        // the first post-reboot contact would sample one enormous bogus
+        // intermeeting gap), the dropped list restarts empty (its
+        // gossip record times restart with it), and the priority memo
+        // is rebuilt from scratch.
+        self.lambda_est.reset();
+        self.dropped.clear();
+        self.cache.invalidate();
+    }
+
     fn export_gossip(&mut self, _now: SimTime) -> Option<Vec<u8>> {
         if self.cfg.gossip && self.dropped.origin_count() > 0 {
             Some(self.dropped.to_gossip_bytes())
@@ -777,6 +789,34 @@ mod tests {
         let stats = cached.priority_cache_stats().unwrap();
         assert!(stats.hits > 0, "memo never hit: {stats:?}");
         assert_eq!(plain.priority_cache_stats().unwrap().hits, 0);
+    }
+
+    #[test]
+    fn node_reset_returns_policy_to_cold_state() {
+        let mut p = Sdsrp::new(NodeId(0), online_cfg());
+        // Teach λ, record drops, import gossip.
+        p.on_contact_up(t(0.0), NodeId(1));
+        p.on_contact_down(t(10.0), NodeId(1));
+        p.on_contact_up(t(510.0), NodeId(1));
+        p.on_drop(t(600.0), MessageId(3));
+        let mut peer = Sdsrp::new(NodeId(9), online_cfg());
+        peer.on_drop(t(40.0), MessageId(2));
+        p.import_gossip(t(650.0), &peer.export_gossip(t(650.0)).unwrap());
+        assert!((p.lambda() - 1.0 / 500.0).abs() < 1e-12);
+        assert!(!p.accepts(t(700.0), MessageId(3)));
+        assert!(!p.accepts(t(700.0), MessageId(2)));
+
+        p.on_node_reset(t(700.0));
+
+        // λ back to the prior, dropped list empty, acceptance restored.
+        assert!((p.lambda() - 1.0 / 2000.0).abs() < 1e-15);
+        assert!(p.accepts(t(710.0), MessageId(3)));
+        assert!(p.accepts(t(710.0), MessageId(2)));
+        assert_eq!(p.export_gossip(t(710.0)), None);
+        // The rebooted node behaves like a fresh construction: first
+        // contact after reboot is not an intermeeting sample.
+        p.on_contact_up(t(800.0), NodeId(1));
+        assert!((p.lambda() - 1.0 / 2000.0).abs() < 1e-15);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Delivery-ratio-vs-churn-rate headline table.
+//!
+//! The fault-injection sweeps (`SweepAxis::CrashRate`) answer the
+//! robustness question the paper leaves open: how quickly does each
+//! buffer policy's delivery ratio degrade as nodes crash and lose their
+//! buffers? This module folds the sweep cells into a
+//! `policies x churn rates` matrix and renders the headline comparison,
+//! including each policy's *retention* — delivered fraction at the
+//! highest churn rate relative to the fault-free baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// One aggregated sweep cell projected onto the churn axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPoint {
+    /// Per-node crash rate, crashes/hour.
+    pub rate: f64,
+    /// Policy legend label.
+    pub policy: String,
+    /// Mean delivery ratio across the cell's seeds.
+    pub delivery_ratio: f64,
+    /// Seeds aggregated into the mean.
+    pub runs: usize,
+}
+
+/// A `policies x churn rates` delivery-ratio matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTable {
+    /// Distinct churn rates, ascending.
+    pub rates: Vec<f64>,
+    /// Policies in first-seen order.
+    pub policies: Vec<String>,
+    /// `delivery[p][r]` = mean delivery ratio of `policies[p]` at
+    /// `rates[r]` (`NaN` where the sweep had no cell).
+    pub delivery: Vec<Vec<f64>>,
+}
+
+impl ChurnTable {
+    /// Folds sweep points into the matrix. Duplicate `(policy, rate)`
+    /// points keep the last value (sweep cells are unique, so this
+    /// only matters for hand-built inputs).
+    pub fn from_points(points: &[ChurnPoint]) -> Self {
+        let mut rates: Vec<f64> = Vec::new();
+        for p in points {
+            if !rates.contains(&p.rate) {
+                rates.push(p.rate);
+            }
+        }
+        rates.sort_by(f64::total_cmp);
+        let mut policies: Vec<String> = Vec::new();
+        for p in points {
+            if !policies.contains(&p.policy) {
+                policies.push(p.policy.clone());
+            }
+        }
+        let mut delivery = vec![vec![f64::NAN; rates.len()]; policies.len()];
+        for p in points {
+            let pi = policies.iter().position(|x| *x == p.policy).expect("seen");
+            let ri = rates.iter().position(|&r| r == p.rate).expect("seen");
+            delivery[pi][ri] = p.delivery_ratio;
+        }
+        ChurnTable {
+            rates,
+            policies,
+            delivery,
+        }
+    }
+
+    /// Delivery ratio of `policy` at the highest churn rate divided by
+    /// its fault-free (lowest-rate) baseline — 1.0 means churn-proof,
+    /// 0.0 means churn kills it. `None` for an unknown policy, an
+    /// empty table, or a zero/NaN baseline.
+    pub fn retention(&self, policy: &str) -> Option<f64> {
+        let pi = self.policies.iter().position(|p| p == policy)?;
+        let row = &self.delivery[pi];
+        let base = *row.first()?;
+        let worst = *row.last()?;
+        if base <= 0.0 || base.is_nan() || worst.is_nan() {
+            return None;
+        }
+        Some(worst / base)
+    }
+
+    /// Renders the headline markdown table: one row per policy, one
+    /// column per churn rate, plus the retention column.
+    pub fn render_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "| policy |");
+        for r in &self.rates {
+            let _ = write!(out, " {r}/h |");
+        }
+        let _ = writeln!(out, " retention |");
+        let _ = write!(out, "|---|");
+        for _ in &self.rates {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out, "---|");
+        for (pi, policy) in self.policies.iter().enumerate() {
+            let _ = write!(out, "| {policy} |");
+            for &d in &self.delivery[pi] {
+                if d.is_nan() {
+                    let _ = write!(out, " - |");
+                } else {
+                    let _ = write!(out, " {d:.3} |");
+                }
+            }
+            match self.retention(policy) {
+                Some(k) => {
+                    let _ = writeln!(out, " {k:.3} |");
+                }
+                None => {
+                    let _ = writeln!(out, " - |");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(rate: f64, policy: &str, dr: f64) -> ChurnPoint {
+        ChurnPoint {
+            rate,
+            policy: policy.to_string(),
+            delivery_ratio: dr,
+            runs: 3,
+        }
+    }
+
+    fn sample() -> ChurnTable {
+        // Deliberately shuffled input: grouping must not depend on
+        // point order.
+        ChurnTable::from_points(&[
+            point(2.0, "SDSRP", 0.45),
+            point(0.0, "SprayAndWait", 0.50),
+            point(0.0, "SDSRP", 0.60),
+            point(2.0, "SprayAndWait", 0.20),
+            point(1.0, "SDSRP", 0.55),
+            point(1.0, "SprayAndWait", 0.35),
+        ])
+    }
+
+    #[test]
+    fn groups_points_into_sorted_matrix() {
+        let t = sample();
+        assert_eq!(t.rates, vec![0.0, 1.0, 2.0]);
+        assert_eq!(t.policies, vec!["SDSRP", "SprayAndWait"]);
+        assert_eq!(t.delivery[0], vec![0.60, 0.55, 0.45]);
+        assert_eq!(t.delivery[1], vec![0.50, 0.35, 0.20]);
+    }
+
+    #[test]
+    fn retention_is_worst_over_baseline() {
+        let t = sample();
+        assert!((t.retention("SDSRP").unwrap() - 0.75).abs() < 1e-12);
+        assert!((t.retention("SprayAndWait").unwrap() - 0.40).abs() < 1e-12);
+        assert_eq!(t.retention("nope"), None);
+    }
+
+    #[test]
+    fn retention_handles_degenerate_baselines() {
+        let t = ChurnTable::from_points(&[point(0.0, "Dead", 0.0), point(2.0, "Dead", 0.0)]);
+        assert_eq!(t.retention("Dead"), None);
+    }
+
+    #[test]
+    fn markdown_renders_all_cells_and_gaps() {
+        let mut pts = vec![
+            point(0.0, "SDSRP", 0.60),
+            point(2.0, "SDSRP", 0.45),
+            point(0.0, "FIFO", 0.50),
+        ];
+        pts.pop();
+        pts.push(point(0.0, "FIFO", 0.50)); // FIFO has no 2.0/h cell
+        let t = ChurnTable::from_points(&pts);
+        let md = t.render_markdown();
+        assert!(md.contains("| policy | 0/h | 2/h | retention |"));
+        assert!(md.contains("| SDSRP | 0.600 | 0.450 | 0.750 |"));
+        assert!(md.contains("| FIFO | 0.500 | - | - |"));
+    }
+
+    #[test]
+    fn table_roundtrips_through_json() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ChurnTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -53,6 +53,12 @@ pub trait BufferPolicy: Send {
     /// (not on TTL expiry and not on delivery).
     fn on_drop(&mut self, _now: SimTime, _msg: MessageId) {}
 
+    /// Called when the owning node crashes and reboots cold (fault
+    /// injection): all policy-internal distributed state — estimators,
+    /// dropped lists, memos — must return to its post-construction
+    /// state. Default: no-op (stateless policies have nothing to lose).
+    fn on_node_reset(&mut self, _now: SimTime) {}
+
     /// Serialised control-plane state to offer a newly-met peer (e.g.
     /// SDSRP's dropped-list records). `None` means nothing to exchange.
     fn export_gossip(&mut self, _now: SimTime) -> Option<Vec<u8>> {
@@ -442,5 +448,6 @@ mod tests {
         p.on_contact_up(SimTime::ZERO, NodeId(1));
         p.on_contact_down(SimTime::ZERO, NodeId(1));
         p.on_drop(SimTime::ZERO, MessageId(1));
+        p.on_node_reset(SimTime::ZERO);
     }
 }

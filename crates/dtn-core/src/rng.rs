@@ -21,6 +21,11 @@ pub mod streams {
     pub const TOPOLOGY: u64 = 0x04;
     /// Anything benchmark-local.
     pub const BENCH: u64 = 0x05;
+    /// Fault injection (crash/blackout schedules, transfer aborts,
+    /// clock skew). A dedicated stream so scenarios without a fault
+    /// plan draw nothing from it and stay bit-identical to fault-free
+    /// builds.
+    pub const FAULTS: u64 = 0x06;
 }
 
 /// SplitMix64 step — the standard 64-bit mixer (Steele et al.), used here

@@ -245,8 +245,28 @@ pub struct TraceMobility {
 }
 
 impl TraceMobility {
-    /// Builds a replay from sorted samples.
-    pub fn new(samples: Vec<(SimTime, Point2)>) -> Self {
+    /// Builds a replay from samples.
+    ///
+    /// Unlike the file-load path (which routes through
+    /// [`MobilityTrace::finish`] and *rejects* duplicate timestamps),
+    /// in-memory construction accepts whatever the caller assembled:
+    /// the samples are sorted and adjacent duplicate timestamps are
+    /// collapsed (last sample at a timestamp wins), so every
+    /// construction path yields a well-formed, strictly-increasing
+    /// timeline and [`position_at`](Mobility::position_at) can never
+    /// divide by a zero-width segment.
+    pub fn new(mut samples: Vec<(SimTime, Point2)>) -> Self {
+        samples.sort_by_key(|&(t, _)| t);
+        samples.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                // `dedup_by` keeps `prev` and discards `next`; the later
+                // push should win, so copy its position over first.
+                prev.1 = next.1;
+                true
+            } else {
+                false
+            }
+        });
         TraceMobility { samples, cursor: 0 }
     }
 }
@@ -273,7 +293,15 @@ impl Mobility for TraceMobility {
         }
         let (t0, p0) = self.samples[self.cursor];
         let (t1, p1) = self.samples[self.cursor + 1];
-        let f = (t - t0).as_secs() / (t1 - t0).as_secs();
+        // Belt and braces: the constructor collapses duplicate
+        // timestamps, but a zero-width segment must still never produce
+        // a NaN lerp factor (NaN positions silently poison the spatial
+        // grid and every contact decision after it).
+        let width = (t1 - t0).as_secs();
+        if width <= 0.0 {
+            return p0;
+        }
+        let f = (t - t0).as_secs() / width;
         p0.lerp(p1, f)
     }
 }
@@ -299,6 +327,58 @@ mod tests {
         let text = trace.to_text();
         let parsed = MobilityTrace::parse(text.as_bytes()).unwrap();
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn duplicate_timestamps_in_memory_do_not_produce_nan() {
+        // Regression: the duplicate-timestamp guard only ran on the
+        // file-load path; `TraceMobility::new` accepted equal adjacent
+        // timestamps and the lerp divided by (t1 - t0) == 0, yielding
+        // NaN positions that silently poisoned the spatial grid.
+        let mut m = TraceMobility::new(vec![
+            (t(0.0), Point2::new(0.0, 0.0)),
+            (t(10.0), Point2::new(100.0, 0.0)),
+            (t(10.0), Point2::new(200.0, 0.0)),
+            (t(20.0), Point2::new(300.0, 0.0)),
+        ]);
+        for s in 0..=40 {
+            let p = m.position_at(t(s as f64 * 0.5));
+            assert!(
+                p.x.is_finite() && p.y.is_finite(),
+                "NaN/inf position at t={}: ({}, {})",
+                s as f64 * 0.5,
+                p.x,
+                p.y
+            );
+        }
+        // The later push at the duplicated timestamp wins.
+        assert_eq!(m.position_at(t(10.0)).x, 200.0);
+        // Interpolation continues cleanly past the collapsed sample.
+        assert_eq!(m.position_at(t(15.0)).x, 250.0);
+    }
+
+    #[test]
+    fn unsorted_in_memory_samples_are_sorted_on_construction() {
+        let mut m = TraceMobility::new(vec![
+            (t(20.0), Point2::new(20.0, 0.0)),
+            (t(0.0), Point2::new(0.0, 0.0)),
+            (t(10.0), Point2::new(10.0, 0.0)),
+        ]);
+        assert_eq!(m.position_at(t(5.0)).x, 5.0);
+        assert_eq!(m.position_at(t(15.0)).x, 15.0);
+    }
+
+    #[test]
+    fn all_duplicate_timestamps_collapse_to_one_sample() {
+        let mut m = TraceMobility::new(vec![
+            (t(5.0), Point2::new(1.0, 1.0)),
+            (t(5.0), Point2::new(2.0, 2.0)),
+            (t(5.0), Point2::new(3.0, 3.0)),
+        ]);
+        for s in [0.0, 5.0, 50.0] {
+            let p = m.position_at(t(s));
+            assert_eq!((p.x, p.y), (3.0, 3.0));
+        }
     }
 
     #[test]

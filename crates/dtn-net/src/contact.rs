@@ -116,6 +116,26 @@ impl ContactTracker {
         }
         self.current.clear();
     }
+
+    /// Forces every contact involving `node` down at `time` (the node's
+    /// radio just died — crash or blackout), emitting Down events in
+    /// sorted-pair order. Subsequent [`update`](Self::update) calls see
+    /// the pairs as fresh if the node comes back into range.
+    pub fn drop_node(&mut self, node: NodeId, time: SimTime, out: &mut Vec<ContactEvent>) {
+        // BTreeSet iteration is sorted, so retained order is already
+        // deterministic; collect the doomed pairs first to keep the
+        // borrow checker happy.
+        let doomed: Vec<NodePair> = self
+            .current
+            .iter()
+            .copied()
+            .filter(|p| p.lo() == node || p.hi() == node)
+            .collect();
+        for pair in doomed {
+            self.current.remove(&pair);
+            out.push(ContactEvent::Down { pair, time });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +272,136 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], ContactEvent::Down { time, .. } if time == t(9.0)));
         assert_eq!(tr.contact_count(), 0);
+    }
+
+    #[test]
+    fn drop_node_forces_its_contacts_down() {
+        let mut tr = tracker();
+        let mut out = Vec::new();
+        // Triangle: 0-1, 0-2, 1-2 all in range.
+        tr.update(
+            t(0.0),
+            &[
+                Point2::new(0.0, 0.0),
+                Point2::new(50.0, 0.0),
+                Point2::new(100.0, 0.0),
+            ],
+            &mut out,
+        );
+        assert_eq!(tr.contact_count(), 3);
+        out.clear();
+
+        // Node 1's radio dies: (0,1) and (1,2) go down, (0,2) survives.
+        tr.drop_node(NodeId(1), t(5.0), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                ContactEvent::Down {
+                    pair: NodePair::new(NodeId(0), NodeId(1)),
+                    time: t(5.0)
+                },
+                ContactEvent::Down {
+                    pair: NodePair::new(NodeId(1), NodeId(2)),
+                    time: t(5.0)
+                },
+            ]
+        );
+        assert_eq!(tr.contact_count(), 1);
+        assert!(tr.connected(NodePair::new(NodeId(0), NodeId(2))));
+
+        // If the node is still in range at the next tick, the contacts
+        // come back as fresh Up events.
+        out.clear();
+        tr.update(
+            t(6.0),
+            &[
+                Point2::new(0.0, 0.0),
+                Point2::new(50.0, 0.0),
+                Point2::new(100.0, 0.0),
+            ],
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| matches!(e, ContactEvent::Up { .. })));
+        assert_eq!(tr.contact_count(), 3);
+    }
+
+    /// The straightforward O(N²) reference: every pair within `range`
+    /// (inclusive boundary, exact Euclidean distance).
+    fn naive_pairs(positions: &[Point2], range: f64) -> BTreeSet<NodePair> {
+        let mut set = BTreeSet::new();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                let dx = positions[i].x - positions[j].x;
+                let dy = positions[i].y - positions[j].y;
+                if (dx * dx + dy * dy).sqrt() <= range {
+                    set.insert(NodePair::new(NodeId(i as u32), NodeId(j as u32)));
+                }
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn grid_matches_naive_scan_at_exact_boundary_and_out_of_bounds() {
+        // Hand-picked adversarial layout: pairs exactly at the range
+        // boundary, positions far outside the configured playground
+        // (real taxi traces exit the sampled window), and a cluster in
+        // one grid cell.
+        let positions = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(100.0, 0.0),     // exactly at range from node 0
+            Point2::new(100.0, 100.0),   // sqrt(2)*100 from node 0
+            Point2::new(-250.0, -40.0),  // outside bounds (negative)
+            Point2::new(-251.0, -40.0),  // near its out-of-bounds neighbour
+            Point2::new(5000.0, 5000.0), // far outside on the other side
+            Point2::new(5099.9, 5000.0), // just inside range of node 5
+        ];
+        let range = 100.0;
+        let mut tr = ContactTracker::new(Rect::from_size(1000.0, 1000.0), range);
+        let mut out = Vec::new();
+        tr.update(t(0.0), &positions, &mut out);
+        let grid_pairs: BTreeSet<NodePair> = tr.current_contacts().collect();
+        assert_eq!(grid_pairs, naive_pairs(&positions, range));
+        assert!(grid_pairs.contains(&NodePair::new(NodeId(0), NodeId(1))));
+        assert!(grid_pairs.contains(&NodePair::new(NodeId(3), NodeId(4))));
+        assert!(grid_pairs.contains(&NodePair::new(NodeId(5), NodeId(6))));
+    }
+
+    proptest::proptest! {
+        /// Differential property: the grid-backed pair detection agrees
+        /// exactly with the naive O(N²) scan over random positions and
+        /// ranges — including positions outside the configured
+        /// playground bounds and pairs at the exact range boundary
+        /// (exercised by snapping some coordinates to a lattice whose
+        /// pitch equals the range).
+        #[test]
+        fn prop_grid_pairs_match_naive_scan(
+            raw in proptest::collection::vec((-500.0f64..1500.0, -500.0f64..1500.0, proptest::strategy::any::<bool>()), 2..40),
+            range in 10.0f64..300.0,
+            bounds_w in 100.0f64..1000.0,
+            bounds_h in 100.0f64..1000.0,
+        ) {
+            // Snap flagged coordinates to multiples of the range so
+            // exact-boundary pairs actually occur with non-negligible
+            // probability.
+            let positions: Vec<Point2> = raw
+                .iter()
+                .map(|&(x, y, snap)| {
+                    if snap {
+                        Point2::new((x / range).round() * range, (y / range).round() * range)
+                    } else {
+                        Point2::new(x, y)
+                    }
+                })
+                .collect();
+            let mut tr = ContactTracker::new(Rect::from_size(bounds_w, bounds_h), range);
+            let mut out = Vec::new();
+            tr.update(t(0.0), &positions, &mut out);
+            let grid_pairs: BTreeSet<NodePair> = tr.current_contacts().collect();
+            let expect = naive_pairs(&positions, range);
+            proptest::prop_assert_eq!(grid_pairs, expect);
+        }
     }
 
     #[test]

@@ -209,6 +209,128 @@ pub enum ImmunityMode {
     AntipacketGossip,
 }
 
+/// Deterministic, seeded fault-injection and churn plan (extension).
+///
+/// All fault randomness derives from the dedicated
+/// `dtn_core::rng::streams::FAULTS` stream of the scenario's master
+/// seed: the same `(config, seed)` pair always produces the same crash
+/// schedule, blackout windows, abort coin flips and clock skews, and an
+/// [empty](Self::is_empty) plan draws *nothing* from any stream, so
+/// fault-free runs are bit-identical to builds without this subsystem.
+///
+/// Semantics:
+///
+/// * **Crashes** — each node crashes as a Poisson process with rate
+///   [`crash_rate_per_hour`](Self::crash_rate_per_hour); a crash wipes
+///   the node's buffer, dropped-list and λ-estimator state (delivered /
+///   acknowledged sets survive, modelling durable application storage),
+///   takes its radio down, and the node reboots cold after
+///   [`reboot_secs`](Self::reboot_secs).
+/// * **Blackouts** — an independent per-node Poisson process with rate
+///   [`blackout_rate_per_hour`](Self::blackout_rate_per_hour) takes the
+///   radio down for [`blackout_secs`](Self::blackout_secs) without
+///   touching any state.
+/// * **Transfer aborts** — each scheduled transfer completion fails
+///   with probability [`transfer_abort_prob`](Self::transfer_abort_prob)
+///   (lossy radios; the copy split never happens).
+/// * **Clock skew** — each node's wall clock is offset by a fixed
+///   amount drawn uniformly from `±clock_skew_max_secs`; the skewed
+///   clock stamps the Eq. 15 spray timestamps, degrading `m_i`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Mean node crashes per hour (per node); 0 disables crashes.
+    #[serde(default)]
+    pub crash_rate_per_hour: f64,
+    /// Downtime between a crash and the cold reboot, seconds.
+    #[serde(default)]
+    pub reboot_secs: f64,
+    /// Mean radio blackouts per hour (per node); 0 disables blackouts.
+    #[serde(default)]
+    pub blackout_rate_per_hour: f64,
+    /// Duration of each radio blackout, seconds.
+    #[serde(default)]
+    pub blackout_secs: f64,
+    /// Probability that a scheduled transfer aborts mid-flight.
+    #[serde(default)]
+    pub transfer_abort_prob: f64,
+    /// Half-width of the per-node clock-skew interval, seconds; 0
+    /// disables skew.
+    #[serde(default)]
+    pub clock_skew_max_secs: f64,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing (the default). Empty plans draw
+    /// zero values from the FAULTS RNG stream.
+    pub fn is_empty(&self) -> bool {
+        self.crash_rate_per_hour == 0.0
+            && self.blackout_rate_per_hour == 0.0
+            && self.transfer_abort_prob == 0.0
+            && self.clock_skew_max_secs == 0.0
+    }
+
+    /// Short human-readable label for sweep tables and checkpoints,
+    /// e.g. `crash=0.5/h+60s blackout=2/h+30s abort=0.05 skew=10s`
+    /// (or `none`).
+    pub fn label(&self) -> String {
+        if self.is_empty() {
+            return "none".into();
+        }
+        let mut parts = Vec::new();
+        if self.crash_rate_per_hour > 0.0 {
+            parts.push(format!(
+                "crash={}/h+{}s",
+                self.crash_rate_per_hour, self.reboot_secs
+            ));
+        }
+        if self.blackout_rate_per_hour > 0.0 {
+            parts.push(format!(
+                "blackout={}/h+{}s",
+                self.blackout_rate_per_hour, self.blackout_secs
+            ));
+        }
+        if self.transfer_abort_prob > 0.0 {
+            parts.push(format!("abort={}", self.transfer_abort_prob));
+        }
+        if self.clock_skew_max_secs > 0.0 {
+            parts.push(format!("skew={}s", self.clock_skew_max_secs));
+        }
+        parts.join(" ")
+    }
+
+    /// Validates the plan (called from [`ScenarioConfig::validate`]).
+    pub fn validate(&self) {
+        assert!(
+            self.crash_rate_per_hour >= 0.0 && self.crash_rate_per_hour.is_finite(),
+            "crash rate must be finite and non-negative"
+        );
+        assert!(
+            self.blackout_rate_per_hour >= 0.0 && self.blackout_rate_per_hour.is_finite(),
+            "blackout rate must be finite and non-negative"
+        );
+        if self.crash_rate_per_hour > 0.0 {
+            assert!(
+                self.reboot_secs > 0.0 && self.reboot_secs.is_finite(),
+                "crashes need a positive reboot time"
+            );
+        }
+        if self.blackout_rate_per_hour > 0.0 {
+            assert!(
+                self.blackout_secs > 0.0 && self.blackout_secs.is_finite(),
+                "blackouts need a positive duration"
+            );
+        }
+        assert!(
+            (0.0..1.0).contains(&self.transfer_abort_prob),
+            "transfer abort probability must be in [0, 1)"
+        );
+        assert!(
+            self.clock_skew_max_secs >= 0.0 && self.clock_skew_max_secs.is_finite(),
+            "clock skew must be finite and non-negative"
+        );
+    }
+}
+
 /// A complete simulation scenario. Every run is a pure function of
 /// `(ScenarioConfig, seed)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -265,6 +387,10 @@ pub struct ScenarioConfig {
     /// uses 0 (no warm-up).
     #[serde(default)]
     pub warmup_secs: f64,
+    /// Deterministic fault-injection plan (extension; empty by default,
+    /// which reproduces fault-free runs bit-identically).
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -296,6 +422,7 @@ impl ScenarioConfig {
                 "the largest message must fit in the buffer"
             );
         }
+        self.faults.validate();
     }
 }
 
@@ -327,6 +454,7 @@ pub mod presets {
             message_size_max: None,
             traffic: TrafficModel::Uniform,
             warmup_secs: 0.0,
+            faults: Default::default(),
         }
     }
 
@@ -372,6 +500,7 @@ pub mod presets {
             message_size_max: None,
             traffic: TrafficModel::Uniform,
             warmup_secs: 0.0,
+            faults: Default::default(),
         }
     }
 }

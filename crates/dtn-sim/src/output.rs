@@ -157,6 +157,7 @@ mod tests {
                     created: 600.0,
                     runs: 3,
                     violations: 0,
+                    faults: "none".to_string(),
                 });
             }
         }

@@ -101,7 +101,35 @@ fn scenario_from_rng(rng: &mut StdRng, seed: u64) -> ScenarioConfig {
         message_size_max: Some(Bytes::from_mb(0.8)),
         traffic: Default::default(),
         warmup_secs: 0.0,
+        faults: Default::default(),
     }
+}
+
+/// Deterministically maps `seed` to a random (possibly empty) fault
+/// plan for churn fuzzing. Uses its own RNG (distinct XOR tag), so
+/// attaching a plan to [`random_scenario`]`(seed)` does not disturb the
+/// pinned draw sequence that makes fuzz cases replayable from their
+/// seed alone. Every feature is enabled independently with probability
+/// 1/2, so the fuzzer also keeps covering partial and empty plans;
+/// the result always satisfies `FaultPlan::validate`.
+pub fn random_fault_plan(seed: u64) -> crate::config::FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7c1e_44d2_93ab_06f5);
+    let mut plan = crate::config::FaultPlan::default();
+    if rng.gen_bool(0.5) {
+        plan.crash_rate_per_hour = rng.gen_range(0.5f64..8.0);
+        plan.reboot_secs = rng.gen_range(10.0f64..120.0);
+    }
+    if rng.gen_bool(0.5) {
+        plan.blackout_rate_per_hour = rng.gen_range(0.5f64..8.0);
+        plan.blackout_secs = rng.gen_range(5.0f64..60.0);
+    }
+    if rng.gen_bool(0.5) {
+        plan.transfer_abort_prob = rng.gen_range(0.01f64..0.3);
+    }
+    if rng.gen_bool(0.5) {
+        plan.clock_skew_max_secs = rng.gen_range(1.0f64..30.0);
+    }
+    plan
 }
 
 #[cfg(test)]
@@ -126,6 +154,50 @@ mod tests {
             assert!(cfg.gen_interval.0 < cfg.gen_interval.1);
             assert_eq!(cfg.name, format!("fuzz-{seed}"));
         }
+    }
+
+    #[test]
+    fn fault_plan_generator_is_deterministic_valid_and_independent() {
+        for seed in [0u64, 1, 42, 9999] {
+            assert_eq!(random_fault_plan(seed), random_fault_plan(seed));
+        }
+        for seed in 0..200 {
+            random_fault_plan(seed).validate();
+        }
+        // Attaching a fault plan must not change the scenario draws.
+        for seed in [3u64, 77] {
+            let mut with = random_scenario(seed);
+            with.faults = random_fault_plan(seed);
+            with.faults = Default::default();
+            assert_eq!(with, random_scenario(seed));
+        }
+    }
+
+    #[test]
+    fn fault_plan_generator_covers_empty_partial_and_full_plans() {
+        let mut empty = 0;
+        let mut full = 0;
+        let mut partial = 0;
+        for seed in 0..200 {
+            let p = random_fault_plan(seed);
+            let features = [
+                p.crash_rate_per_hour > 0.0,
+                p.blackout_rate_per_hour > 0.0,
+                p.transfer_abort_prob > 0.0,
+                p.clock_skew_max_secs > 0.0,
+            ]
+            .iter()
+            .filter(|&&f| f)
+            .count();
+            match features {
+                0 => empty += 1,
+                4 => full += 1,
+                _ => partial += 1,
+            }
+        }
+        assert!(empty > 0, "empty plans must stay in the fuzz corpus");
+        assert!(full > 0);
+        assert!(partial > 0);
     }
 
     #[test]

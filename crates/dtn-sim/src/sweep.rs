@@ -41,7 +41,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// The swept parameter — the paper's three x-axes.
+/// The swept parameter — the paper's three x-axes, plus the churn
+/// (fault-injection) axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SweepAxis {
     /// Initial copies `L` (Fig. 8/9 a-c): 16, 20, ..., 64.
@@ -51,6 +52,10 @@ pub enum SweepAxis {
     /// Message generation interval `[lo, hi]` seconds (Fig. 8/9 g-i):
     /// `[10,15]`, `[15,20]`, ..., `[45,50]`.
     GenInterval(Vec<(f64, f64)>),
+    /// Per-node crash rate in crashes/hour (churn robustness). Applying
+    /// a non-zero rate to a template whose `reboot_secs` is unset (0)
+    /// defaults the down window to 60 s so the point still validates.
+    CrashRate(Vec<f64>),
 }
 
 impl SweepAxis {
@@ -73,12 +78,19 @@ impl SweepAxis {
         )
     }
 
+    /// The standard churn sweep used by the delivery-vs-churn table:
+    /// from no faults to four crashes per node-hour.
+    pub fn churn_rates() -> Self {
+        SweepAxis::CrashRate(vec![0.0, 0.5, 1.0, 2.0, 4.0])
+    }
+
     /// Number of sweep points.
     pub fn len(&self) -> usize {
         match self {
             SweepAxis::InitialCopies(v) => v.len(),
             SweepAxis::BufferMb(v) => v.len(),
             SweepAxis::GenInterval(v) => v.len(),
+            SweepAxis::CrashRate(v) => v.len(),
         }
     }
 
@@ -93,6 +105,7 @@ impl SweepAxis {
             SweepAxis::InitialCopies(_) => "initial copies L",
             SweepAxis::BufferMb(_) => "buffer size (MB)",
             SweepAxis::GenInterval(_) => "generation interval (s)",
+            SweepAxis::CrashRate(_) => "crash rate (/node-hour)",
         }
     }
 
@@ -102,6 +115,7 @@ impl SweepAxis {
             SweepAxis::InitialCopies(v) => v[i].to_string(),
             SweepAxis::BufferMb(v) => format!("{}", v[i]),
             SweepAxis::GenInterval(v) => format!("{}-{}", v[i].0, v[i].1),
+            SweepAxis::CrashRate(v) => format!("{}", v[i]),
         }
     }
 
@@ -111,6 +125,7 @@ impl SweepAxis {
             SweepAxis::InitialCopies(v) => v[i] as f64,
             SweepAxis::BufferMb(v) => v[i],
             SweepAxis::GenInterval(v) => (v[i].0 + v[i].1) / 2.0,
+            SweepAxis::CrashRate(v) => v[i],
         }
     }
 
@@ -120,6 +135,12 @@ impl SweepAxis {
             SweepAxis::InitialCopies(v) => cfg.initial_copies = v[i],
             SweepAxis::BufferMb(v) => cfg.buffer_capacity = Bytes::from_mb(v[i]),
             SweepAxis::GenInterval(v) => cfg.gen_interval = v[i],
+            SweepAxis::CrashRate(v) => {
+                cfg.faults.crash_rate_per_hour = v[i];
+                if v[i] > 0.0 && cfg.faults.reboot_secs <= 0.0 {
+                    cfg.faults.reboot_secs = 60.0;
+                }
+            }
         }
     }
 }
@@ -171,6 +192,11 @@ pub struct SweepCell {
     /// [`SweepSpec::validate`] was set).
     #[serde(default)]
     pub violations: u64,
+    /// Compact fault-plan label of the cell's resolved scenario
+    /// (`"none"` for fault-free cells; pre-fault checkpoints
+    /// deserialize to an empty string).
+    #[serde(default)]
+    pub faults: String,
 }
 
 /// Live progress of a sweep, reported once per finished run (panicked
@@ -467,6 +493,11 @@ pub fn run_sweep_hardened(spec: &SweepSpec, opts: &SweepOptions<'_>) -> SweepOut
 
     let mut cells = Vec::with_capacity(spec.axis.len() * n_policies);
     for (ai, row) in agg.into_iter().enumerate() {
+        let faults_label = {
+            let mut cfg = spec.base.clone();
+            spec.axis.apply(&mut cfg, ai);
+            cfg.faults.label()
+        };
         for (pi, a) in row.into_iter().enumerate() {
             cells.push(SweepCell {
                 axis_index: ai,
@@ -481,6 +512,7 @@ pub fn run_sweep_hardened(spec: &SweepSpec, opts: &SweepOptions<'_>) -> SweepOut
                 created: a.created.mean().unwrap_or(0.0),
                 runs: a.delivery.count() as usize,
                 violations: a.violations,
+                faults: faults_label.clone(),
             });
         }
     }
@@ -922,5 +954,49 @@ mod tests {
         let mut spec = quick_spec();
         spec.policies.clear();
         let _ = run_sweep(&spec, 1);
+    }
+
+    #[test]
+    fn crash_rate_axis_accessors_and_apply() {
+        let a = SweepAxis::churn_rates();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.name(), "crash rate (/node-hour)");
+        assert_eq!(a.label(1), "0.5");
+        assert_eq!(a.value(4), 4.0);
+        let mut cfg = presets::smoke();
+        a.apply(&mut cfg, 0);
+        assert!(cfg.faults.is_empty(), "rate 0 keeps the plan empty");
+        a.apply(&mut cfg, 2);
+        assert_eq!(cfg.faults.crash_rate_per_hour, 1.0);
+        assert_eq!(cfg.faults.reboot_secs, 60.0, "unset down window defaults");
+        cfg.validate();
+        // An explicit template down window is respected.
+        let mut cfg = presets::smoke();
+        cfg.faults.reboot_secs = 120.0;
+        a.apply(&mut cfg, 2);
+        assert_eq!(cfg.faults.reboot_secs, 120.0);
+    }
+
+    #[test]
+    fn validated_churn_sweep_holds_invariants_and_labels_faults() {
+        // The acceptance sweep: crashes and blackouts injected at every
+        // non-zero axis point, full validation on — the fault ledger
+        // must keep every invariant green.
+        let mut spec = quick_spec();
+        spec.base.faults.blackout_rate_per_hour = 4.0;
+        spec.base.faults.blackout_secs = 30.0;
+        spec.axis = SweepAxis::CrashRate(vec![0.0, 2.0, 6.0]);
+        spec.validate = true;
+        let out = run_sweep_observed(&spec, 4, &|_| {});
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert_eq!(out.violations, 0, "churn broke an invariant");
+        assert_eq!(out.cells.len(), 3 * 2);
+        assert!(out.cells[0].faults.contains("blackout=4/h+30s"));
+        assert!(!out.cells[0].faults.contains("crash="));
+        assert!(out.cells[2].faults.contains("crash=2/h+60s"));
+        // Faults actually fired: the injected-fault events show up in
+        // the folded totals.
+        assert!(out.totals.node_crashes > 0);
+        assert!(out.totals.blackouts > 0);
     }
 }

@@ -30,7 +30,7 @@ use dtn_buffer::policy::{plan_admission, AdmissionPlan, EvictionRank, PriorityCa
 use dtn_core::event::EventQueue;
 use dtn_core::geometry::Point2;
 use dtn_core::ids::{MessageId, NodeId, NodePair};
-use dtn_core::rng::{stream_rng, streams, uniform_range};
+use dtn_core::rng::{exponential, stream_rng, streams, substream_rng, uniform_range};
 use dtn_core::time::{SimDuration, SimTime};
 use dtn_mobility::model::Mobility;
 use dtn_net::contact::{ContactEvent, ContactTracker};
@@ -52,6 +52,14 @@ enum WorldEvent {
     /// A transfer scheduled with sequence number `seq` finishes on
     /// `pair`.
     TransferComplete { pair: NodePair, seq: u64 },
+    /// Injected fault: `node` crashes, wiping its volatile state.
+    NodeCrash { node: NodeId },
+    /// Injected fault: `node` comes back up after a crash.
+    NodeReboot { node: NodeId },
+    /// Injected fault: `node`'s radio goes dark (state intact).
+    BlackoutStart { node: NodeId },
+    /// Injected fault: `node`'s radio recovers.
+    BlackoutEnd { node: NodeId },
 }
 
 /// An in-flight transfer on one link.
@@ -161,6 +169,17 @@ pub struct World {
     /// allocating a fresh clone, removals push theirs back (bounded by
     /// [`SPRAY_POOL_CAP`]).
     spray_pool: Vec<Vec<SimTime>>,
+    /// Per-node radio-down depth: >0 means the node is invisible to
+    /// contact detection. A counter (not a bool) because a crash window
+    /// and a blackout window can overlap.
+    radio_off: Vec<u32>,
+    /// Per-node clock-skew offsets applied to spray timestamps; empty
+    /// when skew injection is off (the zero-fault fast path).
+    clock_skew: Vec<f64>,
+    /// RNG for mid-transfer abort injection; `None` (never consulted)
+    /// when `transfer_abort_prob` is zero, so zero-fault runs draw
+    /// nothing from the FAULTS stream.
+    abort_rng: Option<StdRng>,
 }
 
 /// Upper bound on [`World::spray_pool`] — enough to cover the buffered
@@ -201,6 +220,75 @@ impl World {
         let mut queue = EventQueue::new();
         queue.push(SimTime::ZERO, WorldEvent::Tick);
         queue.push(SimTime::ZERO, WorldEvent::Generate);
+
+        // Fault injection: the whole schedule is precomputed here from
+        // dedicated FAULTS-stream substreams, one per node per fault
+        // kind, so fault timing is independent of everything else in
+        // the run. Every draw is gated on its feature being enabled —
+        // an empty `FaultPlan` draws nothing and pushes nothing, which
+        // is what keeps zero-fault runs bit-identical to builds that
+        // predate fault injection.
+        let faults = &cfg.faults;
+        let mut clock_skew = Vec::new();
+        let mut abort_rng = None;
+        if !faults.is_empty() {
+            if faults.clock_skew_max_secs > 0.0 {
+                let mut rng = substream_rng(cfg.seed, streams::FAULTS, 1);
+                let max = faults.clock_skew_max_secs;
+                clock_skew = (0..cfg.n_nodes)
+                    .map(|_| uniform_range(&mut rng, -max, max))
+                    .collect();
+            }
+            if faults.transfer_abort_prob > 0.0 {
+                abort_rng = Some(substream_rng(cfg.seed, streams::FAULTS, 2));
+            }
+            // Crash/reboot and blackout windows: exponential
+            // inter-arrivals per node; the next candidate window starts
+            // only after the previous one ends, so a node's windows of
+            // the same kind never overlap.
+            let mut schedule = |rate_per_hour: f64,
+                                down_secs: f64,
+                                sub_base: u64,
+                                start: fn(NodeId) -> WorldEvent,
+                                end: fn(NodeId) -> WorldEvent| {
+                if rate_per_hour <= 0.0 {
+                    return;
+                }
+                let rate = rate_per_hour / 3600.0;
+                for i in 0..cfg.n_nodes {
+                    let node = NodeId(i as u32);
+                    let mut rng = substream_rng(cfg.seed, streams::FAULTS, sub_base + i as u64);
+                    let mut t = 0.0;
+                    loop {
+                        t += exponential(&mut rng, rate);
+                        if t > cfg.duration_secs {
+                            break;
+                        }
+                        queue.push(SimTime::from_secs(t), start(node));
+                        t += down_secs;
+                        if t > cfg.duration_secs {
+                            break;
+                        }
+                        queue.push(SimTime::from_secs(t), end(node));
+                    }
+                }
+            };
+            schedule(
+                faults.crash_rate_per_hour,
+                faults.reboot_secs,
+                0x1000,
+                |node| WorldEvent::NodeCrash { node },
+                |node| WorldEvent::NodeReboot { node },
+            );
+            schedule(
+                faults.blackout_rate_per_hour,
+                faults.blackout_secs,
+                0x2000,
+                |node| WorldEvent::BlackoutStart { node },
+                |node| WorldEvent::BlackoutEnd { node },
+            );
+        }
+
         World {
             cfg: cfg.clone(),
             nodes,
@@ -228,6 +316,9 @@ impl World {
             scratch_events: Vec::new(),
             scratch_idle: Vec::new(),
             spray_pool: Vec::new(),
+            radio_off: vec![0; cfg.n_nodes],
+            clock_skew,
+            abort_rng,
         }
     }
 
@@ -479,6 +570,10 @@ impl World {
             WorldEvent::Tick => self.on_tick(),
             WorldEvent::Generate => self.on_generate(),
             WorldEvent::TransferComplete { pair, seq } => self.on_transfer_complete(pair, seq),
+            WorldEvent::NodeCrash { node } => self.on_node_crash(node),
+            WorldEvent::NodeReboot { node } => self.on_node_reboot(node),
+            WorldEvent::BlackoutStart { node } => self.on_blackout_start(node),
+            WorldEvent::BlackoutEnd { node } => self.on_blackout_end(node),
         }
     }
 
@@ -491,6 +586,16 @@ impl World {
 
         for (i, m) in self.mobility.iter_mut().enumerate() {
             self.positions[i] = m.position_at(self.now);
+        }
+        // Radio-down nodes are parked at distinct far-away sentinels so
+        // contact detection cannot see them (or each other: sentinels
+        // are 1e9 m apart, far beyond any radio range). Mobility is
+        // still sampled above, so their trajectories stay on schedule
+        // and they rejoin at their true position.
+        for (i, &off) in self.radio_off.iter().enumerate() {
+            if off > 0 {
+                self.positions[i] = Point2::new(-1.0e12 - i as f64 * 1.0e9, -1.0e12);
+            }
         }
         let mut events = std::mem::take(&mut self.scratch_events);
         events.clear();
@@ -613,6 +718,102 @@ impl World {
         b.policy.on_contact_down(now, a.id);
         a.routing.on_contact_down(now, b.id);
         b.routing.on_contact_down(now, a.id);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (crashes, blackouts).
+    // ------------------------------------------------------------------
+
+    /// Forces every live contact of `node` down through the normal
+    /// [`Self::on_contact_down`] path (aborting in-flight transfers the
+    /// same way mobility would).
+    fn force_contacts_down(&mut self, node: NodeId) {
+        let mut events = std::mem::take(&mut self.scratch_events);
+        events.clear();
+        self.tracker.drop_node(node, self.now, &mut events);
+        for ev in &events {
+            if let Some(trace) = self.contact_trace.as_mut() {
+                trace.record(*ev);
+            }
+            if let ContactEvent::Down { pair, .. } = *ev {
+                self.on_contact_down(pair);
+            }
+        }
+        self.scratch_events = events;
+    }
+
+    /// Injected crash: the radio dies, every buffered copy (and its
+    /// spray tokens) is destroyed, and volatile protocol state — the
+    /// buffer policy's estimators/dropped lists and the routing
+    /// protocol's timers — reboots cold. Durable application state
+    /// (`delivered`, `acked`) survives, as would anything persisted to
+    /// stable storage on a real node. Report counters are untouched:
+    /// fault counts flow only through telemetry and the validator's
+    /// fault ledger.
+    fn on_node_crash(&mut self, node: NodeId) {
+        self.radio_off[node.index()] += 1;
+        self.force_contacts_down(node);
+
+        let now = self.now;
+        let doomed: Vec<MessageId> = self.nodes[node.index()].buffer.keys().copied().collect();
+        let wiped = doomed.len() as u64;
+        for id in doomed {
+            let size = self.catalog[id.index()].size;
+            let removed = self.nodes[node.index()].remove_copy(id, size);
+            if let Some(o) = self.oracle.as_mut() {
+                o.holders[id.index()] = o.holders[id.index()].saturating_sub(1);
+            }
+            if let Some(v) = self.validator.as_mut() {
+                v.on_crash_wipe(id, removed.copies);
+            }
+            recycle_spray(&mut self.spray_pool, removed);
+        }
+        let n = self.nodes[node.index()].buffered_count();
+        debug_assert_eq!(n, 0, "crash wipe left copies behind");
+        self.nodes[node.index()].policy.on_node_reset(now);
+        self.nodes[node.index()].routing = self.cfg.routing.build();
+        if let Some(v) = self.validator.as_mut() {
+            v.on_node_crashed(node);
+        }
+        let (t, id) = (now.as_secs(), node.0);
+        self.recorder
+            .record(|| SimEvent::NodeCrashed { t, node: id, wiped });
+    }
+
+    /// Injected reboot: the radio comes back; contacts re-form on the
+    /// next tick when the node's true position is back in range.
+    fn on_node_reboot(&mut self, node: NodeId) {
+        self.radio_off[node.index()] = self.radio_off[node.index()].saturating_sub(1);
+        let (t, id) = (self.now.as_secs(), node.0);
+        self.recorder
+            .record(|| SimEvent::NodeRebooted { t, node: id });
+    }
+
+    /// Injected blackout: the radio goes dark but all state survives —
+    /// the node simply vanishes from contact detection for the window.
+    fn on_blackout_start(&mut self, node: NodeId) {
+        self.radio_off[node.index()] += 1;
+        self.force_contacts_down(node);
+        if let Some(v) = self.validator.as_mut() {
+            v.on_blackout(node);
+        }
+        let (t, id) = (self.now.as_secs(), node.0);
+        self.recorder
+            .record(|| SimEvent::BlackoutStarted { t, node: id });
+    }
+
+    /// End of a blackout window.
+    fn on_blackout_end(&mut self, node: NodeId) {
+        self.radio_off[node.index()] = self.radio_off[node.index()].saturating_sub(1);
+        let (t, id) = (self.now.as_secs(), node.0);
+        self.recorder
+            .record(|| SimEvent::BlackoutEnded { t, node: id });
+    }
+
+    /// Whether `node`'s radio is currently down (crashed or blacked
+    /// out). Inspection accessor for tests and step-wise drivers.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.radio_off[node.index()] > 0
     }
 
     fn purge_expired(&mut self) {
@@ -1012,7 +1213,27 @@ impl World {
         match state.in_flight {
             Some(f) if f.seq == seq => {
                 state.in_flight = None;
-                self.apply_transfer(f);
+                // Mid-transfer abort injection: the RNG exists only when
+                // `transfer_abort_prob > 0`, and is consulted once per
+                // genuinely completing transfer. Nothing has been
+                // applied yet, so an abort leaves both buffers exactly
+                // as a mobility-caused abort would.
+                let injected_abort = match self.abort_rng.as_mut() {
+                    Some(rng) => rng.gen_bool(self.cfg.faults.transfer_abort_prob),
+                    None => false,
+                };
+                if injected_abort {
+                    self.report.on_aborted_transfer();
+                    if let Some(v) = self.validator.as_mut() {
+                        v.on_fault_abort();
+                    }
+                    let t = self.now.as_secs();
+                    let (msg, from, to) = (f.msg.0, f.from.0, f.to.0);
+                    self.recorder
+                        .record(|| SimEvent::TransferAborted { t, msg, from, to });
+                } else {
+                    self.apply_transfer(f);
+                }
             }
             _ => return,
         }
@@ -1129,6 +1350,7 @@ impl World {
                 // every replication (the former per-contact hot-path
                 // allocation).
                 let mut spray = self.spray_pool.pop().unwrap_or_default();
+                let stamp = self.skewed_now(f.from);
                 let (incoming, before) = {
                     let sender = &mut self.nodes[f.from.index()];
                     let copy = sender.buffer.get_mut(&f.msg).expect("checked above");
@@ -1138,8 +1360,9 @@ impl World {
                     copy.forward_count += 1;
                     if splits_tokens {
                         // A genuine binary-spray event: both halves record
-                        // the timestamp (paper Fig. 6).
-                        copy.spray_times.push(now);
+                        // the timestamp (paper Fig. 6) — as read from the
+                        // sender's (possibly skewed) local clock.
+                        copy.spray_times.push(stamp);
                     }
                     spray.clear();
                     spray.extend_from_slice(&copy.spray_times);
@@ -1365,6 +1588,19 @@ impl World {
         }
     }
 
+    /// `now` as read by `node`'s local clock: the true time plus the
+    /// node's injected skew offset, clamped non-negative. Identity (and
+    /// allocation/branch-free beyond one `is_empty`) when skew
+    /// injection is off. Only spray timestamps go through this —
+    /// skew models mis-set device clocks corrupting the Eq. 15
+    /// timestamp chain, not a relativistic simulator.
+    fn skewed_now(&self, node: NodeId) -> SimTime {
+        if self.clock_skew.is_empty() {
+            return self.now;
+        }
+        SimTime::from_secs((self.now.as_secs() + self.clock_skew[node.index()]).max(0.0))
+    }
+
     /// Feeds one counted transmission's size into the `transfer_bytes`
     /// histogram when metrics are attached.
     fn observe_transfer_bytes(&mut self, size: dtn_core::units::Bytes) {
@@ -1509,6 +1745,7 @@ mod tests {
             message_size_max: None,
             traffic: Default::default(),
             warmup_secs: 0.0,
+            faults: Default::default(),
         }
     }
 

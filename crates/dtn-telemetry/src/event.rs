@@ -175,6 +175,48 @@ pub enum SimEvent {
         /// The node involved, for per-node checks.
         node: Option<u32>,
     },
+    /// An injected fault crashed a node: its buffer, dropped-list and
+    /// estimator state were wiped and its radio went down.
+    NodeCrashed {
+        /// Simulation time, seconds.
+        t: f64,
+        /// The crashed node.
+        node: u32,
+        /// Buffered copies wiped by the crash.
+        wiped: u64,
+    },
+    /// A crashed node finished rebooting (radio back up, state cold).
+    NodeRebooted {
+        /// Simulation time, seconds.
+        t: f64,
+        /// The rebooted node.
+        node: u32,
+    },
+    /// An injected radio blackout started (state intact, radio down).
+    BlackoutStarted {
+        /// Simulation time, seconds.
+        t: f64,
+        /// The silenced node.
+        node: u32,
+    },
+    /// A radio blackout ended.
+    BlackoutEnded {
+        /// Simulation time, seconds.
+        t: f64,
+        /// The node whose radio came back.
+        node: u32,
+    },
+    /// An injected fault aborted a scheduled transfer mid-flight.
+    TransferAborted {
+        /// Simulation time, seconds.
+        t: f64,
+        /// The message in flight.
+        msg: u64,
+        /// Sending node.
+        from: u32,
+        /// Intended receiving node.
+        to: u32,
+    },
 }
 
 impl SimEvent {
@@ -192,6 +234,11 @@ impl SimEvent {
             SimEvent::TtlExpired { .. } => "ttl_expired",
             SimEvent::EstimatorSample { .. } => "estimator_sample",
             SimEvent::InvariantViolation { .. } => "invariant_violation",
+            SimEvent::NodeCrashed { .. } => "node_crashed",
+            SimEvent::NodeRebooted { .. } => "node_rebooted",
+            SimEvent::BlackoutStarted { .. } => "blackout_started",
+            SimEvent::BlackoutEnded { .. } => "blackout_ended",
+            SimEvent::TransferAborted { .. } => "transfer_aborted",
         }
     }
 
@@ -208,7 +255,12 @@ impl SimEvent {
             | SimEvent::ContactDown { t, .. }
             | SimEvent::TtlExpired { t, .. }
             | SimEvent::EstimatorSample { t, .. }
-            | SimEvent::InvariantViolation { t, .. } => t,
+            | SimEvent::InvariantViolation { t, .. }
+            | SimEvent::NodeCrashed { t, .. }
+            | SimEvent::NodeRebooted { t, .. }
+            | SimEvent::BlackoutStarted { t, .. }
+            | SimEvent::BlackoutEnded { t, .. }
+            | SimEvent::TransferAborted { t, .. } => t,
         }
     }
 
@@ -325,6 +377,20 @@ impl SimEvent {
                     push_u64(&mut fields, "node", n as u64);
                 }
             }
+            SimEvent::NodeCrashed { node, wiped, .. } => {
+                push_u64(&mut fields, "node", node as u64);
+                push_u64(&mut fields, "wiped", wiped);
+            }
+            SimEvent::NodeRebooted { node, .. }
+            | SimEvent::BlackoutStarted { node, .. }
+            | SimEvent::BlackoutEnded { node, .. } => {
+                push_u64(&mut fields, "node", node as u64);
+            }
+            SimEvent::TransferAborted { msg, from, to, .. } => {
+                push_u64(&mut fields, "msg", msg);
+                push_u64(&mut fields, "from", from as u64);
+                push_u64(&mut fields, "to", to as u64);
+            }
         }
         Value::Object(fields)
     }
@@ -423,6 +489,15 @@ impl SimEvent {
             SimEvent::InvariantViolation {
                 check, msg, node, ..
             } => (msg, node.unwrap_or(0), None, check.to_string(), 0.0),
+            SimEvent::NodeCrashed { node, wiped, .. } => {
+                (None, node, None, String::new(), wiped as f64)
+            }
+            SimEvent::NodeRebooted { node, .. }
+            | SimEvent::BlackoutStarted { node, .. }
+            | SimEvent::BlackoutEnded { node, .. } => (None, node, None, String::new(), 0.0),
+            SimEvent::TransferAborted { msg, from, to, .. } => {
+                (Some(msg), from, Some(to), String::new(), 0.0)
+            }
         };
         format!(
             "{},{},{},{},{},{},{}",
@@ -482,6 +557,26 @@ pub struct EventTotals {
     /// correct simulator).
     #[serde(default)]
     pub invariant_violations: u64,
+    /// `NodeCrashed` events (fault-injected runs only).
+    #[serde(default)]
+    pub node_crashes: u64,
+    /// `NodeRebooted` events (fault-injected runs only).
+    #[serde(default)]
+    pub node_reboots: u64,
+    /// `BlackoutStarted` events (fault-injected runs only).
+    #[serde(default)]
+    pub blackouts: u64,
+    /// `BlackoutEnded` events (fewer than `blackouts` when a blackout
+    /// outlives the run).
+    #[serde(default)]
+    pub blackout_ends: u64,
+    /// Buffered copies wiped across all `NodeCrashed` events.
+    #[serde(default)]
+    pub crash_wiped_copies: u64,
+    /// `TransferAborted` events (injected mid-flight aborts only;
+    /// mobility-caused aborts are counted by the run report).
+    #[serde(default)]
+    pub fault_aborts: u64,
 }
 
 impl EventTotals {
@@ -511,6 +606,14 @@ impl EventTotals {
             SimEvent::TtlExpired { .. } => self.ttl_expired += 1,
             SimEvent::EstimatorSample { .. } => self.estimator_samples += 1,
             SimEvent::InvariantViolation { .. } => self.invariant_violations += 1,
+            SimEvent::NodeCrashed { wiped, .. } => {
+                self.node_crashes += 1;
+                self.crash_wiped_copies += wiped;
+            }
+            SimEvent::NodeRebooted { .. } => self.node_reboots += 1,
+            SimEvent::BlackoutStarted { .. } => self.blackouts += 1,
+            SimEvent::BlackoutEnded { .. } => self.blackout_ends += 1,
+            SimEvent::TransferAborted { .. } => self.fault_aborts += 1,
         }
     }
 
@@ -531,6 +634,12 @@ impl EventTotals {
         self.ttl_expired += other.ttl_expired;
         self.estimator_samples += other.estimator_samples;
         self.invariant_violations += other.invariant_violations;
+        self.node_crashes += other.node_crashes;
+        self.node_reboots += other.node_reboots;
+        self.blackouts += other.blackouts;
+        self.blackout_ends += other.blackout_ends;
+        self.crash_wiped_copies += other.crash_wiped_copies;
+        self.fault_aborts += other.fault_aborts;
     }
 
     /// All drop decisions (evictions + rejections + immunity purges).
@@ -551,6 +660,11 @@ impl EventTotals {
             + self.ttl_expired
             + self.estimator_samples
             + self.invariant_violations
+            + self.node_crashes
+            + self.node_reboots
+            + self.blackouts
+            + self.blackout_ends
+            + self.fault_aborts
     }
 }
 
@@ -631,6 +745,20 @@ mod tests {
                 msg: Some(7),
                 node: None,
             },
+            SimEvent::NodeCrashed {
+                t: 13.0,
+                node: 4,
+                wiped: 3,
+            },
+            SimEvent::NodeRebooted { t: 14.0, node: 4 },
+            SimEvent::BlackoutStarted { t: 15.0, node: 2 },
+            SimEvent::BlackoutEnded { t: 16.0, node: 2 },
+            SimEvent::TransferAborted {
+                t: 17.0,
+                msg: 9,
+                from: 0,
+                to: 2,
+            },
         ]
     }
 
@@ -693,12 +821,19 @@ mod tests {
         assert_eq!(t.ttl_expired, 1);
         assert_eq!(t.estimator_samples, 1);
         assert_eq!(t.invariant_violations, 1);
-        assert_eq!(t.total(), 12);
+        assert_eq!(t.node_crashes, 1);
+        assert_eq!(t.node_reboots, 1);
+        assert_eq!(t.blackouts, 1);
+        assert_eq!(t.blackout_ends, 1);
+        assert_eq!(t.crash_wiped_copies, 3);
+        assert_eq!(t.fault_aborts, 1);
+        assert_eq!(t.total(), 17);
 
         let mut u = t.clone();
         u.absorb(&t);
-        assert_eq!(u.total(), 24);
+        assert_eq!(u.total(), 34);
         assert_eq!(u.gossip_records, 6);
+        assert_eq!(u.crash_wiped_copies, 6);
     }
 
     #[test]

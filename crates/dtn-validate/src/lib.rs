@@ -32,7 +32,7 @@ pub mod validator;
 pub mod violation;
 
 pub use fingerprint::ReportFingerprint;
-pub use report::{ErrStats, ValidationReport};
+pub use report::{ErrStats, FaultLedger, ValidationReport};
 pub use truth::MessageTruth;
 pub use validator::{EstimatorSweepSample, SweepOutcome, ValidateConfig, Validator, ViolationNote};
 pub use violation::{Violation, ViolationKind};

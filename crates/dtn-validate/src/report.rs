@@ -35,6 +35,40 @@ impl ErrStats {
     }
 }
 
+/// Running tally of injected faults the validator was told about.
+///
+/// Every fault that destroys state (a crash wipe) or perturbs the
+/// protocol (a blackout, an injected transfer abort) is recorded here
+/// by the world's fault machinery, so the invariants read as
+/// "conservation modulo recorded faults": wiped tokens are charged to
+/// `destroyed` in the message truth, and this ledger is the audit
+/// trail explaining *why* they were destroyed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultLedger {
+    /// Node crashes applied.
+    #[serde(default)]
+    pub crashes: u64,
+    /// Buffered copies destroyed by crash wipes.
+    #[serde(default)]
+    pub wiped_copies: u64,
+    /// Spray tokens destroyed by crash wipes.
+    #[serde(default)]
+    pub wiped_tokens: u64,
+    /// Radio blackouts applied.
+    #[serde(default)]
+    pub blackouts: u64,
+    /// Transfers aborted by fault injection (not by mobility).
+    #[serde(default)]
+    pub aborted_transfers: u64,
+}
+
+impl FaultLedger {
+    /// True when no fault was recorded (the default for clean runs).
+    pub fn is_empty(&self) -> bool {
+        *self == FaultLedger::default()
+    }
+}
+
 /// What one validated run produced: every detected violation (capped),
 /// how much was checked, and how far the paper's Eq. 14/15 estimates
 /// strayed from the simulator's ground truth.
@@ -54,6 +88,9 @@ pub struct ValidationReport {
     /// Relative error of the Eq. 14 `n_i` estimate vs the true live
     /// copy count, sampled per buffered copy.
     pub estimator_n: ErrStats,
+    /// Injected-fault audit trail (all zero for clean runs).
+    #[serde(default)]
+    pub faults: FaultLedger,
 }
 
 impl ValidationReport {
@@ -82,6 +119,17 @@ impl ValidationReport {
             self.estimator_n.mean(),
             self.estimator_n.max,
         );
+        if !self.faults.is_empty() {
+            s.push_str(&format!(
+                "; faults: {} crash(es) wiping {} copies / {} tokens, \
+                 {} blackout(s), {} aborted transfer(s)",
+                self.faults.crashes,
+                self.faults.wiped_copies,
+                self.faults.wiped_tokens,
+                self.faults.blackouts,
+                self.faults.aborted_transfers,
+            ));
+        }
         for v in self.violations.iter().take(5) {
             s.push_str(&format!("\n  {v}"));
         }
@@ -132,5 +180,33 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("1 violation(s)"));
         assert!(s.contains("copy_conservation"));
+    }
+
+    #[test]
+    fn fault_ledger_appears_in_summary_only_when_nonempty() {
+        let mut r = ValidationReport::default();
+        assert!(r.faults.is_empty());
+        assert!(!r.summary().contains("faults:"));
+        r.faults.crashes = 2;
+        r.faults.wiped_copies = 7;
+        r.faults.wiped_tokens = 19;
+        assert!(!r.faults.is_empty());
+        let s = r.summary();
+        assert!(s.contains("2 crash(es)"));
+        assert!(s.contains("7 copies / 19 tokens"));
+        let back: ValidationReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reports_without_fault_field_deserialize_with_empty_ledger() {
+        // Pre-fault-ledger reports (older checkpoints) must keep
+        // loading: `faults` defaults to all-zero.
+        let json = r#"{"sweeps":1,"checks_run":2,"violation_count":0,
+            "violations":[],
+            "estimator_m":{"samples":0,"sum":0.0,"max":0.0},
+            "estimator_n":{"samples":0,"sum":0.0,"max":0.0}}"#;
+        let r: ValidationReport = serde_json::from_str(json).unwrap();
+        assert!(r.faults.is_empty());
     }
 }

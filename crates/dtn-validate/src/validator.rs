@@ -222,6 +222,45 @@ impl Validator {
         t.destroyed += u64::from(tokens);
     }
 
+    /// A buffered copy was destroyed by an injected node crash. Like
+    /// [`Self::on_expired`], this is not a drop *decision* — the node
+    /// never chose to drop it, so it must NOT enter `droppers` (a
+    /// gossiped dropped-list claiming this drop would be an overcount).
+    /// The tokens are charged to `destroyed` so copy conservation holds
+    /// *modulo the fault ledger*.
+    pub fn on_crash_wipe(&mut self, msg: MessageId, tokens: u32) {
+        let t = &mut self.truth[msg.index()];
+        t.holders = t.holders.saturating_sub(1);
+        t.destroyed += u64::from(tokens);
+        self.report.faults.wiped_copies += 1;
+        self.report.faults.wiped_tokens += u64::from(tokens);
+    }
+
+    /// An injected crash reset `node` to cold state (buffers already
+    /// reported copy-by-copy via [`Self::on_crash_wipe`]). Forgets the
+    /// gossip record-time clock for records *exported by* this node:
+    /// after rebooting with an empty dropped list it may legitimately
+    /// re-learn and re-export an older third-origin record than it
+    /// exported pre-crash, which is not a Fig. 5 monotonicity bug.
+    pub fn on_node_crashed(&mut self, node: NodeId) {
+        self.report.faults.crashes += 1;
+        self.gossip_clock
+            .retain(|&(exporter, _), _| exporter != node.0);
+    }
+
+    /// An injected radio blackout started on some node.
+    pub fn on_blackout(&mut self, _node: NodeId) {
+        self.report.faults.blackouts += 1;
+    }
+
+    /// An in-flight transfer was killed by fault injection (as opposed
+    /// to the pair drifting out of range). No truth changes: copies and
+    /// tokens only move at transfer *completion*, so an aborted
+    /// transfer leaves the sender's buffer untouched.
+    pub fn on_fault_abort(&mut self) {
+        self.report.faults.aborted_transfers += 1;
+    }
+
     /// A copy left its sender's buffer for a handoff (tokens travel
     /// with it; the receiving side reports admission or rejection).
     pub fn on_handoff_out(&mut self, msg: MessageId) {
@@ -666,6 +705,108 @@ mod tests {
             .violations
             .iter()
             .any(|x| x.check == "dropped_list_overcount"));
+    }
+
+    #[test]
+    fn crash_wipe_preserves_conservation_and_skips_droppers() {
+        let mut v = validator();
+        let t0 = SimTime::from_secs(20.0);
+        v.on_generated(MessageId(0), NodeId(0), 8, 600.0);
+        v.on_inserted(MessageId(0), NodeId(0));
+        // Node 0 crashes, wiping its only copy (all 8 tokens).
+        v.on_crash_wipe(MessageId(0), 8);
+        v.on_node_crashed(NodeId(0));
+        // Sweep an empty world: conservation must hold because the
+        // wiped tokens were charged to `destroyed`.
+        v.begin_sweep(t0, 1.0);
+        v.sweep_node(t0, NodeId(0), 0, 2500);
+        let out = v.finish_sweep(t0);
+        assert!(out.new_violations.is_empty(), "{:?}", out.new_violations);
+        assert!(v.report().ok());
+        let ledger = v.report().faults;
+        assert_eq!(ledger.crashes, 1);
+        assert_eq!(ledger.wiped_copies, 1);
+        assert_eq!(ledger.wiped_tokens, 8);
+
+        // A crash wipe is not a drop decision: a dropped-list record
+        // claiming node 0 dropped msg 0 must be flagged as overcount.
+        use sdsrp_core::dropped_list::{DroppedList, DroppedRecord};
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut dropped = BTreeSet::new();
+        dropped.insert(MessageId(0));
+        let rec = DroppedRecord {
+            dropped,
+            record_time: SimTime::from_secs(21.0),
+        };
+        let records: BTreeMap<NodeId, DroppedRecord> = [(NodeId(0), rec)].into();
+        let bytes = DroppedList::encode_records(&records);
+        v.on_gossip_export(SimTime::from_secs(22.0), NodeId(1), &bytes);
+        assert!(v
+            .report()
+            .violations
+            .iter()
+            .any(|x| x.check == "dropped_list_overcount"));
+    }
+
+    #[test]
+    fn crash_resets_gossip_clock_for_the_crashed_exporter_only() {
+        use sdsrp_core::dropped_list::{DroppedList, DroppedRecord};
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut v = validator();
+        v.on_generated(MessageId(0), NodeId(0), 4, 600.0);
+        v.on_inserted(MessageId(0), NodeId(3));
+        v.on_evicted(MessageId(0), NodeId(3), 2);
+
+        let rec = |t: f64| {
+            let mut dropped = BTreeSet::new();
+            dropped.insert(MessageId(0));
+            DroppedRecord {
+                dropped,
+                record_time: SimTime::from_secs(t),
+            }
+        };
+        let records = |t: f64| -> BTreeMap<NodeId, DroppedRecord> { [(NodeId(3), rec(t))].into() };
+
+        // Both node 5 and node 6 export origin-3's record at t=10.
+        let bytes = DroppedList::encode_records(&records(10.0));
+        v.on_gossip_export(SimTime::from_secs(11.0), NodeId(5), &bytes);
+        v.on_gossip_export(SimTime::from_secs(11.0), NodeId(6), &bytes);
+        assert!(v.report().ok());
+
+        // Node 5 crashes, reboots empty, re-merges an older copy of the
+        // record from a stale peer, and exports it. Without the clock
+        // reset this would false-positive as a regression.
+        v.on_node_crashed(NodeId(5));
+        let stale = DroppedList::encode_records(&records(5.0));
+        v.on_gossip_export(SimTime::from_secs(30.0), NodeId(5), &stale);
+        assert!(v.report().ok(), "{:?}", v.report().violations);
+
+        // Node 6 did NOT crash: the same stale export from it is still
+        // a genuine monotonicity violation.
+        v.on_gossip_export(SimTime::from_secs(31.0), NodeId(6), &stale);
+        assert!(v
+            .report()
+            .violations
+            .iter()
+            .any(|x| x.check == "dropped_list_regression"));
+    }
+
+    #[test]
+    fn blackout_and_fault_abort_only_touch_the_ledger() {
+        let mut v = validator();
+        let t0 = SimTime::from_secs(3.0);
+        v.on_generated(MessageId(0), NodeId(0), 8, 600.0);
+        v.on_inserted(MessageId(0), NodeId(0));
+        v.on_blackout(NodeId(4));
+        v.on_fault_abort();
+        v.begin_sweep(t0, 1.0);
+        v.sweep_node(t0, NodeId(0), 500, 2500);
+        v.sweep_copy(t0, NodeId(0), MessageId(0), 8, 500, &[], false);
+        let out = v.finish_sweep(t0);
+        assert!(out.new_violations.is_empty());
+        assert_eq!(v.report().faults.blackouts, 1);
+        assert_eq!(v.report().faults.aborted_transfers, 1);
+        assert_eq!(v.report().faults.crashes, 0);
     }
 
     #[test]
