@@ -15,11 +15,13 @@
 //! Each scenario also runs with the SDSRP priority cache disabled (the
 //! pre-optimisation algorithm) so every report carries its own
 //! cached-vs-uncached speedup, and a sweep-scaling section times the
-//! buffer-pressure cell batch across worker-thread counts. The whole
-//! report — wall clock, contacts/sec, events/sec, peak RSS, config
-//! hash, cache hit rates, fingerprints — is written as
-//! `BENCH_sdsrp.json` (see EXPERIMENTS.md §Benchmarking for how to
-//! read and compare trajectories).
+//! buffer-pressure cell batch on the in-process thread pool (baseline)
+//! and on the `dtn-fleet` subprocess coordinator at 1/2/4 workers,
+//! asserting every fleet row is bit-identical to the baseline. The
+//! whole report — wall clock, contacts/sec, events/sec, peak RSS,
+//! config hash, cache hit rates, fingerprints — is written as
+//! `BENCH_sdsrp.json` (schema `dtn-bench/v2`; see EXPERIMENTS.md
+//! §Benchmarking for how to read and compare trajectories).
 //!
 //! Correctness gate: the headline fingerprint is compared against the
 //! committed golden snapshot and the process exits non-zero on any
@@ -32,12 +34,14 @@
 //! dtn-bench [--quick] [--out FILE] [--iters N]
 //! ```
 
+use dtn_fleet::{locate_worker, run_fleet, FleetOptions, SubprocessTransport};
 use dtn_sim::config::{presets, PolicyKind, ScenarioConfig};
 use dtn_sim::replay::fingerprint;
-use dtn_sim::sweep::{run_cells, CellJob, SweepOptions};
+use dtn_sim::sweep::{run_cells, CellJob, CellRun, SweepOptions};
 use dtn_sim::world::World;
 use dtn_telemetry::{hash_config_json, peak_rss_bytes, Recorder};
 use serde::Serialize;
+use std::path::Path;
 use std::time::Instant;
 
 /// One timed macro-scenario entry in the JSON report.
@@ -69,15 +73,22 @@ struct ScenarioResult {
     fingerprint: String,
 }
 
-/// One sweep-scaling entry: the buffer-pressure cell batch on `threads`
-/// workers.
+/// One sweep-scaling entry: the buffer-pressure cell batch on `workers`
+/// workers of the given transport (`"in-process"` = `run_cells` thread
+/// pool, `"subprocess"` = `dtn-fleet` coordinator with
+/// `dtn-fleet-worker` children).
 #[derive(Serialize)]
 struct ScalingResult {
-    threads: usize,
+    workers: usize,
+    transport: String,
     cells: usize,
     wall_clock_secs: f64,
     events_total: u64,
     events_per_sec: f64,
+    /// Every per-cell result (metrics + fingerprint) is bit-identical
+    /// to the in-process baseline row. A scaling "win" that changes
+    /// behaviour fails the harness.
+    fingerprints_match_baseline: bool,
 }
 
 /// Top-level `BENCH_sdsrp.json` schema.
@@ -208,11 +219,11 @@ fn bench_scenario(cfg: &ScenarioConfig, iters: usize) -> ScenarioResult {
     }
 }
 
-/// Times the buffer-pressure cell batch (4 seeds x the paper's four
-/// policies) on `threads` sweep workers.
-fn bench_scaling(quick: bool, threads: usize) -> ScalingResult {
+/// The buffer-pressure cell batch (4 seeds x the paper's four
+/// policies) every sweep-scaling row runs.
+fn scaling_jobs(quick: bool) -> Vec<CellJob> {
     let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4] };
-    let jobs: Vec<CellJob> = seeds
+    seeds
         .iter()
         .flat_map(|&seed| {
             PolicyKind::paper_four().into_iter().map(move |policy| {
@@ -226,7 +237,13 @@ fn bench_scaling(quick: bool, threads: usize) -> ScalingResult {
                 }
             })
         })
-        .collect();
+        .collect()
+}
+
+/// Times the cell batch on the in-process `run_cells` thread pool; the
+/// returned runs are the fingerprint baseline for the fleet rows.
+fn bench_scaling_inprocess(quick: bool, threads: usize) -> (ScalingResult, Vec<Option<CellRun>>) {
+    let jobs = scaling_jobs(quick);
     let cells = jobs.len();
     let opts = SweepOptions {
         threads,
@@ -243,15 +260,70 @@ fn bench_scaling(quick: bool, threads: usize) -> ScalingResult {
     }
     let events_total = out.totals.total();
     eprintln!(
-        "sweep-scaling    {threads:>2} thread(s): {cells} cells in {wall:7.3}s ({:.0} events/s)",
+        "sweep-scaling    {threads:>2} in-process thread(s): {cells} cells in {wall:7.3}s ({:.0} events/s)",
         events_total as f64 / wall
     );
-    ScalingResult {
-        threads,
+    let row = ScalingResult {
+        workers: threads,
+        transport: "in-process".into(),
         cells,
         wall_clock_secs: wall,
         events_total,
         events_per_sec: events_total as f64 / wall,
+        fingerprints_match_baseline: true,
+    };
+    (row, out.runs)
+}
+
+/// Times the same cell batch through the `dtn-fleet` coordinator on
+/// `workers` subprocess workers and checks the per-cell results are
+/// bit-identical to the in-process baseline.
+fn bench_scaling_fleet(
+    quick: bool,
+    workers: usize,
+    worker_bin: &Path,
+    baseline: &[Option<CellRun>],
+) -> ScalingResult {
+    let jobs = scaling_jobs(quick);
+    let cells = jobs.len();
+    let transport = SubprocessTransport::new(worker_bin.to_path_buf());
+    let opts = FleetOptions {
+        workers,
+        ..FleetOptions::default()
+    };
+    let started = Instant::now();
+    let run = run_fleet(&jobs, &transport, &opts).unwrap_or_else(|e| {
+        eprintln!("FATAL: fleet scaling row ({workers} workers) failed: {e}");
+        std::process::exit(1);
+    });
+    let wall = started.elapsed().as_secs_f64();
+    if !run.output.errors.is_empty() {
+        for err in &run.output.errors {
+            eprintln!("{err}");
+        }
+        std::process::exit(1);
+    }
+    // CellRun equality covers metrics + fingerprint (duration excluded),
+    // so this is the same bit-identical gate the fleet tests enforce.
+    let fingerprints_match_baseline = run.output.runs == baseline;
+    if !fingerprints_match_baseline {
+        eprintln!(
+            "FATAL: fleet scaling row ({workers} workers) diverged from the in-process baseline"
+        );
+    }
+    let events_total = run.output.totals.total();
+    eprintln!(
+        "sweep-scaling    {workers:>2} subprocess worker(s): {cells} cells in {wall:7.3}s ({:.0} events/s)",
+        events_total as f64 / wall
+    );
+    ScalingResult {
+        workers,
+        transport: "subprocess".into(),
+        cells,
+        wall_clock_secs: wall,
+        events_total,
+        events_per_sec: events_total as f64 / wall,
+        fingerprints_match_baseline,
     }
 }
 
@@ -320,17 +392,30 @@ fn main() {
 
     let golden_fingerprint_ok = golden_check(&scenarios[0].fingerprint);
 
-    let mut thread_counts = vec![1];
-    if threads_available > 1 {
-        thread_counts.push(threads_available);
+    // Scaling curve: the in-process single-thread baseline, then the
+    // dtn-fleet subprocess curve at 1/2/4 workers. Fleet rows gate on
+    // bit-identical per-cell results against the baseline.
+    let (baseline_row, baseline_runs) = bench_scaling_inprocess(quick, 1);
+    let mut sweep_scaling = vec![baseline_row];
+    match locate_worker() {
+        Ok(worker_bin) => {
+            for workers in [1, 2, 4] {
+                sweep_scaling.push(bench_scaling_fleet(
+                    quick,
+                    workers,
+                    &worker_bin,
+                    &baseline_runs,
+                ));
+            }
+        }
+        Err(e) => eprintln!(
+            "warning: skipping fleet scaling rows ({e}); build the whole workspace to include them"
+        ),
     }
-    let sweep_scaling: Vec<ScalingResult> = thread_counts
-        .into_iter()
-        .map(|t| bench_scaling(quick, t))
-        .collect();
+    let fleet_scaling_ok = sweep_scaling.iter().all(|r| r.fingerprints_match_baseline);
 
     let report = BenchReport {
-        schema: "dtn-bench/v1".into(),
+        schema: "dtn-bench/v2".into(),
         quick,
         iters,
         threads_available,
@@ -345,7 +430,7 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("bench report written to {out_path}");
-    if !golden_fingerprint_ok {
+    if !golden_fingerprint_ok || !fleet_scaling_ok {
         std::process::exit(1);
     }
 }

@@ -18,10 +18,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use dtn_fleet::{locate_worker, run_sweep_fleet, FleetOptions, SubprocessTransport};
 use dtn_sim::config::{PolicyKind, ScenarioConfig};
 use dtn_sim::output::{Metric, SeriesTable};
 use dtn_sim::sweep::{
-    run_sweep_hardened, SweepAxis, SweepCell, SweepCheckpoint, SweepOptions, SweepSpec,
+    run_sweep_hardened, SweepAxis, SweepCell, SweepCheckpoint, SweepOptions, SweepOutput, SweepSpec,
 };
 use std::io::Write;
 use std::path::PathBuf;
@@ -50,6 +51,12 @@ pub struct Cli {
     pub checkpoint: Option<PathBuf>,
     /// Reload the checkpoint and skip already-completed cells.
     pub resume: bool,
+    /// Fan sweep cells out across N subprocess workers (0 = run
+    /// in-process with `run_sweep_hardened`).
+    pub workers: usize,
+    /// Explicit path to the `dtn-fleet-worker` binary; defaults to
+    /// `locate_worker()` (env var, then the binary's own directory).
+    pub worker_bin: Option<PathBuf>,
 }
 
 impl Cli {
@@ -65,6 +72,8 @@ impl Cli {
             validate_cells: false,
             checkpoint: None,
             resume: false,
+            workers: 0,
+            worker_bin: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -96,6 +105,19 @@ impl Cli {
                 "--sweep" => {
                     i += 1;
                     cli.sweep = Some(args.get(i).expect("--sweep needs a name").clone());
+                }
+                "--workers" => {
+                    i += 1;
+                    cli.workers = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--workers needs a number");
+                }
+                "--worker-bin" => {
+                    i += 1;
+                    cli.worker_bin = Some(PathBuf::from(
+                        args.get(i).expect("--worker-bin needs a path"),
+                    ));
                 }
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
@@ -204,15 +226,20 @@ pub fn run_figure_group(
         let _ = std::io::stderr().flush();
     };
     // Live progress on stderr (stdout carries the markdown tables).
-    let opts = SweepOptions {
-        checkpoint: cli.checkpoint.as_ref().map(|stem| SweepCheckpoint {
-            path: group_checkpoint_path(stem, fig, &xlabel),
-            resume: cli.resume,
-        }),
-        progress: Some(&progress),
-        ..SweepOptions::default()
+    let checkpoint = cli.checkpoint.as_ref().map(|stem| SweepCheckpoint {
+        path: group_checkpoint_path(stem, fig, &xlabel),
+        resume: cli.resume,
+    });
+    let out = if cli.workers > 0 {
+        run_group_fleet(fig, &spec, checkpoint, &progress, cli)
+    } else {
+        let opts = SweepOptions {
+            checkpoint,
+            progress: Some(&progress),
+            ..SweepOptions::default()
+        };
+        run_sweep_hardened(&spec, &opts)
     };
-    let out = run_sweep_hardened(&spec, &opts);
     eprintln!(
         "\r{fig}: {} runs ({} resumed), {} events ({} delivered, {} dropped, {} contacts)",
         out.cells.iter().map(|c| c.runs).sum::<usize>(),
@@ -258,6 +285,53 @@ pub fn run_figure_group(
         }
     }
     cells
+}
+
+/// Runs one figure group through the `dtn-fleet` coordinator with
+/// subprocess workers instead of in-process threads. Exits non-zero if
+/// the worker binary cannot be found or no worker can be spawned —
+/// figure regeneration must never silently fall back to a slower mode
+/// the operator did not ask for.
+fn run_group_fleet(
+    fig: &str,
+    spec: &SweepSpec,
+    checkpoint: Option<SweepCheckpoint>,
+    progress: &(dyn Fn(dtn_sim::sweep::SweepProgress) + Sync),
+    cli: &Cli,
+) -> SweepOutput {
+    let worker_bin = match cli.worker_bin.clone() {
+        Some(path) => path,
+        None => locate_worker().unwrap_or_else(|e| {
+            eprintln!("{fig}: {e}");
+            std::process::exit(2);
+        }),
+    };
+    let mut transport = SubprocessTransport::new(worker_bin);
+    transport.checkpoint = checkpoint.as_ref().map(|ck| ck.path.clone());
+    let opts = FleetOptions {
+        workers: cli.workers,
+        checkpoint,
+        progress: Some(progress),
+        ..FleetOptions::default()
+    };
+    match run_sweep_fleet(spec, &transport, &opts) {
+        Ok((out, stats)) => {
+            eprintln!(
+                "\r{fig}: fleet {} workers ({}), {} dispatched, {} retries, {} lost, {:.1}s wall",
+                stats.workers,
+                stats.transport,
+                stats.dispatched,
+                stats.retries,
+                stats.workers_lost,
+                stats.wall_clock_secs,
+            );
+            out
+        }
+        Err(e) => {
+            eprintln!("{fig}: fleet failed: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Quick qualitative check used by fig8/fig9: prints whether the

@@ -1,0 +1,172 @@
+//! The coordinator/worker wire protocol.
+//!
+//! Messages are framed as newline-delimited JSON (one externally-tagged
+//! enum value per line, no embedded newlines — serialised JSON strings
+//! escape them). The coordinator writes [`CoordinatorMsg`] lines to the
+//! worker's stdin; the worker writes [`WorkerMsg`] lines to stdout.
+//! Unknown lines are ignored by both sides so the protocol can grow
+//! fields without flag-day upgrades; [`PROTOCOL_VERSION`] in the
+//! worker's `Hello` guards against genuinely incompatible pairings.
+
+use dtn_sim::sweep::CellRun;
+use serde::{Deserialize, Serialize};
+
+/// Version tag carried in [`WorkerMsg::Hello`]. Bump on breaking frame
+/// changes; the coordinator refuses workers that disagree.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Coordinator → worker messages (one JSON line each on worker stdin).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoordinatorMsg {
+    /// Run one cell. Carries the fully-resolved canonical config JSON,
+    /// so the worker needs no access to the `SweepSpec` (or even the
+    /// same working directory).
+    Assign {
+        /// Position in the materialised job list.
+        index: usize,
+        /// Axis label (sweeps) or scenario name (fuzzing).
+        label: String,
+        /// Policy legend label.
+        policy: String,
+        /// RNG seed of the run.
+        seed: u64,
+        /// FNV-1a hash of `config` — the cell identity and resume key.
+        config_hash: String,
+        /// Canonical config JSON of the cell.
+        config: String,
+        /// Attach a `dtn-validate` validator to the run.
+        validate: bool,
+        /// Dispatch attempt number (0 on first dispatch).
+        retry: u32,
+    },
+    /// Drain and exit cleanly.
+    Shutdown,
+}
+
+/// Worker → coordinator messages (one JSON line each on worker stdout).
+// `Done` dwarfs the liveness variants, but boxing `CellRun` would put
+// an indirection on every result frame to save bytes on heartbeats that
+// exist for microseconds — not worth it on this traffic volume.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerMsg {
+    /// First line after spawn: liveness + version handshake.
+    Hello {
+        /// OS process id (0 for in-process transports).
+        pid: u64,
+        /// [`PROTOCOL_VERSION`] the worker speaks.
+        protocol: u32,
+    },
+    /// Periodic liveness signal, emitted from a side thread so it keeps
+    /// flowing while a cell executes.
+    Heartbeat {
+        /// Whether a cell is currently executing.
+        busy: bool,
+    },
+    /// An assignment was received and execution is starting.
+    Started {
+        /// Job index of the assignment.
+        index: usize,
+        /// Config hash of the assignment.
+        config_hash: String,
+    },
+    /// A cell finished; `run` is the exact checkpoint record.
+    Done {
+        /// The finished cell, bit-identical to what an in-process
+        /// runner would record.
+        run: CellRun,
+    },
+    /// A cell panicked inside the worker (the worker itself survives
+    /// and can take further assignments).
+    Failed {
+        /// Job index of the failed cell.
+        index: usize,
+        /// Config hash of the failed cell.
+        config_hash: String,
+        /// The panic payload, stringified.
+        panic: String,
+    },
+}
+
+impl WorkerMsg {
+    /// One NDJSON frame (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("worker message serialises")
+    }
+}
+
+impl CoordinatorMsg {
+    /// One NDJSON frame (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("coordinator message serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::sweep::CellMetrics;
+    use dtn_validate::ReportFingerprint;
+
+    #[test]
+    fn assign_round_trips_through_ndjson() {
+        let msg = CoordinatorMsg::Assign {
+            index: 7,
+            label: "16".into(),
+            policy: "SDSRP".into(),
+            seed: 42,
+            config_hash: "deadbeefdeadbeef".into(),
+            config: "{\"name\":\"smoke\"}".into(),
+            validate: true,
+            retry: 1,
+        };
+        let line = msg.to_line();
+        assert!(!line.contains('\n'), "frames must be single lines");
+        let back: CoordinatorMsg = serde_json::from_str(&line).expect("parse");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn done_round_trips_with_exact_floats() {
+        let run = CellRun {
+            index: 3,
+            config_hash: "0123456789abcdef".into(),
+            seed: 9,
+            metrics: CellMetrics {
+                delivery_ratio: 0.1 + 0.2, // deliberately non-representable
+                avg_hopcount: 2.25,
+                overhead_ratio: 13.5,
+                avg_latency: 1234.0625,
+                created: 96.0,
+            },
+            fingerprint: ReportFingerprint::default(),
+            violations: 0,
+            duration_secs: 1.5,
+        };
+        let line = WorkerMsg::Done { run: run.clone() }.to_line();
+        let back: WorkerMsg = serde_json::from_str(&line).expect("parse");
+        match back {
+            WorkerMsg::Done { run: r } => {
+                assert_eq!(r, run);
+                // Equality excludes duration; check it explicitly.
+                assert_eq!(r.duration_secs, 1.5);
+                // Bit-exact float round trip, not just approximate.
+                assert_eq!(r.metrics.delivery_ratio.to_bits(), (0.1f64 + 0.2).to_bits());
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_variants_are_rejected_not_misparsed() {
+        assert!(serde_json::from_str::<WorkerMsg>("{\"Evolved\":{\"x\":1}}").is_err());
+        assert!(serde_json::from_str::<CoordinatorMsg>("garbage").is_err());
+    }
+
+    #[test]
+    fn shutdown_is_a_bare_tag() {
+        let line = CoordinatorMsg::Shutdown.to_line();
+        let back: CoordinatorMsg = serde_json::from_str(&line).expect("parse");
+        assert_eq!(back, CoordinatorMsg::Shutdown);
+    }
+}

@@ -1,0 +1,146 @@
+//! The in-process transport: each "worker" is a plain thread running
+//! the same assignment loop as the subprocess worker.
+//!
+//! Zero-setup backend for `--workers N` without a worker binary on
+//! disk, and the reference implementation the subprocess transport is
+//! differentially tested against — both call
+//! [`crate::worker::run_assignment`], so their
+//! [`dtn_sim::sweep::CellRun`] records are bit-identical for the same
+//! assignment.
+//!
+//! Limitations vs subprocesses: `kill` cannot preempt a thread
+//! mid-cell (the thread finishes or sleeps on; its late messages carry
+//! a retired uid and are ignored — completed results are still
+//! accepted), and a panic that escapes `catch_unwind` (none known)
+//! would take the whole process down instead of one worker.
+
+use crate::protocol::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::transport::{Envelope, FleetError, Transport, WorkerHandle};
+use crate::worker::run_assignment;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Spawns in-process worker threads.
+#[derive(Debug, Clone)]
+pub struct ThreadTransport {
+    /// Heartbeat period, seconds (0 disables heartbeats).
+    pub heartbeat_secs: f64,
+}
+
+impl Default for ThreadTransport {
+    fn default() -> Self {
+        ThreadTransport {
+            heartbeat_secs: 0.5,
+        }
+    }
+}
+
+impl Transport for ThreadTransport {
+    fn spawn(
+        &self,
+        uid: u64,
+        inbox: Sender<(u64, Envelope)>,
+    ) -> Result<Box<dyn WorkerHandle>, FleetError> {
+        let (tx, rx) = channel::<CoordinatorMsg>();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        if self.heartbeat_secs > 0.0 {
+            let inbox = inbox.clone();
+            let stop = Arc::clone(&stop);
+            let period = Duration::from_secs_f64(self.heartbeat_secs);
+            std::thread::Builder::new()
+                .name(format!("dtn-fleet-thread-hb-{uid}"))
+                .spawn(move || loop {
+                    std::thread::sleep(period);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if inbox
+                        .send((uid, Envelope::Msg(WorkerMsg::Heartbeat { busy: false })))
+                        .is_err()
+                    {
+                        break;
+                    }
+                })
+                .map_err(|e| FleetError::new(format!("spawn heartbeat thread: {e}")))?;
+        }
+
+        let worker_stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("dtn-fleet-thread-{uid}"))
+            .spawn(move || {
+                let _ = inbox.send((
+                    uid,
+                    Envelope::Msg(WorkerMsg::Hello {
+                        pid: 0,
+                        protocol: PROTOCOL_VERSION,
+                    }),
+                ));
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        CoordinatorMsg::Assign {
+                            index,
+                            seed,
+                            config_hash,
+                            config,
+                            validate,
+                            ..
+                        } => {
+                            let _ = inbox.send((
+                                uid,
+                                Envelope::Msg(WorkerMsg::Started {
+                                    index,
+                                    config_hash: config_hash.clone(),
+                                }),
+                            ));
+                            let reply =
+                                run_assignment(index, seed, &config_hash, &config, validate);
+                            if inbox.send((uid, Envelope::Msg(reply))).is_err() {
+                                break;
+                            }
+                        }
+                        CoordinatorMsg::Shutdown => break,
+                    }
+                }
+                worker_stop.store(true, Ordering::Relaxed);
+                let _ = inbox.send((uid, Envelope::Gone(Some(0))));
+            })
+            .map_err(|e| FleetError::new(format!("spawn worker thread: {e}")))?;
+
+        Ok(Box::new(ThreadWorker { tx: Some(tx), stop }))
+    }
+
+    fn label(&self) -> &'static str {
+        "thread"
+    }
+}
+
+struct ThreadWorker {
+    tx: Option<Sender<CoordinatorMsg>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl WorkerHandle for ThreadWorker {
+    fn send(&mut self, msg: &CoordinatorMsg) -> Result<(), FleetError> {
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| FleetError::new("worker channel already closed"))?;
+        tx.send(msg.clone())
+            .map_err(|_| FleetError::new("worker thread gone"))
+    }
+
+    fn pid(&self) -> u64 {
+        0
+    }
+
+    fn kill(&mut self) {
+        // Dropping the sender ends the assignment loop at the next
+        // recv; a thread mid-cell finishes that cell first (threads
+        // cannot be preempted). The stop flag silences the heartbeat.
+        self.stop.store(true, Ordering::Relaxed);
+        self.tx = None;
+    }
+}

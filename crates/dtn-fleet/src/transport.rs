@@ -1,0 +1,88 @@
+//! Transport abstraction: how the coordinator spawns workers and
+//! exchanges [`crate::protocol`] messages with them.
+//!
+//! The coordinator never touches processes, pipes or threads directly —
+//! it drives [`Transport`] / [`WorkerHandle`] trait objects and reads a
+//! single mpsc channel of `(worker uid, Envelope)` pairs. That keeps
+//! every supervision policy (heartbeats, timeouts, retries, respawn)
+//! testable against the in-process [`crate::thread::ThreadTransport`]
+//! and reusable over future backends (e.g. TCP) without change.
+
+use crate::protocol::{CoordinatorMsg, WorkerMsg};
+use std::sync::mpsc::Sender;
+
+/// What a worker's receive pump delivers to the coordinator channel.
+// The size skew mirrors `WorkerMsg` (a boxed `Done` would tax every
+// result frame to slim down transient liveness frames).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// A parsed protocol message from the worker.
+    Msg(WorkerMsg),
+    /// The worker's stream ended (process exit, pipe closed, thread
+    /// returned). Carries the exit code when the transport knows it.
+    Gone(Option<i32>),
+}
+
+/// A live worker the coordinator can send assignments to. Receiving is
+/// push-based: the transport pumps every inbound message into the
+/// channel handed to [`Transport::spawn`].
+pub trait WorkerHandle: Send {
+    /// Sends one coordinator message. An error means the worker is
+    /// unreachable (the coordinator treats it as lost).
+    fn send(&mut self, msg: &CoordinatorMsg) -> Result<(), FleetError>;
+    /// OS process id, 0 when the backend has none.
+    fn pid(&self) -> u64;
+    /// Tears the worker down (kill the process / signal the thread).
+    /// Idempotent; called on loss, shutdown and drop.
+    fn kill(&mut self);
+}
+
+/// A worker-spawning backend.
+pub trait Transport {
+    /// Spawns one worker. `uid` is a coordinator-unique id echoed on
+    /// every envelope the worker's pump sends to `inbox` — respawns get
+    /// fresh uids, so late messages from a torn-down worker are
+    /// recognisable (and its results still accepted) instead of being
+    /// misattributed to its replacement.
+    fn spawn(
+        &self,
+        uid: u64,
+        inbox: Sender<(u64, Envelope)>,
+    ) -> Result<Box<dyn WorkerHandle>, FleetError>;
+    /// Stable backend label for stats and logs.
+    fn label(&self) -> &'static str;
+}
+
+/// A fleet-level failure: the coordinator could not run the sweep at
+/// all (as opposed to per-cell failures, which are `CellError`s in the
+/// output). Worker deaths are *not* fleet errors — they are retried,
+/// and exhaustion degrades to per-cell errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetError {
+    /// What failed.
+    pub message: String,
+}
+
+impl FleetError {
+    /// Convenience constructor.
+    pub fn new(message: impl Into<String>) -> Self {
+        FleetError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::new(e.to_string())
+    }
+}

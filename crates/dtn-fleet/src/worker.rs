@@ -1,0 +1,393 @@
+//! The worker side of the protocol: a blocking stdin→stdout loop that
+//! executes one assignment at a time.
+//!
+//! This module is transport-neutral plumbing: the `dtn-fleet-worker`
+//! binary calls [`worker_main`] over real stdio, and
+//! [`crate::thread::ThreadTransport`] reuses [`run_assignment`] for the
+//! in-process backend — both therefore produce bit-identical
+//! [`CellRun`] records for the same assignment.
+
+use crate::protocol::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+use dtn_sim::config::ScenarioConfig;
+use dtn_sim::sweep::{execute_job, panic_message, CellRun};
+use parking_lot::Mutex;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic fault hook for tests and CI: when the worker is
+/// assigned `config_hash` and `marker` does not exist yet, it creates
+/// the marker and misbehaves *once* (subsequent assignments of the same
+/// cell run normally — including after a respawn, since the marker is
+/// on disk).
+///
+/// `config_hash` may be the wildcard `*`, matching any cell; because
+/// the marker latch is a shared file, a fleet whose workers all carry a
+/// wildcard hook still misbehaves exactly once in total. CI uses this
+/// to kill one worker without knowing cell hashes in advance.
+#[derive(Debug, Clone)]
+pub struct FaultHook {
+    /// The cell to sabotage (`*` = any cell).
+    pub config_hash: String,
+    /// First-trigger latch file.
+    pub marker: PathBuf,
+}
+
+impl FaultHook {
+    /// Parses the `HASH:MARKER_PATH` CLI form.
+    pub fn parse(s: &str) -> Option<FaultHook> {
+        let (hash, marker) = s.split_once(':')?;
+        if hash.is_empty() || marker.is_empty() {
+            return None;
+        }
+        Some(FaultHook {
+            config_hash: hash.to_string(),
+            marker: PathBuf::from(marker),
+        })
+    }
+
+    /// True (and latches the marker) on the first sighting of `hash`.
+    fn triggers(&self, hash: &str) -> bool {
+        let matches = self.config_hash == "*" || hash == self.config_hash;
+        if !matches || self.marker.exists() {
+            return false;
+        }
+        // Latch *before* misbehaving so a killed worker doesn't retrigger.
+        std::fs::File::create(&self.marker).is_ok()
+    }
+}
+
+/// Configuration of one worker process/thread.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Heartbeat period, seconds (0 disables the heartbeat thread).
+    pub heartbeat_secs: f64,
+    /// Private shard checkpoint this worker streams finished cells to
+    /// (crash insurance merged by the coordinator on resume).
+    pub shard: Option<PathBuf>,
+    /// Test hook: exit with code 17 instead of running the cell.
+    pub fail_once: Option<FaultHook>,
+    /// Test hook: hang (sleep ~1h) instead of running the cell.
+    pub hang_once: Option<FaultHook>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            heartbeat_secs: 0.5,
+            shard: None,
+            fail_once: None,
+            hang_once: None,
+        }
+    }
+}
+
+/// Executes one assignment exactly as the in-process sweep runner
+/// would: same `execute_job`, same panic isolation, same [`CellRun`]
+/// record — bit-identical fingerprints by construction.
+pub fn run_assignment(
+    index: usize,
+    seed: u64,
+    config_hash: &str,
+    config: &str,
+    validate: bool,
+) -> WorkerMsg {
+    let cfg: ScenarioConfig = match serde_json::from_str(config) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            return WorkerMsg::Failed {
+                index,
+                config_hash: config_hash.to_string(),
+                panic: format!("config does not parse: {e}"),
+            };
+        }
+    };
+    let started = std::time::Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| execute_job(&cfg, validate))) {
+        Ok((metrics, fingerprint, violations)) => WorkerMsg::Done {
+            run: CellRun {
+                index,
+                config_hash: config_hash.to_string(),
+                seed,
+                metrics,
+                fingerprint,
+                violations,
+                duration_secs: started.elapsed().as_secs_f64(),
+            },
+        },
+        Err(payload) => WorkerMsg::Failed {
+            index,
+            config_hash: config_hash.to_string(),
+            panic: panic_message(payload.as_ref()),
+        },
+    }
+}
+
+/// The worker main loop: `Hello`, then heartbeats from a side thread
+/// while assignments stream in on `input` and replies stream out on
+/// `output`. Returns the process exit code.
+///
+/// Output is a mutex-guarded writer because the heartbeat thread and
+/// the assignment loop interleave lines; each line is written and
+/// flushed atomically under the lock, so frames never tear.
+pub fn worker_main(
+    cfg: WorkerConfig,
+    input: impl BufRead,
+    output: impl Write + Send + 'static,
+) -> i32 {
+    let out = Arc::new(Mutex::new(output));
+    let emit = |msg: &WorkerMsg| -> bool {
+        let mut guard = out.lock();
+        let line = msg.to_line();
+        writeln!(guard, "{line}")
+            .and_then(|()| guard.flush())
+            .is_ok()
+    };
+
+    if !emit(&WorkerMsg::Hello {
+        pid: std::process::id() as u64,
+        protocol: PROTOCOL_VERSION,
+    }) {
+        return 1; // coordinator already gone
+    }
+
+    let busy = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = if cfg.heartbeat_secs > 0.0 {
+        let out = Arc::clone(&out);
+        let busy = Arc::clone(&busy);
+        let stop = Arc::clone(&stop);
+        let period = Duration::from_secs_f64(cfg.heartbeat_secs);
+        Some(std::thread::spawn(move || loop {
+            std::thread::sleep(period);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let msg = WorkerMsg::Heartbeat {
+                busy: busy.load(Ordering::Relaxed),
+            };
+            let mut guard = out.lock();
+            let line = msg.to_line();
+            if writeln!(guard, "{line}")
+                .and_then(|()| guard.flush())
+                .is_err()
+            {
+                break; // coordinator gone; the main loop will see EOF too
+            }
+        }))
+    } else {
+        None
+    };
+
+    // Truncate-on-spawn: the coordinator merges leftover shards *before*
+    // spawning workers, so anything here is already consumed.
+    let mut shard = cfg.shard.as_ref().and_then(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .ok()
+    });
+
+    let mut code = 0;
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Unknown/garbled frames are skipped, not fatal: a newer
+        // coordinator may speak additional message kinds.
+        let Ok(msg) = serde_json::from_str::<CoordinatorMsg>(line) else {
+            continue;
+        };
+        match msg {
+            CoordinatorMsg::Assign {
+                index,
+                seed,
+                config_hash,
+                config,
+                validate,
+                ..
+            } => {
+                if cfg
+                    .fail_once
+                    .as_ref()
+                    .is_some_and(|h| h.triggers(&config_hash))
+                {
+                    code = 17; // simulated crash mid-cell
+                    break;
+                }
+                if cfg
+                    .hang_once
+                    .as_ref()
+                    .is_some_and(|h| h.triggers(&config_hash))
+                {
+                    // Simulated wedge: heartbeats keep flowing (the side
+                    // thread is alive), so only the per-cell timeout can
+                    // catch this — exactly what it exists for.
+                    busy.store(true, Ordering::Relaxed);
+                    let _ = emit(&WorkerMsg::Started {
+                        index,
+                        config_hash: config_hash.clone(),
+                    });
+                    std::thread::sleep(Duration::from_secs(3600));
+                    break;
+                }
+                busy.store(true, Ordering::Relaxed);
+                let _ = emit(&WorkerMsg::Started {
+                    index,
+                    config_hash: config_hash.clone(),
+                });
+                let reply = run_assignment(index, seed, &config_hash, &config, validate);
+                if let (WorkerMsg::Done { run }, Some(file)) = (&reply, shard.as_mut()) {
+                    let line = serde_json::to_string(run).expect("cell run serialises");
+                    let _ = writeln!(file, "{line}").and_then(|()| file.flush());
+                }
+                busy.store(false, Ordering::Relaxed);
+                if !emit(&reply) {
+                    code = 1;
+                    break;
+                }
+            }
+            CoordinatorMsg::Shutdown => break,
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = heartbeat {
+        let _ = handle.join();
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::config::presets;
+    use dtn_telemetry::hash_config_json;
+
+    fn smoke_assignment() -> (String, String) {
+        let mut cfg = presets::smoke();
+        cfg.duration_secs = 200.0;
+        cfg.n_nodes = 10;
+        let config = serde_json::to_string(&cfg).expect("config serialises");
+        let hash = hash_config_json(&config);
+        (config, hash)
+    }
+
+    #[test]
+    fn run_assignment_matches_in_process_execution() {
+        let (config, hash) = smoke_assignment();
+        let cfg: ScenarioConfig = serde_json::from_str(&config).expect("parse");
+        let (metrics, fingerprint, violations) = execute_job(&cfg, false);
+        match run_assignment(4, cfg.seed, &hash, &config, false) {
+            WorkerMsg::Done { run } => {
+                assert_eq!(run.index, 4);
+                assert_eq!(run.config_hash, hash);
+                assert_eq!(run.metrics, metrics);
+                assert_eq!(run.fingerprint, fingerprint);
+                assert_eq!(run.violations, violations);
+                assert!(run.duration_secs > 0.0);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparseable_config_fails_soft() {
+        match run_assignment(0, 1, "cafe", "not json", false) {
+            WorkerMsg::Failed { panic, .. } => assert!(panic.contains("config does not parse")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_loop_answers_assignments_over_buffers() {
+        let (config, hash) = smoke_assignment();
+        let assign = CoordinatorMsg::Assign {
+            index: 0,
+            label: "smoke".into(),
+            policy: "SDSRP".into(),
+            seed: 7,
+            config_hash: hash.clone(),
+            config,
+            validate: false,
+            retry: 0,
+        };
+        let input = format!(
+            "{}\nnot a protocol line\n{}\n",
+            assign.to_line(),
+            CoordinatorMsg::Shutdown.to_line()
+        );
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let code = worker_main(
+            WorkerConfig {
+                heartbeat_secs: 0.0,
+                ..WorkerConfig::default()
+            },
+            std::io::BufReader::new(input.as_bytes()),
+            SharedSink(Arc::clone(&out)),
+        );
+        assert_eq!(code, 0);
+        let body = String::from_utf8(out.lock().clone()).expect("utf8");
+        let msgs: Vec<WorkerMsg> = body
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("worker frame parses"))
+            .collect();
+        assert!(matches!(
+            msgs[0],
+            WorkerMsg::Hello {
+                protocol: PROTOCOL_VERSION,
+                ..
+            }
+        ));
+        assert!(matches!(&msgs[1], WorkerMsg::Started { config_hash, .. } if *config_hash == hash));
+        assert!(matches!(&msgs[2], WorkerMsg::Done { run } if run.config_hash == hash));
+    }
+
+    #[test]
+    fn fault_hook_latches_once() {
+        let marker =
+            std::env::temp_dir().join(format!("dtn-fleet-hook-{}.marker", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let hook = FaultHook {
+            config_hash: "aa".into(),
+            marker: marker.clone(),
+        };
+        assert!(!hook.triggers("bb"), "other cells unaffected");
+        assert!(hook.triggers("aa"), "first sighting trips");
+        assert!(!hook.triggers("aa"), "latched after that");
+        let wildcard = FaultHook {
+            config_hash: "*".into(),
+            marker: marker.clone(),
+        };
+        assert!(!wildcard.triggers("cc"), "wildcard shares the latch");
+        let _ = std::fs::remove_file(&marker);
+        assert!(wildcard.triggers("cc"), "wildcard matches any cell");
+        let _ = std::fs::remove_file(&marker);
+    }
+
+    #[test]
+    fn fault_hook_parses_cli_form() {
+        let hook = FaultHook::parse("deadbeef:/tmp/m.marker").expect("parses");
+        assert_eq!(hook.config_hash, "deadbeef");
+        assert_eq!(hook.marker, PathBuf::from("/tmp/m.marker"));
+        assert!(FaultHook::parse("nocolon").is_none());
+        assert!(FaultHook::parse(":/tmp/x").is_none());
+    }
+}

@@ -24,6 +24,19 @@
 //! * [`SweepSpec::validate`] attaches a `dtn-validate` `Validator` to
 //!   every world and folds invariant-violation counts into each
 //!   [`SweepCell`] and [`CellRun`].
+//!
+//! The runner is also *shard-able*: [`materialize_jobs`] turns a spec
+//! into the exact job list, [`execute_job`] runs a single fully-resolved
+//! job, [`aggregate_sweep`] folds an arbitrary [`CellsOutput`] back into
+//! the per-`(axis, policy)` cells, and [`open_checkpoint`] restores (and
+//! merges) prior checkpoint files for any job list. `dtn-fleet` builds
+//! its distributed coordinator/worker fan-out entirely out of these
+//! units, so a fleet sweep aggregates bit-identically to
+//! [`run_sweep_hardened`].
+//!
+//! Checkpoint I/O failures are *structured*, not fatal: a bad checkpoint
+//! path degrades the sweep to an uncheckpointed (but complete) run and
+//! surfaces a [`CheckpointError`] in the output instead of aborting.
 
 use crate::config::{PolicyKind, ScenarioConfig};
 use crate::report::Report;
@@ -257,7 +270,7 @@ impl CellMetrics {
 }
 
 /// One finished job — the checkpoint JSONL record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellRun {
     /// Position in the materialised job list.
     pub index: usize,
@@ -271,6 +284,26 @@ pub struct CellRun {
     pub fingerprint: ReportFingerprint,
     /// Invariant violations observed (0 when validation is off).
     pub violations: u64,
+    /// Wall-clock execution time of the run, seconds. Observational
+    /// metadata: a restored run keeps the duration it was recorded
+    /// with, the fleet coordinator uses it for longest-job-first
+    /// scheduling, and it is *excluded* from equality so resumed
+    /// outputs still compare bit-identical to uninterrupted ones.
+    /// Pre-duration checkpoints deserialize to `0.0`.
+    #[serde(default)]
+    pub duration_secs: f64,
+}
+
+// Manual equality: everything deterministic, minus the wall clock.
+impl PartialEq for CellRun {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+            && self.config_hash == other.config_hash
+            && self.seed == other.seed
+            && self.metrics == other.metrics
+            && self.fingerprint == other.fingerprint
+            && self.violations == other.violations
+    }
 }
 
 /// A job that panicked: everything needed to triage and replay it.
@@ -312,6 +345,170 @@ pub struct SweepCheckpoint {
     pub resume: bool,
 }
 
+/// A checkpoint I/O failure, recorded in the output instead of aborting
+/// the sweep: the run completes uncheckpointed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointError {
+    /// Path of the checkpoint file that failed.
+    pub path: String,
+    /// The underlying I/O error, stringified.
+    pub error: String,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint {} unavailable ({}); sweep continued uncheckpointed",
+            self.path, self.error
+        )
+    }
+}
+
+/// A streaming checkpoint writer that degrades instead of panicking: the
+/// first write failure disables further appends and is surfaced as a
+/// [`CheckpointError`].
+pub struct CheckpointSink {
+    path: PathBuf,
+    state: Mutex<SinkState>,
+}
+
+struct SinkState {
+    file: Option<File>,
+    error: Option<CheckpointError>,
+}
+
+impl CheckpointSink {
+    /// Appends one finished run, flushing per cell so the file survives
+    /// a kill right up to the last finished job. A write failure
+    /// disables the sink (the sweep continues uncheckpointed).
+    pub fn append(&self, run: &CellRun) {
+        let line = serde_json::to_string(run).expect("cell run serialises");
+        let mut state = self.state.lock();
+        let Some(file) = state.file.as_mut() else {
+            return;
+        };
+        let outcome = writeln!(file, "{line}").and_then(|()| file.flush());
+        if let Err(e) = outcome {
+            state.file = None;
+            state.error = Some(CheckpointError {
+                path: self.path.display().to_string(),
+                error: e.to_string(),
+            });
+        }
+    }
+
+    /// The first write error, if appending ever failed.
+    pub fn error(&self) -> Option<CheckpointError> {
+        self.state.lock().error.clone()
+    }
+}
+
+/// Result of [`open_checkpoint`]: restored per-job runs plus a live
+/// append sink (absent when the file could not be opened or rewritten).
+pub struct CheckpointRestore {
+    /// Append sink for newly finished runs (`None` after an open or
+    /// rewrite failure — the sweep still runs, uncheckpointed).
+    pub sink: Option<CheckpointSink>,
+    /// The open/rewrite failure, if any.
+    pub error: Option<CheckpointError>,
+    /// Restored runs, indexed like the job list (reindexed to it).
+    pub restored: Vec<Option<CellRun>>,
+}
+
+/// Restores finished cells for a job list (identified by its canonical
+/// config hashes) from a checkpoint file plus any number of extra
+/// partial sources (e.g. per-worker shard checkpoints left behind by a
+/// killed fleet), then rewrites the main file from the parsed entries
+/// and keeps it open for appending.
+///
+/// The rewrite repairs a torn final line a mid-write kill may have left
+/// behind in *any* source, folds every source into the one main file
+/// (job-matched entries first, in job order, then leftover entries from
+/// other job sets in hash order so the rewrite is deterministic), and
+/// guarantees the file ends with a newline before appends begin.
+/// Entries for the same config hash are deduplicated (first source
+/// wins; the main checkpoint is read first).
+///
+/// I/O failures never panic: restored entries are still returned (so
+/// resume works even from an unwritable file) and the error is recorded
+/// in [`CheckpointRestore::error`].
+pub fn open_checkpoint(
+    ck: &SweepCheckpoint,
+    hashes: &[String],
+    merge_sources: &[PathBuf],
+) -> CheckpointRestore {
+    let mut prior: HashMap<String, CellRun> = HashMap::new();
+    if ck.resume {
+        prior = load_checkpoint(&ck.path);
+        for source in merge_sources {
+            for (hash, run) in load_checkpoint(source) {
+                prior.entry(hash).or_insert(run);
+            }
+        }
+    }
+    let mut restored: Vec<Option<CellRun>> = vec![None; hashes.len()];
+    for (i, hash) in hashes.iter().enumerate() {
+        if let Some(mut run) = prior.remove(hash) {
+            run.index = i;
+            restored[i] = Some(run);
+        }
+    }
+
+    let mut file = match OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&ck.path)
+    {
+        Ok(file) => file,
+        Err(e) => {
+            return CheckpointRestore {
+                sink: None,
+                error: Some(CheckpointError {
+                    path: ck.path.display().to_string(),
+                    error: e.to_string(),
+                }),
+                restored,
+            };
+        }
+    };
+    let rewrite = (|| -> std::io::Result<()> {
+        for run in restored.iter().flatten() {
+            let line = serde_json::to_string(run).expect("cell run serialises");
+            writeln!(file, "{line}")?;
+        }
+        let mut leftovers: Vec<&CellRun> = prior.values().collect();
+        leftovers.sort_by(|a, b| a.config_hash.cmp(&b.config_hash));
+        for run in leftovers {
+            let line = serde_json::to_string(run).expect("cell run serialises");
+            writeln!(file, "{line}")?;
+        }
+        file.flush()
+    })();
+    match rewrite {
+        Ok(()) => CheckpointRestore {
+            sink: Some(CheckpointSink {
+                path: ck.path.clone(),
+                state: Mutex::new(SinkState {
+                    file: Some(file),
+                    error: None,
+                }),
+            }),
+            error: None,
+            restored,
+        },
+        Err(e) => CheckpointRestore {
+            sink: None,
+            error: Some(CheckpointError {
+                path: ck.path.display().to_string(),
+                error: e.to_string(),
+            }),
+            restored,
+        },
+    }
+}
+
 /// Options for [`run_cells`] / [`run_sweep_hardened`].
 #[derive(Default)]
 pub struct SweepOptions<'a> {
@@ -346,6 +543,9 @@ pub struct CellsOutput {
     pub resumed: usize,
     /// Jobs executed in this invocation.
     pub executed: usize,
+    /// Set when the checkpoint file could not be opened or written; the
+    /// run completed, uncheckpointed from that point on.
+    pub checkpoint_error: Option<CheckpointError>,
 }
 
 /// Result of a hardened sweep.
@@ -366,6 +566,9 @@ pub struct SweepOutput {
     pub executed: usize,
     /// Per-run records, job-ordered (`None` marks a panicked run).
     pub runs: Vec<Option<CellRun>>,
+    /// Set when the checkpoint file could not be opened or written; the
+    /// sweep completed, uncheckpointed from that point on.
+    pub checkpoint_error: Option<CheckpointError>,
 }
 
 /// Runs the sweep on `threads` worker threads (pass 0 to use the
@@ -436,13 +639,33 @@ pub fn run_sweep_observed(
 /// per-cell validation ([`SweepSpec::validate`] or
 /// [`SweepOptions::validate`]) and optional checkpoint/resume.
 pub fn run_sweep_hardened(spec: &SweepSpec, opts: &SweepOptions<'_>) -> SweepOutput {
+    let jobs = materialize_jobs(spec);
+    let out = run_cells(
+        jobs,
+        &SweepOptions {
+            threads: opts.threads,
+            validate: opts.validate || spec.validate,
+            checkpoint: opts.checkpoint.clone(),
+            progress: opts.progress,
+            events: opts.events,
+        },
+    );
+    aggregate_sweep(spec, out)
+}
+
+/// Materialises a spec's exact job list: `(axis i, policy j, seed)` ->
+/// fully-resolved config, axis-major, then policy, then seed — cell
+/// `(ai, pi)` owns jobs `[ (ai*P + pi)*S , +S )`. This is the canonical
+/// ordering every runner (in-process and fleet) shards and aggregates
+/// by.
+///
+/// # Panics
+/// Panics if the axis, policy list or seed list is empty.
+pub fn materialize_jobs(spec: &SweepSpec) -> Vec<CellJob> {
     assert!(!spec.axis.is_empty(), "sweep axis has no points");
     assert!(!spec.policies.is_empty(), "sweep needs at least one policy");
     assert!(!spec.seeds.is_empty(), "sweep needs at least one seed");
 
-    // Materialise the job list: (axis i, policy j, seed) -> config,
-    // axis-major, then policy, then seed — cell (ai, pi) owns jobs
-    // [ (ai*P + pi)*S , +S ).
     let mut jobs = Vec::new();
     for ai in 0..spec.axis.len() {
         for policy in &spec.policies {
@@ -462,20 +685,13 @@ pub fn run_sweep_hardened(spec: &SweepSpec, opts: &SweepOptions<'_>) -> SweepOut
             }
         }
     }
+    jobs
+}
 
-    let out = run_cells(
-        jobs,
-        &SweepOptions {
-            threads: opts.threads,
-            validate: opts.validate || spec.validate,
-            checkpoint: opts.checkpoint.clone(),
-            progress: opts.progress,
-            events: opts.events,
-        },
-    );
-
-    // Aggregate per (axis, policy). Panicked runs simply contribute
-    // nothing: their cell still appears, with fewer `runs`.
+/// Folds the per-job outcomes of a [`materialize_jobs`] job list back
+/// into aggregated `(axis point, policy)` cells. Panicked runs simply
+/// contribute nothing: their cell still appears, with fewer `runs`.
+pub fn aggregate_sweep(spec: &SweepSpec, out: CellsOutput) -> SweepOutput {
     let n_seeds = spec.seeds.len();
     let n_policies = spec.policies.len();
     let mut agg: Vec<Vec<CellAgg>> = vec![vec![CellAgg::default(); n_policies]; spec.axis.len()];
@@ -524,6 +740,7 @@ pub fn run_sweep_hardened(spec: &SweepSpec, opts: &SweepOptions<'_>) -> SweepOut
         resumed: out.resumed,
         executed: out.executed,
         runs: out.runs,
+        checkpoint_error: out.checkpoint_error,
     }
 }
 
@@ -545,34 +762,28 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
     let mut resumed = 0usize;
 
     // Restore finished cells from the checkpoint, then rewrite it from
-    // the parsed entries and keep the handle for appending. The rewrite
-    // repairs a torn final line a mid-write kill may have left behind
-    // (and guarantees the file ends with a newline before we append).
-    let writer: Option<Mutex<File>> = match &opts.checkpoint {
+    // the parsed entries and keep the sink for appending (torn-tail
+    // repair and degradation semantics live in `open_checkpoint`).
+    let mut checkpoint_error = None;
+    let sink: Option<CheckpointSink> = match &opts.checkpoint {
         Some(ck) => {
-            let mut prior = if ck.resume {
-                load_checkpoint(&ck.path)
-            } else {
-                HashMap::new()
-            };
-            if ck.resume {
-                for (i, hash) in hashes.iter().enumerate() {
-                    if let Some(mut run) = prior.remove(hash) {
-                        run.index = i;
-                        totals.absorb(&run.fingerprint.events);
-                        if let Some(ev) = opts.events {
-                            ev(&SweepEvent::CellSkipped {
-                                index: i as u64,
-                                total: total as u64,
-                                config_hash: hash.clone(),
-                                label: jobs[i].label.clone(),
-                                seed: jobs[i].cfg.seed,
-                            });
-                        }
-                        slots[i] = Some(Ok(run));
-                        resumed += 1;
-                    }
+            let restore = open_checkpoint(ck, &hashes, &[]);
+            for (i, run) in restore.restored.into_iter().enumerate() {
+                let Some(run) = run else { continue };
+                totals.absorb(&run.fingerprint.events);
+                if let Some(ev) = opts.events {
+                    ev(&SweepEvent::CellSkipped {
+                        index: i as u64,
+                        total: total as u64,
+                        config_hash: run.config_hash.clone(),
+                        label: jobs[i].label.clone(),
+                        seed: jobs[i].cfg.seed,
+                    });
                 }
+                slots[i] = Some(Ok(run));
+                resumed += 1;
+            }
+            if ck.resume {
                 if let Some(ev) = opts.events {
                     ev(&SweepEvent::CheckpointResumed {
                         path: ck.path.display().to_string(),
@@ -580,27 +791,8 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
                     });
                 }
             }
-            let mut file = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&ck.path)
-                .unwrap_or_else(|e| panic!("cannot open checkpoint {}: {e}", ck.path.display()));
-            // Job-matched entries first (job order), then any leftover
-            // entries from other job sets (hash order, so the rewrite
-            // is deterministic), preserved rather than dropped.
-            for run in slots.iter().flatten().filter_map(|r| r.as_ref().ok()) {
-                let line = serde_json::to_string(run).expect("cell run serialises");
-                writeln!(file, "{line}").expect("rewrite checkpoint");
-            }
-            let mut leftovers: Vec<&CellRun> = prior.values().collect();
-            leftovers.sort_by(|a, b| a.config_hash.cmp(&b.config_hash));
-            for run in leftovers {
-                let line = serde_json::to_string(run).expect("cell run serialises");
-                writeln!(file, "{line}").expect("rewrite checkpoint");
-            }
-            file.flush().expect("flush checkpoint");
-            Some(Mutex::new(file))
+            checkpoint_error = restore.error;
+            restore.sink
         }
         None => None,
     };
@@ -632,8 +824,9 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
                 // Panic isolation: a failing cell must not take down
                 // the sweep (nor this worker, which keeps pulling
                 // jobs). The captured state is only read on success.
+                let started = std::time::Instant::now();
                 let outcome =
-                    catch_unwind(AssertUnwindSafe(|| execute_cell(&job.cfg, opts.validate)));
+                    catch_unwind(AssertUnwindSafe(|| execute_job(&job.cfg, opts.validate)));
                 let slot = match outcome {
                     Ok((metrics, fingerprint, violations)) => {
                         let run = CellRun {
@@ -643,14 +836,10 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
                             metrics,
                             fingerprint,
                             violations,
+                            duration_secs: started.elapsed().as_secs_f64(),
                         };
-                        if let Some(w) = &writer {
-                            let line = serde_json::to_string(&run).expect("cell run serialises");
-                            let mut f = w.lock();
-                            // Flush per cell: the file must survive a
-                            // kill right up to the last finished job.
-                            let _ = writeln!(f, "{line}");
-                            let _ = f.flush();
+                        if let Some(sink) = &sink {
+                            sink.append(&run);
                         }
                         shared_totals.lock().absorb(&run.fingerprint.events);
                         if let Some(ev) = opts.events {
@@ -661,6 +850,7 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
                                 label: job.label.clone(),
                                 seed: run.seed,
                                 violations: run.violations,
+                                duration_ms: (run.duration_secs * 1_000.0) as u64,
                             });
                         }
                         Ok(run)
@@ -720,6 +910,13 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
             }
         }
     }
+    let checkpoint_error = checkpoint_error.or_else(|| sink.as_ref().and_then(|s| s.error()));
+    if let (Some(err), Some(ev)) = (&checkpoint_error, opts.events) {
+        ev(&SweepEvent::CheckpointFailed {
+            path: err.path.clone(),
+            error: err.error.clone(),
+        });
+    }
     CellsOutput {
         runs,
         errors,
@@ -727,12 +924,15 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
         violations,
         resumed,
         executed: total - resumed,
+        checkpoint_error,
     }
 }
 
-/// Builds and runs one world, returning the aggregation inputs, the
-/// run's integer fingerprint, and the invariant-violation count.
-fn execute_cell(cfg: &ScenarioConfig, validate: bool) -> (CellMetrics, ReportFingerprint, u64) {
+/// Builds and runs one world — the single shard-able unit of work every
+/// runner (in-process threads, `dtn-fleet` workers) executes. Returns
+/// the aggregation inputs, the run's integer fingerprint, and the
+/// invariant-violation count.
+pub fn execute_job(cfg: &ScenarioConfig, validate: bool) -> (CellMetrics, ReportFingerprint, u64) {
     let mut world = World::build(cfg);
     // Counting-only telemetry: no ring, no sink.
     world.attach_recorder(Recorder::enabled(0));
@@ -754,7 +954,7 @@ fn execute_cell(cfg: &ScenarioConfig, validate: bool) -> (CellMetrics, ReportFin
 
 /// Stringifies a panic payload (the two standard payload types, then a
 /// generic fallback).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -954,6 +1154,118 @@ mod tests {
         let mut spec = quick_spec();
         spec.policies.clear();
         let _ = run_sweep(&spec, 1);
+    }
+
+    #[test]
+    fn bad_checkpoint_path_degrades_instead_of_aborting() {
+        // A checkpoint path in a directory that does not exist used to
+        // panic the whole sweep; now the sweep completes and surfaces a
+        // structured CheckpointError.
+        let spec = quick_spec();
+        let bad = std::path::PathBuf::from("/nonexistent-dir-sdsrp/ck.jsonl");
+        let opts = SweepOptions {
+            checkpoint: Some(SweepCheckpoint {
+                path: bad.clone(),
+                resume: false,
+            }),
+            ..SweepOptions::default()
+        };
+        let out = run_sweep_hardened(&spec, &opts);
+        assert!(out.errors.is_empty());
+        assert_eq!(out.executed, 8);
+        let err = out.checkpoint_error.expect("open failure recorded");
+        assert_eq!(err.path, bad.display().to_string());
+        assert!(!err.error.is_empty());
+        assert!(err.to_string().contains("uncheckpointed"));
+        // The degraded sweep still produced the same results as a
+        // checkpoint-free run.
+        let clean = run_sweep_observed(&spec, 2, &|_| {});
+        assert_eq!(out.cells, clean.cells);
+    }
+
+    #[test]
+    fn bad_checkpoint_path_emits_checkpoint_failed_event() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let spec = quick_spec();
+        let seen = AtomicBool::new(false);
+        let events = |ev: &SweepEvent| {
+            if let SweepEvent::CheckpointFailed { path, error } = ev {
+                assert!(path.contains("nonexistent"));
+                assert!(!error.is_empty());
+                seen.store(true, Ordering::Relaxed);
+            }
+        };
+        let opts = SweepOptions {
+            checkpoint: Some(SweepCheckpoint {
+                path: "/nonexistent-dir-sdsrp/ck.jsonl".into(),
+                resume: false,
+            }),
+            events: Some(&events),
+            ..SweepOptions::default()
+        };
+        let _ = run_sweep_hardened(&spec, &opts);
+        assert!(seen.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn cell_runs_record_wall_clock_durations() {
+        let spec = quick_spec();
+        let out = run_sweep_observed(&spec, 2, &|_| {});
+        for run in out.runs.iter().flatten() {
+            assert!(run.duration_secs > 0.0, "duration recorded");
+        }
+        // Durations are observational: two runs of the same cell are
+        // equal even though their wall clocks differ.
+        let again = run_sweep_observed(&spec, 1, &|_| {});
+        assert_eq!(out.runs, again.runs);
+        // ...and survive a JSON round trip (serde default tolerates
+        // pre-duration checkpoints).
+        let run = out.runs[0].clone().unwrap();
+        let json = serde_json::to_string(&run).unwrap();
+        assert!(json.contains("duration_secs"));
+        let back: CellRun = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, run);
+        assert_eq!(back.duration_secs, run.duration_secs);
+    }
+
+    #[test]
+    fn completed_cell_events_carry_durations() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = quick_spec();
+        let with_duration = AtomicUsize::new(0);
+        let events = |ev: &SweepEvent| {
+            if let SweepEvent::CellCompleted { .. } = ev {
+                with_duration.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let opts = SweepOptions {
+            events: Some(&events),
+            ..SweepOptions::default()
+        };
+        let out = run_sweep_hardened(&spec, &opts);
+        assert_eq!(with_duration.load(Ordering::Relaxed), 8);
+        assert!(out.errors.is_empty());
+    }
+
+    #[test]
+    fn materialized_jobs_match_hardened_ordering() {
+        let spec = quick_spec();
+        let jobs = materialize_jobs(&spec);
+        assert_eq!(jobs.len(), 8);
+        // Axis-major, then policy, then seed.
+        assert_eq!(jobs[0].label, "8");
+        assert_eq!(jobs[0].policy, "SprayAndWait");
+        assert_eq!(jobs[0].cfg.seed, 1);
+        assert_eq!(jobs[1].cfg.seed, 2);
+        assert_eq!(jobs[2].policy, "SDSRP");
+        assert_eq!(jobs[4].label, "16");
+        // Aggregating a run_cells output reproduces run_sweep exactly.
+        let out = run_cells(jobs, &SweepOptions::default());
+        let agg = aggregate_sweep(&spec, out);
+        let direct = run_sweep_observed(&spec, 2, &|_| {});
+        assert_eq!(agg.cells, direct.cells);
+        assert_eq!(agg.runs, direct.runs);
+        assert_eq!(agg.totals, direct.totals);
     }
 
     #[test]

@@ -41,7 +41,17 @@
 //! invariant checkers to every cell, `--checkpoint FILE` streams
 //! finished cells as JSONL, and `--resume` skips cells already in the
 //! checkpoint (bit-identical to an uninterrupted run).
+//!
+//! `--workers N` distributes the sweep over N `dtn-fleet-worker`
+//! subprocesses instead of in-process threads (same output,
+//! bit-identical fingerprints). The coordinator heartbeat-monitors
+//! workers, re-dispatches cells lost to dead or hung workers
+//! (`--cell-timeout`, `--worker-timeout`, `--retries`), and merges
+//! leftover per-worker shard checkpoints on `--resume`. `--worker-bin`
+//! overrides the worker binary (default: `dtn-fleet-worker` next to
+//! this executable, or `$DTN_FLEET_WORKER`).
 
+use sdsrp::fleet::{locate_worker, run_sweep_fleet, FleetOptions, SubprocessTransport};
 use sdsrp::sim::config::{presets, ImmunityMode, PolicyKind, RoutingKind, ScenarioConfig};
 use sdsrp::sim::output::{Metric, SeriesTable};
 use sdsrp::sim::replay::{manifest_for_run, replay_manifest};
@@ -61,13 +71,30 @@ fn usage() -> ! {
          \t[--timeseries FILE] [--telemetry FILE] [--validate]\n\
          \t[--no-priority-cache] [--replay MANIFEST.json]\n\
          \t[--sweep copies|buffer|genrate [--seeds N] [--threads N]\n\
-         \t\t[--validate-cells] [--checkpoint FILE [--resume]]]"
+         \t\t[--validate-cells] [--checkpoint FILE [--resume]]\n\
+         \t\t[--workers N [--worker-bin FILE] [--cell-timeout SECS]\n\
+         \t\t[--worker-timeout SECS] [--retries N] [--worker-arg ARG]...]]"
     );
     exit(2);
 }
 
+/// Fleet-distribution knobs of `--sweep` mode (`--workers 0` = run
+/// in-process).
+struct FleetCli {
+    workers: usize,
+    worker_bin: Option<String>,
+    cell_timeout: f64,
+    worker_timeout: f64,
+    retries: u32,
+    /// Extra CLI arguments for every worker (repeatable `--worker-arg`;
+    /// CI uses this for the `--fail-once`/`--hang-once` fault hooks).
+    worker_args: Vec<String>,
+}
+
 /// `--sweep` mode: one paper axis x the paper's four policies through
-/// the hardened runner. Prints the three paper metrics as markdown.
+/// the hardened runner (in-process threads, or a subprocess worker
+/// fleet with `--workers N`). Prints the three paper metrics as
+/// markdown.
 #[allow(clippy::too_many_arguments)]
 fn run_sweep_mode(
     base: ScenarioConfig,
@@ -77,6 +104,7 @@ fn run_sweep_mode(
     validate_cells: bool,
     checkpoint: Option<String>,
     resume: bool,
+    fleet: FleetCli,
 ) -> ! {
     let axis = match axis_name {
         "copies" => SweepAxis::paper_copies(),
@@ -100,16 +128,82 @@ fn run_sweep_mode(
         use std::io::Write as _;
         let _ = std::io::stderr().flush();
     };
-    let opts = SweepOptions {
-        threads,
-        checkpoint: checkpoint.map(|path| SweepCheckpoint {
-            path: path.into(),
-            resume,
-        }),
-        progress: Some(&progress),
-        ..SweepOptions::default()
+    let sweep_checkpoint = checkpoint.map(|path| SweepCheckpoint {
+        path: path.into(),
+        resume,
+    });
+    let out = if fleet.workers > 0 {
+        let worker_bin = match &fleet.worker_bin {
+            Some(path) => std::path::PathBuf::from(path),
+            None => locate_worker().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(2);
+            }),
+        };
+        let transport = SubprocessTransport {
+            checkpoint: sweep_checkpoint.as_ref().map(|ck| ck.path.clone()),
+            extra_args: fleet.worker_args.clone(),
+            ..SubprocessTransport::new(worker_bin)
+        };
+        let events = |ev: &sdsrp::telemetry::SweepEvent| {
+            use sdsrp::telemetry::SweepEvent as E;
+            if matches!(ev, E::WorkerSpawned { .. } | E::WorkerLost { .. }) {
+                eprintln!("\r{}    ", ev.to_jsonl());
+            }
+        };
+        let (out, stats) = run_sweep_fleet(
+            &spec,
+            &transport,
+            &FleetOptions {
+                workers: fleet.workers,
+                checkpoint: sweep_checkpoint,
+                cell_timeout_secs: fleet.cell_timeout,
+                worker_timeout_secs: fleet.worker_timeout,
+                max_cell_retries: fleet.retries,
+                progress: Some(&progress),
+                events: Some(&events),
+                ..FleetOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+        eprintln!(
+            "\rfleet: {} workers ({}), {} dispatched, {} retries, {} lost, {:.1}s wall",
+            stats.workers,
+            stats.transport,
+            stats.dispatched,
+            stats.retries,
+            stats.workers_lost,
+            stats.wall_clock_secs
+        );
+        for w in &stats.per_worker {
+            eprintln!(
+                "fleet: worker {} (pid {}) {} cells, {:.1}% busy{}",
+                w.worker,
+                w.pid,
+                w.cells_completed,
+                w.utilization * 100.0,
+                if w.restarts > 0 {
+                    format!(", {} restarts", w.restarts)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        out
+    } else {
+        run_sweep_hardened(
+            &spec,
+            &SweepOptions {
+                threads,
+                checkpoint: sweep_checkpoint,
+                progress: Some(&progress),
+                ..SweepOptions::default()
+            },
+        )
     };
-    let out = run_sweep_hardened(&spec, &opts);
     eprintln!(
         "\rsweep: {} runs ({} executed, {} resumed), {} events",
         out.runs.len(),
@@ -117,6 +211,9 @@ fn run_sweep_mode(
         out.resumed,
         out.totals.total()
     );
+    if let Some(err) = &out.checkpoint_error {
+        eprintln!("warning: {err}");
+    }
     for metric in [
         Metric::DeliveryRatio,
         Metric::AvgHopcount,
@@ -223,6 +320,14 @@ fn main() {
     let mut validate_cells = false;
     let mut checkpoint: Option<String> = None;
     let mut resume = false;
+    let mut fleet = FleetCli {
+        workers: 0,
+        worker_bin: None,
+        cell_timeout: 0.0,
+        worker_timeout: 30.0,
+        retries: 2,
+        worker_args: Vec::new(),
+    };
     type Override = Box<dyn Fn(&mut ScenarioConfig)>;
     let mut overrides: Vec<Override> = Vec::new();
 
@@ -315,6 +420,20 @@ fn main() {
             "--validate-cells" => validate_cells = true,
             "--checkpoint" => checkpoint = Some(next(&args, &mut i)),
             "--resume" => resume = true,
+            "--workers" => {
+                fleet.workers = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--worker-bin" => fleet.worker_bin = Some(next(&args, &mut i)),
+            "--cell-timeout" => {
+                fleet.cell_timeout = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--worker-timeout" => {
+                fleet.worker_timeout = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--retries" => {
+                fleet.retries = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--worker-arg" => fleet.worker_args.push(next(&args, &mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -342,6 +461,7 @@ fn main() {
             validate_cells,
             checkpoint,
             resume,
+            fleet,
         );
     }
 

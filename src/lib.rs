@@ -23,6 +23,8 @@
 //! * [`validate`] — simulation invariants, the estimator oracle and
 //!   run fingerprints ([`dtn_validate`]); replay harnesses live in
 //!   [`sim::replay`].
+//! * [`fleet`] — distributed sweep fan-out: coordinator, worker
+//!   protocol and transports ([`dtn_fleet`]).
 //!
 //! ## Quick start
 //!
@@ -42,6 +44,7 @@
 pub use dtn_analysis as analysis;
 pub use dtn_buffer as buffer;
 pub use dtn_core as core;
+pub use dtn_fleet as fleet;
 pub use dtn_mobility as mobility;
 pub use dtn_net as net;
 pub use dtn_routing as routing;
