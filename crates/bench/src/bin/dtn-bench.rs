@@ -17,10 +17,13 @@
 //! cached-vs-uncached speedup, and a sweep-scaling section times the
 //! buffer-pressure cell batch on the in-process thread pool (baseline)
 //! and on the `dtn-fleet` subprocess coordinator at 1/2/4 workers,
-//! asserting every fleet row is bit-identical to the baseline. The
-//! whole report — wall clock, contacts/sec, events/sec, peak RSS,
+//! asserting every fleet row is bit-identical to the baseline. A
+//! thread-scaling section runs one large world (10k nodes; 2k with
+//! `--quick`) with the parallel tick phases on 1/2/4/8 intra-run
+//! threads, gating on bit-identical fingerprints across all counts.
+//! The whole report — wall clock, contacts/sec, events/sec, peak RSS,
 //! config hash, cache hit rates, fingerprints — is written as
-//! `BENCH_sdsrp.json` (schema `dtn-bench/v2`; see EXPERIMENTS.md
+//! `BENCH_sdsrp.json` (schema `dtn-bench/v3`; see EXPERIMENTS.md
 //! §Benchmarking for how to read and compare trajectories).
 //!
 //! Correctness gate: the headline fingerprint is compared against the
@@ -91,6 +94,25 @@ struct ScalingResult {
     fingerprints_match_baseline: bool,
 }
 
+/// One intra-run thread-scaling entry: the `parallel-scale` world run
+/// to completion with the parallel tick phases (movement sampling,
+/// contact-grid query) on `threads` pool threads.
+#[derive(Serialize)]
+struct ThreadScalingResult {
+    threads: usize,
+    n_nodes: usize,
+    sim_duration_secs: f64,
+    wall_clock_secs: f64,
+    events_processed: u64,
+    events_per_sec: f64,
+    /// `wall_clock(1 thread) / wall_clock(this row)`.
+    speedup_vs_serial: f64,
+    /// The run's fingerprint rendered identically to the 1-thread row.
+    /// Any divergence aborts the harness: parallelism must be invisible
+    /// in results.
+    fingerprint_matches_serial: bool,
+}
+
 /// Top-level `BENCH_sdsrp.json` schema.
 #[derive(Serialize)]
 struct BenchReport {
@@ -101,6 +123,7 @@ struct BenchReport {
     golden_fingerprint_ok: bool,
     scenarios: Vec<ScenarioResult>,
     sweep_scaling: Vec<ScalingResult>,
+    thread_scaling: Vec<ThreadScalingResult>,
     peak_rss_bytes: Option<u64>,
 }
 
@@ -136,6 +159,77 @@ fn contact_dense_cfg(quick: bool) -> ScenarioConfig {
     cfg.n_nodes = 120;
     cfg.duration_secs = if quick { 900.0 } else { 3_600.0 };
     cfg
+}
+
+/// Large world at smoke-playground node density where the parallel
+/// phases (movement sampling + grid query) dominate the tick.
+fn parallel_scale_cfg(quick: bool) -> ScenarioConfig {
+    use dtn_mobility::random_waypoint::RandomWaypointConfig;
+    let mut cfg = presets::smoke();
+    cfg.name = "parallel-scale".into();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.seed = 42;
+    cfg.n_nodes = if quick { 2_000 } else { 10_000 };
+    // Keep density constant (40 nodes per 2000 x 1500 m) so contact
+    // rates per node match the smoke playground.
+    let scale = (cfg.n_nodes as f64 / 40.0).sqrt();
+    cfg.mobility = dtn_mobility::MobilityConfig::RandomWaypoint(RandomWaypointConfig {
+        area: dtn_core::geometry::Rect::from_size(2_000.0 * scale, 1_500.0 * scale),
+        min_speed: 2.0,
+        max_speed: 2.0,
+        min_pause: 0.0,
+        max_pause: 0.0,
+    });
+    cfg.duration_secs = if quick { 120.0 } else { 600.0 };
+    cfg.gen_interval = (30.0, 40.0);
+    cfg
+}
+
+/// Times the `parallel-scale` world once per thread count, gating on
+/// bit-identical fingerprints across every row.
+fn bench_thread_scaling(quick: bool) -> Vec<ThreadScalingResult> {
+    let cfg = parallel_scale_cfg(quick);
+    let mut rows: Vec<ThreadScalingResult> = Vec::new();
+    let mut serial_wall = 0.0;
+    let mut serial_fp = String::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut world = World::build(&cfg);
+        world.set_threads(threads);
+        world.attach_recorder(Recorder::enabled(16));
+        let started = Instant::now();
+        let events = world.step_until(dtn_core::time::SimTime::from_secs(cfg.duration_secs));
+        let wall = started.elapsed().as_secs_f64();
+        let totals = world.recorder().totals().clone();
+        let fp = fingerprint(world.report(), &totals).to_canonical_json();
+        if threads == 1 {
+            serial_wall = wall;
+            serial_fp = fp.clone();
+        }
+        let matches = fp == serial_fp;
+        if !matches {
+            eprintln!(
+                "FATAL: parallel-scale fingerprint diverged at {threads} thread(s):\n  serial: {serial_fp}\n  now:    {fp}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "thread-scaling   {threads:>2} world thread(s): {} nodes, {:7.3}s wall ({:.2}x vs serial)",
+            cfg.n_nodes,
+            wall,
+            serial_wall / wall,
+        );
+        rows.push(ThreadScalingResult {
+            threads,
+            n_nodes: cfg.n_nodes,
+            sim_duration_secs: cfg.duration_secs,
+            wall_clock_secs: wall,
+            events_processed: events,
+            events_per_sec: events as f64 / wall,
+            speedup_vs_serial: serial_wall / wall,
+            fingerprint_matches_serial: matches,
+        });
+    }
+    rows
 }
 
 /// Runs `cfg` once to completion on a fresh world; returns wall clock,
@@ -414,14 +508,19 @@ fn main() {
     }
     let fleet_scaling_ok = sweep_scaling.iter().all(|r| r.fingerprints_match_baseline);
 
+    // Intra-run thread scaling on one large world (aborts on any
+    // fingerprint divergence, so reaching here means all rows agree).
+    let thread_scaling = bench_thread_scaling(quick);
+
     let report = BenchReport {
-        schema: "dtn-bench/v2".into(),
+        schema: "dtn-bench/v3".into(),
         quick,
         iters,
         threads_available,
         golden_fingerprint_ok,
         scenarios,
         sweep_scaling,
+        thread_scaling,
         peak_rss_bytes: peak_rss_bytes(),
     };
     let body = serde_json::to_string_pretty(&report).expect("report serialises");

@@ -37,6 +37,7 @@ struct FuzzCli {
     validate: bool,
     faults: bool,
     threads: usize,
+    world_threads: usize,
     checkpoint: Option<PathBuf>,
     resume: bool,
     events: Option<PathBuf>,
@@ -45,12 +46,16 @@ struct FuzzCli {
 fn usage() -> ! {
     eprintln!(
         "usage: dtn-fuzz [--cells N] [--seed BASE] [--validate] [--faults]\n\
-         \x20               [--threads N] [--checkpoint PATH [--resume]] [--events PATH]\n\
+         \x20               [--threads N] [--world-threads N]\n\
+         \x20               [--checkpoint PATH [--resume]] [--events PATH]\n\
          \n\
          Runs N random scenarios (generator seeds BASE..BASE+N) through the\n\
          hardened cell runner. --validate attaches the dtn-validate checkers\n\
          to every run. --faults attaches a seeded random fault plan (node\n\
          crashes, blackouts, transfer aborts, clock skew) to every case.\n\
+         --threads fans cases out across workers; --world-threads runs\n\
+         each world's parallel tick phases on N threads (results are\n\
+         bit-identical either way).\n\
          --events streams structured lifecycle events as JSONL.\n\
          Exits non-zero on any panic or invariant violation."
     );
@@ -64,6 +69,7 @@ fn parse() -> FuzzCli {
         validate: false,
         faults: false,
         threads: 0,
+        world_threads: 1,
         checkpoint: None,
         resume: false,
         events: None,
@@ -89,6 +95,13 @@ fn parse() -> FuzzCli {
             "--threads" => {
                 i += 1;
                 cli.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--world-threads" => {
+                i += 1;
+                cli.world_threads = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -171,6 +184,7 @@ fn main() {
         }),
         progress: Some(&progress),
         events: Some(&log_event),
+        world_threads: cli.world_threads,
     };
     let out = run_cells(jobs, &opts);
     eprintln!();

@@ -136,9 +136,27 @@ impl SpatialGrid {
     /// other, appended to `out` as `(lo, hi)` with `lo < hi`. Each pair is
     /// reported exactly once.
     pub fn pairs_within(&self, radius: f64, out: &mut Vec<(NodeId, NodeId)>) {
+        self.pairs_within_rows(radius, 0..self.rows, out);
+    }
+
+    /// [`pairs_within`](Self::pairs_within) restricted to the grid rows
+    /// in `rows` (a pair is owned by the row of its lexicographically
+    /// first cell, so disjoint row bands report disjoint pair sets).
+    ///
+    /// This is the parallel decomposition point: concatenating the
+    /// outputs of any partition of `0..row_count()` into ascending
+    /// contiguous bands reproduces the serial `pairs_within` output
+    /// byte for byte, because the serial scan already visits rows in
+    /// ascending order.
+    pub fn pairs_within_rows(
+        &self,
+        radius: f64,
+        rows: std::ops::Range<usize>,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) {
         let r2 = radius * radius;
         let reach = (radius / self.cell).ceil() as isize;
-        for cy in 0..self.rows {
+        for cy in rows.start..rows.end.min(self.rows) {
             for cx in 0..self.cols {
                 let ci = self.cell_index(cx, cy);
                 let a_range = self.starts[ci] as usize..self.starts[ci + 1] as usize;
@@ -185,6 +203,12 @@ impl SpatialGrid {
     /// Number of cells (diagnostic).
     pub fn cell_count(&self) -> usize {
         self.cols * self.rows
+    }
+
+    /// Number of grid rows — the unit of work for
+    /// [`pairs_within_rows`](Self::pairs_within_rows) band partitioning.
+    pub fn row_count(&self) -> usize {
+        self.rows
     }
 }
 
@@ -309,6 +333,33 @@ mod tests {
         let mut ns = Vec::new();
         g.neighbors_within(Point2::new(1.0, 1.0), 5.0, None, &mut ns);
         assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn row_bands_concatenate_to_serial_order() {
+        // Any contiguous ascending row partition must reproduce the
+        // serial pairs_within output exactly — order included. This is
+        // the invariant the parallel contact phase rests on.
+        let bounds = Rect::from_size(2000.0, 1500.0);
+        let mut g = SpatialGrid::new(bounds, 100.0);
+        let positions: Vec<Point2> = (0..300)
+            .map(|i| Point2::new(((i * 131) % 2000) as f64, ((i * 241) % 1500) as f64))
+            .collect();
+        g.rebuild(&positions);
+        let mut serial = Vec::new();
+        g.pairs_within(120.0, &mut serial);
+        assert!(!serial.is_empty());
+        for parts in [1usize, 2, 3, 5, 8, 64] {
+            let mut banded = Vec::new();
+            for band in crate::pool::bands(g.row_count(), parts) {
+                g.pairs_within_rows(120.0, band, &mut banded);
+            }
+            assert_eq!(banded, serial, "parts={parts}");
+        }
+        // A band past the end is harmlessly empty.
+        let mut none = Vec::new();
+        g.pairs_within_rows(120.0, g.row_count()..g.row_count() + 5, &mut none);
+        assert!(none.is_empty());
     }
 
     proptest! {

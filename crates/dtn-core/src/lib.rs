@@ -24,6 +24,8 @@
 //!   [`Rect`](geometry::Rect).
 //! * [`grid`] — a uniform spatial hash grid for radius queries in amortised
 //!   O(1) per node.
+//! * [`pool`] — a deterministic fork-join thread pool (contiguous band
+//!   partitioning, band-order merges) for the parallel world phases.
 //! * [`rng`] — reproducible per-stream RNG derivation from a master seed.
 //! * [`stats`] — online (Welford) statistics, histograms and summaries.
 //! * [`units`] — byte counts and bit-rates with transfer-time arithmetic.
@@ -36,6 +38,7 @@ pub mod event;
 pub mod geometry;
 pub mod grid;
 pub mod ids;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

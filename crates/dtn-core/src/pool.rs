@@ -1,0 +1,341 @@
+//! Deterministic fork-join thread pool for the parallel world phases.
+//!
+//! The simulator's parallelism contract is *bit-identical results at
+//! any thread count*, so this pool is deliberately not a work-stealing
+//! scheduler: work is partitioned into contiguous index bands up front
+//! (a pure function of `(item_count, thread_count)`), every band writes
+//! only its own output slot, and callers merge outputs in band order.
+//! Because per-item work never depends on which band (or thread) ran
+//! it, the merged result is identical to a serial left-to-right pass —
+//! that is the whole determinism argument, and the thread-count
+//! differential tests in `dtn-sim` enforce it end to end.
+//!
+//! Workers are persistent (spawned once, parked on a condvar between
+//! regions) so a per-tick fork-join costs two lock round-trips instead
+//! of thread spawns. A pool of one thread runs everything inline on the
+//! caller and spawns nothing — the serial reference path.
+
+use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A broadcast job: every participant runs it once with its own worker
+/// index. The `'static` lifetime is a lie told privately inside
+/// [`Pool::run`], which blocks until all workers are done with the
+/// borrow.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct State {
+    /// Bumped once per broadcast region; workers pick up a job when the
+    /// epoch moves past the one they last served.
+    epoch: u64,
+    job: Option<Job>,
+    /// Background workers still running the current job.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// A fixed-size fork-join pool. See the module docs for the
+/// determinism contract.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Background workers; total participants = `workers + 1` (the
+    /// calling thread joins every region).
+    workers: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total participants (clamped to at
+    /// least 1). `Pool::new(1)` spawns no OS threads.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dtn-pool-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            workers: threads - 1,
+        }
+    }
+
+    /// Total participants, the calling thread included.
+    pub fn threads(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// Runs `f(participant_index)` once on every participant
+    /// (indices `0..threads()`, the caller runs index 0) and blocks
+    /// until all are done. With one thread this is a plain call.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers == 0 {
+            f(0);
+            return;
+        }
+        // SAFETY: only the lifetime is transmuted. Workers touch `job`
+        // exclusively between picking up this epoch and decrementing
+        // `remaining`, and we block below until `remaining == 0`, so
+        // the borrow strictly outlives every use.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.remaining = self.workers;
+            self.shared.work.notify_all();
+        }
+        f(0);
+        let mut st = self.shared.state.lock().expect("pool lock");
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).expect("pool wait");
+        }
+        st.job = None;
+    }
+
+    /// Partitions `0..n` into one contiguous band per participant and
+    /// returns `f(band)` for every non-empty band, in band (= index)
+    /// order. The band boundaries depend on the thread count but the
+    /// concatenated coverage is always exactly `0..n` left to right, so
+    /// order-preserving merges are thread-count-invariant.
+    pub fn map_bands<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = bands(n, self.threads());
+        if self.workers == 0 || ranges.len() <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        self.run(&|w| {
+            if let Some(range) = ranges.get(w) {
+                let r = f(range.clone());
+                *slots[w].lock().expect("band slot") = Some(r);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("band slot").expect("band ran"))
+            .collect()
+    }
+
+    /// Runs `f(offset, a_band, b_band)` over matching contiguous bands
+    /// of two equal-length slices, one band per participant. Each item
+    /// is visited exactly once; which thread visits it must not matter
+    /// (per-item outputs only), which is what keeps the result
+    /// identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn zip_for_each<A, B, F>(&self, a: &mut [A], b: &mut [B], f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut [A], &mut [B]) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zip_for_each slice length mismatch");
+        let ranges = bands(a.len(), self.threads());
+        if self.workers == 0 || ranges.len() <= 1 {
+            for range in ranges {
+                f(range.start, &mut a[range.clone()], &mut b[range]);
+            }
+            return;
+        }
+        type ZipTask<'s, A, B> = Mutex<Option<(usize, &'s mut [A], &'s mut [B])>>;
+        let mut tasks: Vec<ZipTask<'_, A, B>> = Vec::new();
+        let (mut rest_a, mut rest_b) = (a, b);
+        let mut offset = 0;
+        for range in &ranges {
+            let len = range.len();
+            let (band_a, ra) = rest_a.split_at_mut(len);
+            let (band_b, rb) = rest_b.split_at_mut(len);
+            tasks.push(Mutex::new(Some((offset, band_a, band_b))));
+            rest_a = ra;
+            rest_b = rb;
+            offset += len;
+        }
+        self.run(&|w| {
+            if let Some(slot) = tasks.get(w) {
+                if let Some((off, band_a, band_b)) = slot.lock().expect("zip slot").take() {
+                    f(off, band_a, band_b);
+                }
+            }
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("job set with epoch");
+                }
+                st = shared.work.wait(st).expect("pool wait");
+            }
+        };
+        job(idx);
+        let mut st = shared.state.lock().expect("pool lock");
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Splits `0..n` into up to `parts` contiguous near-equal ranges
+/// (larger ranges first), skipping empty ones. Pure in `(n, parts)`:
+/// the same inputs always produce the same partition.
+pub fn bands(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bands_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 17] {
+                let ranges = bands(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap before {r:?} (n={n}, parts={parts})");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n, "coverage short (n={n}, parts={parts})");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.run(&|w| {
+            assert_eq!(w, 0);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn every_participant_runs_each_region() {
+        let pool = Pool::new(4);
+        for _ in 0..50 {
+            let hits = AtomicUsize::new(0);
+            pool.run(&|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+        }
+    }
+
+    #[test]
+    fn map_bands_is_thread_count_invariant() {
+        let square = |r: Range<usize>| -> Vec<usize> { r.map(|i| i * i).collect() };
+        let serial: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            let merged: Vec<usize> = pool.map_bands(1000, square).into_iter().flatten().collect();
+            assert_eq!(merged, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zip_for_each_visits_every_item_once() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let mut a: Vec<u64> = (0..777).collect();
+            let mut b: Vec<u64> = vec![0; 777];
+            pool.zip_for_each(&mut a, &mut b, |offset, aa, bb| {
+                for (k, (x, y)) in aa.iter_mut().zip(bb.iter_mut()).enumerate() {
+                    *x += 1;
+                    *y = (offset + k) as u64;
+                }
+            });
+            assert!(a.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+            assert!(b.iter().enumerate().all(|(i, &y)| y == i as u64));
+        }
+    }
+
+    #[test]
+    fn map_bands_handles_fewer_items_than_threads() {
+        let pool = Pool::new(8);
+        let out = pool.map_bands(3, |r| r.collect::<Vec<_>>());
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, vec![0, 1, 2]);
+        let empty = pool.map_bands(0, |r| r.len());
+        assert!(empty.is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 use dtn_core::geometry::{Point2, Rect};
 use dtn_core::grid::SpatialGrid;
 use dtn_core::ids::{NodeId, NodePair};
+use dtn_core::pool::Pool;
 use dtn_core::time::SimTime;
 use std::collections::BTreeSet;
 
@@ -75,9 +76,41 @@ impl ContactTracker {
     /// appends the resulting Up/Down events to `out` in sorted-pair order
     /// (Down events first, then Up events).
     pub fn update(&mut self, time: SimTime, positions: &[Point2], out: &mut Vec<ContactEvent>) {
+        self.update_pooled(time, positions, out, None);
+    }
+
+    /// [`update`](Self::update) with the grid pair query fanned out
+    /// across `pool` (when given) by contiguous row bands.
+    ///
+    /// Bit-identical to the serial path at any thread count: bands are
+    /// ascending contiguous row ranges merged in band order (which
+    /// reproduces the serial scan order exactly — see
+    /// [`SpatialGrid::pairs_within_rows`]), and the pair set is diffed
+    /// through an ordered set anyway.
+    pub fn update_pooled(
+        &mut self,
+        time: SimTime,
+        positions: &[Point2],
+        out: &mut Vec<ContactEvent>,
+        pool: Option<&Pool>,
+    ) {
         self.grid.rebuild(positions);
         self.scratch_pairs.clear();
-        self.grid.pairs_within(self.range, &mut self.scratch_pairs);
+        match pool {
+            Some(pool) if pool.threads() > 1 => {
+                let grid = &self.grid;
+                let range = self.range;
+                let bands = pool.map_bands(grid.row_count(), |rows| {
+                    let mut pairs = Vec::new();
+                    grid.pairs_within_rows(range, rows, &mut pairs);
+                    pairs
+                });
+                for band in bands {
+                    self.scratch_pairs.extend_from_slice(&band);
+                }
+            }
+            _ => self.grid.pairs_within(self.range, &mut self.scratch_pairs),
+        }
         let fresh: BTreeSet<NodePair> = self
             .scratch_pairs
             .iter()
@@ -401,6 +434,38 @@ mod tests {
             let grid_pairs: BTreeSet<NodePair> = tr.current_contacts().collect();
             let expect = naive_pairs(&positions, range);
             proptest::prop_assert_eq!(grid_pairs, expect);
+        }
+    }
+
+    #[test]
+    fn pooled_update_matches_serial_at_any_thread_count() {
+        let positions = |tick: usize| -> Vec<Point2> {
+            (0..120)
+                .map(|i| {
+                    Point2::new(
+                        ((i * 53 + tick * 17) % 900) as f64,
+                        ((i * 71 + tick * 29) % 900) as f64,
+                    )
+                })
+                .collect()
+        };
+        let serial = {
+            let mut tr = ContactTracker::new(Rect::from_size(900.0, 900.0), 80.0);
+            let mut all = Vec::new();
+            for tick in 0..40 {
+                tr.update(t(tick as f64), &positions(tick), &mut all);
+            }
+            all
+        };
+        assert!(!serial.is_empty());
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let mut tr = ContactTracker::new(Rect::from_size(900.0, 900.0), 80.0);
+            let mut all = Vec::new();
+            for tick in 0..40 {
+                tr.update_pooled(t(tick as f64), &positions(tick), &mut all, Some(&pool));
+            }
+            assert_eq!(all, serial, "threads={threads}");
         }
     }
 

@@ -23,7 +23,7 @@ use dtn_buffer::view::MessageView;
 use dtn_core::ids::NodeId;
 use dtn_core::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// PRoPHET constants (defaults from the original paper).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,7 +67,8 @@ impl ProphetConfig {
 /// Gossip payload: the sender's aged predictability table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ProphetGossip {
-    table: HashMap<NodeId, f64>,
+    // Ordered for canonical payload bytes (see EncounterGossip).
+    table: BTreeMap<NodeId, f64>,
 }
 
 /// The PRoPHET protocol state for one node.
@@ -79,7 +80,7 @@ pub struct Prophet {
     /// Last time `table` was aged.
     last_aged: SimTime,
     /// Most recent gossiped table per currently-connected peer.
-    peer_tables: HashMap<NodeId, HashMap<NodeId, f64>>,
+    peer_tables: HashMap<NodeId, BTreeMap<NodeId, f64>>,
 }
 
 impl Prophet {
@@ -165,7 +166,7 @@ impl RoutingProtocol for Prophet {
             return None;
         }
         let payload = ProphetGossip {
-            table: self.table.clone(),
+            table: self.table.iter().map(|(&n, &p)| (n, p)).collect(),
         };
         Some(serde_json::to_vec(&payload).expect("prophet table serialises"))
     }

@@ -15,12 +15,15 @@ use dtn_buffer::view::MessageView;
 use dtn_core::ids::NodeId;
 use dtn_core::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Gossip payload: the sender's last-encounter table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EncounterGossip {
-    last_seen: HashMap<NodeId, f64>,
+    // Ordered so the exported bytes are canonical: a HashMap here
+    // would serialise in per-instance random order, making the gossip
+    // payload bytes (world-state inputs) depend on hasher state.
+    last_seen: BTreeMap<NodeId, f64>,
 }
 
 /// The Spray-and-Focus protocol state for one node.
@@ -29,7 +32,7 @@ pub struct SprayAndFocus {
     /// When this node last met each peer.
     last_seen: HashMap<NodeId, SimTime>,
     /// The encounter table most recently gossiped by each peer.
-    peer_tables: HashMap<NodeId, HashMap<NodeId, f64>>,
+    peer_tables: HashMap<NodeId, BTreeMap<NodeId, f64>>,
     /// Minimum freshness advantage (seconds) required to hand off.
     handoff_threshold: f64,
 }

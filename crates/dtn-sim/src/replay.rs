@@ -204,6 +204,38 @@ pub fn differential_thread_counts(
     out
 }
 
+/// Runs `cfg` once with `world_threads` intra-run worker threads and
+/// returns the run's integer fingerprint. The building block of the
+/// thread-count differential battery: the parallel phases reduce in
+/// stable node/band order, so the fingerprint must be bit-identical at
+/// any thread count.
+pub fn fingerprint_at_threads(cfg: &ScenarioConfig, world_threads: usize) -> ReportFingerprint {
+    let mut world = World::build(cfg);
+    world.set_threads(world_threads);
+    world.attach_recorder(Recorder::enabled(16));
+    let (report, recorder) = world.run_with_recorder();
+    fingerprint(&report, recorder.totals())
+}
+
+/// Runs `cfg` once per entry of `thread_counts` and cross-checks every
+/// fingerprint against the first. Returns one line per differing field
+/// (prefixed with the offending thread count) — empty when the world is
+/// thread-count invariant, as the determinism contract requires.
+pub fn differential_world_threads(cfg: &ScenarioConfig, thread_counts: &[usize]) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some((&first, rest)) = thread_counts.split_first() else {
+        return out;
+    };
+    let baseline = fingerprint_at_threads(cfg, first);
+    for &threads in rest {
+        let fp = fingerprint_at_threads(cfg, threads);
+        for line in baseline.diff(&fp) {
+            out.push(format!("threads {first} vs {threads}: {line}"));
+        }
+    }
+    out
+}
+
 /// Workload totals that must be identical across buffer policies on the
 /// same scenario: message generation and the contact process are driven
 /// by seeded RNG streams independent of buffering decisions.

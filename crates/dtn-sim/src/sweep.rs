@@ -524,6 +524,11 @@ pub struct SweepOptions<'a> {
     /// Structured lifecycle-event callback (called from worker
     /// threads): completions, failures, skips, resumes.
     pub events: Option<&'a (dyn Fn(&SweepEvent) + Sync)>,
+    /// Intra-run world threads per job (the parallel tick phases);
+    /// 0 or 1 keeps every world serial. Orthogonal to `threads`, which
+    /// fans *jobs* out across workers. Fingerprints are thread-count
+    /// invariant, so this is purely a wall-clock knob.
+    pub world_threads: usize,
 }
 
 /// Result of a hardened cell-list run.
@@ -648,6 +653,7 @@ pub fn run_sweep_hardened(spec: &SweepSpec, opts: &SweepOptions<'_>) -> SweepOut
             checkpoint: opts.checkpoint.clone(),
             progress: opts.progress,
             events: opts.events,
+            world_threads: opts.world_threads,
         },
     );
     aggregate_sweep(spec, out)
@@ -825,8 +831,9 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
                 // the sweep (nor this worker, which keeps pulling
                 // jobs). The captured state is only read on success.
                 let started = std::time::Instant::now();
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| execute_job(&job.cfg, opts.validate)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    execute_job_with(&job.cfg, opts.validate, opts.world_threads)
+                }));
                 let slot = match outcome {
                     Ok((metrics, fingerprint, violations)) => {
                         let run = CellRun {
@@ -933,7 +940,19 @@ pub fn run_cells(jobs: Vec<CellJob>, opts: &SweepOptions<'_>) -> CellsOutput {
 /// the aggregation inputs, the run's integer fingerprint, and the
 /// invariant-violation count.
 pub fn execute_job(cfg: &ScenarioConfig, validate: bool) -> (CellMetrics, ReportFingerprint, u64) {
+    execute_job_with(cfg, validate, 1)
+}
+
+/// [`execute_job`] with an explicit intra-run world thread count (the
+/// parallel tick phases). Results are bit-identical at any
+/// `world_threads` — the knob only trades wall-clock for cores.
+pub fn execute_job_with(
+    cfg: &ScenarioConfig,
+    validate: bool,
+    world_threads: usize,
+) -> (CellMetrics, ReportFingerprint, u64) {
     let mut world = World::build(cfg);
+    world.set_threads(world_threads.max(1));
     // Counting-only telemetry: no ring, no sink.
     world.attach_recorder(Recorder::enabled(0));
     if validate {

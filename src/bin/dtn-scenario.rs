@@ -70,10 +70,16 @@ fn usage() -> ! {
          \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
          \t[--timeseries FILE] [--telemetry FILE] [--validate]\n\
          \t[--no-priority-cache] [--replay MANIFEST.json]\n\
-         \t[--sweep copies|buffer|genrate [--seeds N] [--threads N]\n\
+         \t[--threads N] [--world-threads N]\n\
+         \t[--sweep copies|buffer|genrate [--seeds N]\n\
          \t\t[--validate-cells] [--checkpoint FILE [--resume]]\n\
          \t\t[--workers N [--worker-bin FILE] [--cell-timeout SECS]\n\
-         \t\t[--worker-timeout SECS] [--retries N] [--worker-arg ARG]...]]"
+         \t\t[--worker-timeout SECS] [--retries N] [--worker-arg ARG]...]]\n\
+         \n\
+         --threads N: single runs execute the world's parallel tick phases\n\
+         on N threads; in --sweep mode it fans cells out across N workers\n\
+         (use --world-threads for intra-run threading there). Results are\n\
+         bit-identical at any thread count."
     );
     exit(2);
 }
@@ -101,6 +107,7 @@ fn run_sweep_mode(
     axis_name: &str,
     n_seeds: u64,
     threads: usize,
+    world_threads: usize,
     validate_cells: bool,
     checkpoint: Option<String>,
     resume: bool,
@@ -198,6 +205,7 @@ fn run_sweep_mode(
             &spec,
             &SweepOptions {
                 threads,
+                world_threads,
                 checkpoint: sweep_checkpoint,
                 progress: Some(&progress),
                 ..SweepOptions::default()
@@ -317,6 +325,7 @@ fn main() {
     let mut sweep_axis: Option<String> = None;
     let mut sweep_seeds: u64 = 3;
     let mut sweep_threads: usize = 0;
+    let mut world_threads: usize = 1;
     let mut validate_cells = false;
     let mut checkpoint: Option<String> = None;
     let mut resume = false;
@@ -417,6 +426,9 @@ fn main() {
             "--threads" => {
                 sweep_threads = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
             }
+            "--world-threads" => {
+                world_threads = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
             "--validate-cells" => validate_cells = true,
             "--checkpoint" => checkpoint = Some(next(&args, &mut i)),
             "--resume" => resume = true,
@@ -458,6 +470,7 @@ fn main() {
             axis,
             sweep_seeds,
             sweep_threads,
+            world_threads,
             validate_cells,
             checkpoint,
             resume,
@@ -474,6 +487,9 @@ fn main() {
     }
 
     let mut world = World::build(&cfg);
+    // Single runs have no sweep to fan out, so --threads means the
+    // world's intra-run thread count here (--world-threads also works).
+    world.set_threads(world_threads.max(sweep_threads).max(1));
     if !priority_cache {
         world.set_priority_cache(false);
     }

@@ -24,15 +24,20 @@ fn golden_path(name: &str) -> PathBuf {
 
 /// The pinned scenario: smoke preset, SDSRP policy, fixed seed and
 /// duration. Fully deterministic, a few seconds of wall clock.
-fn headline_smoke_fingerprint() -> ReportFingerprint {
+fn headline_smoke_fingerprint_at(threads: usize) -> ReportFingerprint {
     let mut cfg = presets::smoke();
     cfg.policy = PolicyKind::Sdsrp;
     cfg.seed = 42;
     cfg.duration_secs = 3_600.0;
     let mut world = World::build(&cfg);
+    world.set_threads(threads);
     world.attach_recorder(Recorder::enabled(16));
     let (report, recorder) = world.run_with_recorder();
     fingerprint(&report, recorder.totals())
+}
+
+fn headline_smoke_fingerprint() -> ReportFingerprint {
+    headline_smoke_fingerprint_at(1)
 }
 
 #[test]
@@ -67,6 +72,37 @@ fn headline_smoke_matches_committed_golden() {
         rendered, committed,
         "canonical JSON rendering changed (field order / formatting?)"
     );
+}
+
+/// The committed snapshot predates the parallel world core, so a
+/// multi-threaded run matching it byte-for-byte proves the parallel
+/// phases reproduce the serial-era behaviour exactly — the strongest
+/// form of the determinism contract.
+#[test]
+fn headline_smoke_threaded_matches_committed_golden() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        // The serial test owns blessing; nothing to refresh here.
+        return;
+    }
+    let path = golden_path("headline_smoke.json");
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_headline",
+            path.display()
+        )
+    });
+    let expected = ReportFingerprint::from_json(&committed).expect("golden parses");
+    for threads in [2, 8] {
+        let fp = headline_smoke_fingerprint_at(threads);
+        assert_eq!(
+            fp,
+            expected,
+            "{threads}-thread headline run drifted from golden:\n{}\n\
+             (if the behaviour change is intentional, bless with \
+             UPDATE_GOLDEN=1 cargo test --test golden_headline)",
+            expected.diff(&fp).join("\n")
+        );
+    }
 }
 
 #[test]
