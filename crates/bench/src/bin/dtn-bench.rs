@@ -6,9 +6,10 @@
 //! * **headline** — the pinned golden scenario (smoke preset, SDSRP,
 //!   seed 42, 3600 s), exactly the config behind
 //!   `tests/golden/headline_smoke.json`;
-//! * **buffer-pressure** — 80 nodes, 5400 s, one message every 8–12 s
-//!   into 1.5 MB buffers: the paper's small-buffer regime where the
-//!   per-contact drop ranking dominates runtime;
+//! * **buffer-pressure** — 80 nodes, 5400 s, one 100 kB message every
+//!   3–5 s into 1.5 MB buffers (~15 residents per node): the paper's
+//!   small-buffer regime where the per-contact drop ranking dominates
+//!   runtime;
 //! * **contact-dense** — 120 nodes in the smoke playground: contact
 //!   churn (and therefore send scheduling + λ updates) dominates.
 //!
@@ -21,15 +22,21 @@
 //! thread-scaling section runs one large world (10k nodes; 2k with
 //! `--quick`) with the parallel tick phases on 1/2/4/8 intra-run
 //! threads, gating on bit-identical fingerprints across all counts.
+//! A Taylor-ablation section reproduces the paper's Fig. 4
+//! accuracy/compute trade-off as data: for each truncation depth
+//! `k ∈ {1, 2, 4, 8, 16}` it reports the analytic worst-case relative
+//! error of the Eq. 13 Taylor priority against the exact closed form
+//! (swept over a dense delivery-probability grid) next to the
+//! buffer-pressure wall clock and delivery ratio at that depth.
 //! The whole report — wall clock, contacts/sec, events/sec, peak RSS,
 //! config hash, cache hit rates, fingerprints — is written as
-//! `BENCH_sdsrp.json` (schema `dtn-bench/v3`; see EXPERIMENTS.md
+//! `BENCH_sdsrp.json` (schema `dtn-bench/v4`; see EXPERIMENTS.md
 //! §Benchmarking for how to read and compare trajectories).
 //!
 //! Correctness gate: the headline fingerprint is compared against the
-//! committed golden snapshot and the process exits non-zero on any
-//! mismatch, so a perf "win" that changes behaviour cannot land a
-//! trajectory point.
+//! committed golden snapshot — at one world thread and again at four —
+//! and the process exits non-zero on any mismatch, so a perf "win"
+//! that changes behaviour cannot land a trajectory point.
 //!
 //! ```text
 //! cargo run --release -p dtn-bench --bin dtn-bench            # full
@@ -65,8 +72,14 @@ struct ScenarioResult {
     events_per_sec: f64,
     contacts_up: u64,
     contacts_per_sec: f64,
+    /// Same-instant cache hits (repeated rankings inside one contact).
     cache_hits: u64,
+    /// Cross-instant incremental refreshes: only the cheap TTL tail of
+    /// Eq. 10 recomputed, everything else reused from the entry.
+    cache_incremental: u64,
+    /// Full rebuilds (first sight, or an Eq. 10 input changed).
     cache_misses: u64,
+    /// `(hits + incremental) / (hits + incremental + misses)`.
     cache_hit_rate: f64,
     /// Process-wide peak RSS after this scenario (monotone high-water
     /// mark — see [`dtn_telemetry::peak_rss_bytes`]).
@@ -113,6 +126,20 @@ struct ThreadScalingResult {
     fingerprint_matches_serial: bool,
 }
 
+/// One Fig. 4 ablation row: Eq. 13 truncated to `terms` Taylor terms
+/// (`0` = the exact closed form) on the buffer-pressure scenario.
+#[derive(Serialize)]
+struct TaylorAblationResult {
+    /// Taylor truncation depth; `0` means exact Eq. 10.
+    terms: usize,
+    /// Analytic worst-case relative error of the truncated priority
+    /// against the exact closed form, over a dense `pr` grid.
+    max_rel_err: f64,
+    wall_clock_secs: f64,
+    delivery_ratio: f64,
+    buffer_drops: u64,
+}
+
 /// Top-level `BENCH_sdsrp.json` schema.
 #[derive(Serialize)]
 struct BenchReport {
@@ -120,10 +147,13 @@ struct BenchReport {
     quick: bool,
     iters: usize,
     threads_available: usize,
+    /// Headline fingerprint matches the committed golden at one world
+    /// thread AND at four.
     golden_fingerprint_ok: bool,
     scenarios: Vec<ScenarioResult>,
     sweep_scaling: Vec<ScalingResult>,
     thread_scaling: Vec<ThreadScalingResult>,
+    taylor_ablation: Vec<TaylorAblationResult>,
     peak_rss_bytes: Option<u64>,
 }
 
@@ -137,15 +167,23 @@ fn headline_cfg() -> ScenarioConfig {
     cfg
 }
 
-/// Small buffers + fast generation: drop ranking dominates.
+/// Small buffers + fast generation: drop ranking dominates. 100 kB
+/// messages into 1.5 MB buffers give ~15 residents per node, so every
+/// overflow ranks a real population instead of the 3 residents the
+/// 0.5 MB smoke sizing allowed.
 fn buffer_pressure_cfg(quick: bool) -> ScenarioConfig {
     let mut cfg = presets::smoke();
     cfg.name = "buffer-pressure".into();
     cfg.policy = PolicyKind::Sdsrp;
     cfg.seed = 42;
     cfg.n_nodes = 80;
-    cfg.duration_secs = if quick { 1_200.0 } else { 5_400.0 };
-    cfg.gen_interval = (8.0, 12.0);
+    // The quick variant still needs enough simulated time for the
+    // dropped lists to grow: the optimised-vs-reference gap is mostly
+    // the streaming gossip merge, whose win scales with list size (and
+    // is what the CI `speedup > 1.0` gate measures).
+    cfg.duration_secs = if quick { 2_400.0 } else { 5_400.0 };
+    cfg.gen_interval = (3.0, 5.0);
+    cfg.message_size = dtn_core::units::Bytes::new(100_000);
     cfg.buffer_capacity = dtn_core::units::Bytes::new(1_500_000);
     cfg
 }
@@ -234,7 +272,10 @@ fn bench_thread_scaling(quick: bool) -> Vec<ThreadScalingResult> {
 
 /// Runs `cfg` once to completion on a fresh world; returns wall clock,
 /// events processed, contact count, cache counters and the fingerprint.
-fn run_once(cfg: &ScenarioConfig, cache: bool) -> (f64, u64, u64, u64, u64, String) {
+fn run_once(
+    cfg: &ScenarioConfig,
+    cache: bool,
+) -> (f64, u64, u64, dtn_buffer::policy::PriorityCacheStats, String) {
     let mut world = World::build(cfg);
     world.set_priority_cache(cache);
     world.attach_recorder(Recorder::enabled(16));
@@ -244,14 +285,7 @@ fn run_once(cfg: &ScenarioConfig, cache: bool) -> (f64, u64, u64, u64, u64, Stri
     let totals = world.recorder().totals().clone();
     let stats = world.priority_cache_stats();
     let fp = fingerprint(world.report(), &totals).to_canonical_json();
-    (
-        wall,
-        events,
-        totals.contacts_up,
-        stats.hits,
-        stats.misses,
-        fp,
-    )
+    (wall, events, totals.contacts_up, stats, fp)
 }
 
 /// Benchmarks one scenario: best-of-`iters` cached and uncached runs,
@@ -261,17 +295,16 @@ fn bench_scenario(cfg: &ScenarioConfig, iters: usize) -> ScenarioResult {
     let mut uncached_best = f64::INFINITY;
     let mut events = 0;
     let mut contacts = 0;
-    let mut hits = 0;
-    let mut misses = 0;
+    let mut stats = dtn_buffer::policy::PriorityCacheStats::default();
     let mut fp_cached = String::new();
     for _ in 0..iters {
-        let (wall, ev, cu, h, m, fp) = run_once(cfg, true);
+        let (wall, ev, cu, st, fp) = run_once(cfg, true);
         cached_best = cached_best.min(wall);
-        (events, contacts, hits, misses, fp_cached) = (ev, cu, h, m, fp);
+        (events, contacts, stats, fp_cached) = (ev, cu, st, fp);
     }
     let mut fp_uncached = String::new();
     for _ in 0..iters {
-        let (wall, _, _, _, _, fp) = run_once(cfg, false);
+        let (wall, _, _, _, fp) = run_once(cfg, false);
         uncached_best = uncached_best.min(wall);
         fp_uncached = fp;
     }
@@ -291,7 +324,7 @@ fn bench_scenario(cfg: &ScenarioConfig, iters: usize) -> ScenarioResult {
         uncached_best / cached_best,
         events,
         contacts,
-        100.0 * hits as f64 / (hits + misses).max(1) as f64,
+        100.0 * stats.hit_rate(),
     );
     ScenarioResult {
         name: cfg.name.clone(),
@@ -305,9 +338,10 @@ fn bench_scenario(cfg: &ScenarioConfig, iters: usize) -> ScenarioResult {
         events_per_sec: events as f64 / cached_best,
         contacts_up: contacts,
         contacts_per_sec: contacts as f64 / cached_best,
-        cache_hits: hits,
-        cache_misses: misses,
-        cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        cache_hits: stats.hits,
+        cache_incremental: stats.incremental,
+        cache_misses: stats.misses,
+        cache_hit_rate: stats.hit_rate(),
         peak_rss_bytes: peak_rss_bytes(),
         fingerprint: fp_cached,
     }
@@ -421,6 +455,91 @@ fn bench_scaling_fleet(
     }
 }
 
+/// Analytic worst-case relative error of the `k`-term Eq. 13 Taylor
+/// priority against the exact Eq. 11 closed form, swept over a dense
+/// delivery-probability grid (`pt = 0`, one holder — both scale the
+/// two forms identically, so they cancel in the relative error).
+fn taylor_max_rel_err(terms: usize) -> f64 {
+    use sdsrp_core::priority::PriorityModel;
+    let mut worst = 0.0f64;
+    for i in 1..1_000 {
+        let pr = i as f64 / 1_000.0;
+        let exact = PriorityModel::priority_from_probabilities(0.0, pr, 1);
+        let approx = PriorityModel::priority_taylor(0.0, pr, 1, terms);
+        if exact > 0.0 {
+            worst = worst.max((exact - approx).abs() / exact);
+        }
+    }
+    worst
+}
+
+/// The Fig. 4 ablation: the exact closed form plus each Taylor depth on
+/// the buffer-pressure scenario — analytic error next to measured wall
+/// clock and delivery ratio, so the accuracy/compute trade-off lands in
+/// the report as data.
+fn bench_taylor_ablation(quick: bool) -> Vec<TaylorAblationResult> {
+    let depths: &[usize] = if quick { &[0, 1, 8] } else { &[0, 1, 2, 4, 8, 16] };
+    depths
+        .iter()
+        .map(|&terms| {
+            let mut cfg = buffer_pressure_cfg(quick);
+            cfg.policy = PolicyKind::SdsrpCustom {
+                lambda: sdsrp_core::LambdaMode::Online {
+                    prior: 1.0 / 2000.0,
+                    min_samples: 5,
+                },
+                taylor_terms: (terms > 0).then_some(terms),
+                reject_dropped: true,
+                gossip: true,
+            };
+            let mut world = World::build(&cfg);
+            world.attach_recorder(Recorder::enabled(16));
+            let started = Instant::now();
+            world.step_until(dtn_core::time::SimTime::from_secs(cfg.duration_secs));
+            let wall = started.elapsed().as_secs_f64();
+            let report = world.report();
+            let max_rel_err = if terms == 0 {
+                0.0
+            } else {
+                taylor_max_rel_err(terms)
+            };
+            eprintln!(
+                "taylor-ablation  k={:<2} ({}): {:7.3}s wall, delivery {:.4}, max rel err {:.2e}",
+                terms,
+                if terms == 0 { "exact" } else { "taylor" },
+                wall,
+                report.delivery_ratio(),
+                max_rel_err,
+            );
+            TaylorAblationResult {
+                terms,
+                max_rel_err,
+                wall_clock_secs: wall,
+                delivery_ratio: report.delivery_ratio(),
+                buffer_drops: report.buffer_drops(),
+            }
+        })
+        .collect()
+}
+
+/// Re-runs the pinned headline scenario on four world threads and
+/// checks the fingerprint still matches the committed golden — the
+/// incremental cache must be invisible under the parallel tick phases.
+fn golden_check_parallel() -> bool {
+    let cfg = headline_cfg();
+    let mut world = World::build(&cfg);
+    world.set_threads(4);
+    world.attach_recorder(Recorder::enabled(16));
+    world.step_until(dtn_core::time::SimTime::from_secs(cfg.duration_secs));
+    let totals = world.recorder().totals().clone();
+    let fp = fingerprint(world.report(), &totals).to_canonical_json();
+    let ok = golden_check(&fp);
+    if !ok {
+        eprintln!("FATAL: headline fingerprint diverged from golden at 4 world threads");
+    }
+    ok
+}
+
 /// Re-runs the pinned headline scenario and compares its canonical
 /// fingerprint against the committed golden snapshot.
 fn golden_check(headline_fp: &str) -> bool {
@@ -484,7 +603,7 @@ fn main() {
     .map(|cfg| bench_scenario(cfg, iters))
     .collect();
 
-    let golden_fingerprint_ok = golden_check(&scenarios[0].fingerprint);
+    let golden_fingerprint_ok = golden_check(&scenarios[0].fingerprint) && golden_check_parallel();
 
     // Scaling curve: the in-process single-thread baseline, then the
     // dtn-fleet subprocess curve at 1/2/4 workers. Fleet rows gate on
@@ -512,8 +631,11 @@ fn main() {
     // fingerprint divergence, so reaching here means all rows agree).
     let thread_scaling = bench_thread_scaling(quick);
 
+    // Fig. 4 as data: accuracy vs compute per Taylor depth.
+    let taylor_ablation = bench_taylor_ablation(quick);
+
     let report = BenchReport {
-        schema: "dtn-bench/v3".into(),
+        schema: "dtn-bench/v4".into(),
         quick,
         iters,
         threads_available,
@@ -521,6 +643,7 @@ fn main() {
         scenarios,
         sweep_scaling,
         thread_scaling,
+        taylor_ablation,
         peak_rss_bytes: peak_rss_bytes(),
     };
     let body = serde_json::to_string_pretty(&report).expect("report serialises");

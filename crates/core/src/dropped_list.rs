@@ -65,6 +65,25 @@ impl PartialEq for DroppedList {
     }
 }
 
+/// Wire-format cursor helpers shared by the decoder, the validator and
+/// the streaming merge.
+fn take<'a>(cur: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if cur.len() < n {
+        return None;
+    }
+    let (head, rest) = cur.split_at(n);
+    *cur = rest;
+    Some(head)
+}
+
+fn u32_at(cur: &mut &[u8]) -> Option<u32> {
+    take(cur, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+fn u64_at(cur: &mut &[u8]) -> Option<u64> {
+    take(cur, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
 fn count_inc(counts: &mut HashMap<MessageId, u32>, msg: MessageId) {
     *counts.entry(msg).or_insert(0) += 1;
 }
@@ -124,6 +143,29 @@ impl DroppedList {
     /// record time wins; the owner's own record is never overwritten by
     /// hearsay. Returns the number of records adopted from the peer.
     pub fn merge(&mut self, peer_records: &BTreeMap<NodeId, DroppedRecord>) -> usize {
+        self.merge_inner(peer_records, None)
+    }
+
+    /// [`merge`](Self::merge) that additionally reports, into `changed`,
+    /// every message id whose `d_i` count may have moved: the symmetric
+    /// difference of old vs new membership for each replaced record,
+    /// and every entry of a newly adopted record. Lets callers
+    /// invalidate per-message derived state (priority memos) surgically
+    /// instead of wholesale. Ids may repeat across adopted records;
+    /// `changed` is appended to, not cleared.
+    pub fn merge_tracking(
+        &mut self,
+        peer_records: &BTreeMap<NodeId, DroppedRecord>,
+        changed: &mut Vec<MessageId>,
+    ) -> usize {
+        self.merge_inner(peer_records, Some(changed))
+    }
+
+    fn merge_inner(
+        &mut self,
+        peer_records: &BTreeMap<NodeId, DroppedRecord>,
+        mut changed: Option<&mut Vec<MessageId>>,
+    ) -> usize {
         let mut adopted = 0;
         for (&origin, rec) in peer_records {
             if origin == self.owner {
@@ -133,9 +175,14 @@ impl DroppedList {
                 Some(mine) if mine.record_time >= rec.record_time => {}
                 stale => {
                     if let Some(old) = stale {
+                        if let Some(changed) = changed.as_deref_mut() {
+                            changed.extend(old.dropped.symmetric_difference(&rec.dropped).copied());
+                        }
                         for &m in &old.dropped {
                             count_dec(&mut self.counts, m);
                         }
+                    } else if let Some(changed) = changed.as_deref_mut() {
+                        changed.extend(rec.dropped.iter().copied());
                     }
                     for &m in &rec.dropped {
                         count_inc(&mut self.counts, m);
@@ -226,10 +273,132 @@ impl DroppedList {
     /// [`to_gossip_bytes`](Self::to_gossip_bytes); malformed payloads are
     /// ignored (a real radio would checksum, but robustness over panic
     /// here). Returns the number of records adopted.
+    ///
+    /// The merge streams over the wire bytes directly: records are
+    /// *compared* in place and only the winners of the newest-wins rule
+    /// are materialised into owned sets. In steady state almost every
+    /// record a contact carries is one the receiver already has, so the
+    /// per-contact cost is a validation scan over the payload — not a
+    /// `BTreeSet` allocation per origin as the decode-then-merge path
+    /// paid.
     pub fn merge_gossip_bytes(&mut self, bytes: &[u8]) -> usize {
-        match Self::decode_records(bytes) {
-            Some(records) => self.merge(&records),
-            None => 0,
+        self.merge_gossip_bytes_inner(bytes, None)
+    }
+
+    /// [`merge_gossip_bytes`](Self::merge_gossip_bytes) with
+    /// [`merge_tracking`](Self::merge_tracking)'s change reporting.
+    pub fn merge_gossip_bytes_tracking(
+        &mut self,
+        bytes: &[u8],
+        changed: &mut Vec<MessageId>,
+    ) -> usize {
+        self.merge_gossip_bytes_inner(bytes, Some(changed))
+    }
+
+    fn merge_gossip_bytes_inner(
+        &mut self,
+        bytes: &[u8],
+        mut changed: Option<&mut Vec<MessageId>>,
+    ) -> usize {
+        // Pass 1: validate the whole payload without allocating, so a
+        // malformation found halfway through cannot leave a partial
+        // merge behind (decode-then-merge was all-or-nothing too).
+        let Some(sorted) = Self::validate_gossip(bytes) else {
+            return 0;
+        };
+        if !sorted {
+            // `encode_records` emits strictly increasing origins; a
+            // payload that doesn't is hand-crafted. Fall back to the
+            // map-building path so duplicate origins keep
+            // `decode_records`' last-occurrence-wins semantics.
+            return match Self::decode_records(bytes) {
+                Some(records) => self.merge_inner(&records, changed),
+                None => 0,
+            };
+        }
+        // Pass 2: stream the records; materialise only the winners.
+        let mut cur = &bytes[4..];
+        let n_records = u32_at(&mut cur).expect("validated");
+        let mut adopted = 0;
+        for _ in 0..n_records {
+            let origin = NodeId(u32_at(&mut cur).expect("validated"));
+            let record_time = SimTime::from_secs(f64::from_bits(u64_at(&mut cur).expect("validated")));
+            let n_msgs = u32_at(&mut cur).expect("validated") as usize;
+            let ids = take(&mut cur, n_msgs * 8).expect("validated");
+            if origin == self.owner {
+                continue;
+            }
+            if let Some(mine) = self.records.get(&origin) {
+                if mine.record_time >= record_time {
+                    continue;
+                }
+            }
+            let dropped: BTreeSet<MessageId> = ids
+                .chunks_exact(8)
+                .map(|b| MessageId(u64::from_le_bytes(b.try_into().expect("8 bytes"))))
+                .collect();
+            match self.records.get(&origin) {
+                Some(old) => {
+                    if let Some(changed) = changed.as_deref_mut() {
+                        changed.extend(old.dropped.symmetric_difference(&dropped).copied());
+                    }
+                    for &m in &old.dropped {
+                        count_dec(&mut self.counts, m);
+                    }
+                }
+                None => {
+                    if let Some(changed) = changed.as_deref_mut() {
+                        changed.extend(dropped.iter().copied());
+                    }
+                }
+            }
+            for &m in &dropped {
+                count_inc(&mut self.counts, m);
+            }
+            self.records.insert(
+                origin,
+                DroppedRecord {
+                    dropped,
+                    record_time,
+                },
+            );
+            adopted += 1;
+        }
+        if adopted > 0 {
+            self.encoded = None;
+        }
+        adopted
+    }
+
+    /// Structure-checks a gossip payload without allocating. Returns
+    /// `None` on any malformation [`decode_records`](Self::decode_records)
+    /// would reject, otherwise whether the origin ids are strictly
+    /// increasing (what `encode_records` always emits).
+    fn validate_gossip(bytes: &[u8]) -> Option<bool> {
+        let mut cur = bytes;
+        if take(&mut cur, 4)? != GOSSIP_MAGIC {
+            return None;
+        }
+        let n_records = u32_at(&mut cur)?;
+        let mut sorted = true;
+        let mut prev: Option<u32> = None;
+        for _ in 0..n_records {
+            let origin = u32_at(&mut cur)?;
+            if prev.is_some_and(|p| p >= origin) {
+                sorted = false;
+            }
+            prev = Some(origin);
+            let secs = f64::from_bits(u64_at(&mut cur)?);
+            if !secs.is_finite() || secs < 0.0 {
+                return None;
+            }
+            let n_msgs = u32_at(&mut cur)? as usize;
+            take(&mut cur, n_msgs.checked_mul(8)?)?;
+        }
+        if cur.is_empty() {
+            Some(sorted)
+        } else {
+            None
         }
     }
 
@@ -261,21 +430,6 @@ impl DroppedList {
     /// Returns `None` on any malformation — wrong magic, truncation,
     /// trailing bytes, or a non-finite/negative record time.
     pub fn decode_records(bytes: &[u8]) -> Option<BTreeMap<NodeId, DroppedRecord>> {
-        fn take<'a>(cur: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
-            if cur.len() < n {
-                return None;
-            }
-            let (head, rest) = cur.split_at(n);
-            *cur = rest;
-            Some(head)
-        }
-        fn u32_at(cur: &mut &[u8]) -> Option<u32> {
-            take(cur, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
-        }
-        fn u64_at(cur: &mut &[u8]) -> Option<u64> {
-            take(cur, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
-        }
-
         let mut cur = bytes;
         if take(&mut cur, 4)? != GOSSIP_MAGIC {
             return None;
@@ -524,6 +678,47 @@ mod tests {
         // nothing.
         assert_eq!(a.merge_gossip_bytes(&payload), 0);
         assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn merge_tracking_reports_exactly_the_moved_counts() {
+        let mut a = DroppedList::new(NodeId(0));
+        let mut b = DroppedList::new(NodeId(1));
+        b.record_own_drop(t(4.0), MessageId(6));
+        b.record_own_drop(t(5.0), MessageId(7));
+
+        // Fresh record: every entry is reported.
+        let mut changed = Vec::new();
+        assert_eq!(a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 1);
+        changed.sort_unstable();
+        assert_eq!(changed, vec![MessageId(6), MessageId(7)]);
+
+        // Idempotent re-merge: nothing adopted, nothing reported.
+        changed.clear();
+        assert_eq!(a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 0);
+        assert_eq!(changed, Vec::new());
+
+        // Replacement: only the symmetric difference is reported (6 and
+        // 7 persist in b's record, 8 is new).
+        b.record_own_drop(t(9.0), MessageId(8));
+        changed.clear();
+        assert_eq!(a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 1);
+        assert_eq!(changed, vec![MessageId(8)]);
+        assert_eq!(a.drop_count(MessageId(6)), 1);
+        assert_eq!(a.drop_count(MessageId(8)), 1);
+
+        // An entry pruned on the peer side is reported once the record
+        // is re-adopted: its d_i here drops back.
+        let mut c = DroppedList::new(NodeId(2));
+        c.merge_gossip_bytes(&b.to_gossip_bytes());
+        b.prune(|m| m == MessageId(6));
+        b.record_own_drop(t(20.0), MessageId(9));
+        changed.clear();
+        assert_eq!(c.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 1);
+        changed.sort_unstable();
+        assert_eq!(changed, vec![MessageId(6), MessageId(9)]);
+        assert_eq!(c.drop_count(MessageId(6)), 0);
+        assert_eq!(c.drop_count(MessageId(9)), 1);
     }
 
     /// Recomputes `d_i` by brute force and checks the maintained index

@@ -10,30 +10,46 @@
 //!    (global-knowledge ablation),
 //! 3. reads `d_i` from the gossiped [`DroppedList`] and forms
 //!    `n_i = m_i + 1 - d_i` (Eq. 14),
-//! 4. computes `U_i` (Eq. 10 closed form, or the Eq. 13 Taylor
-//!    truncation when configured).
+//! 4. computes `U_i` — the exact Eq. 10 closed form, or the Eq. 13
+//!    Taylor truncation when [`PriorityMode::Taylor`] is configured.
 //!
 //! The same `U_i` drives scheduling (highest first) and dropping (lowest
 //! first); reception of messages present in the dropped list is refused.
 //!
-//! ## Priority memoisation
+//! ## Incremental priority maintenance
 //!
-//! The ranking hooks route through an exact-key memo (`UtilityCache`):
-//! per message the evaluated priority is cached together with every
-//! input it was derived from (`UtilityKey`), and invalidation is tied
-//! to the precise events that can change the remaining (policy-internal)
-//! inputs:
+//! The ranking hooks route through a per-message [`UtilityEntry`] that
+//! separates Eq. 10's inputs by *how they change*:
 //!
-//! * a contact-up that actually records an intermeeting sample moves λ
-//!   → clear everything (λ enters every priority);
-//! * an own drop moves `d_i` of that one message → evict its entry;
-//! * a gossip import that adopts ≥ 1 record may move any `d_i` → clear
-//!   the values but keep the (λ-only) model;
-//! * contact-down, sample-less contact-ups and adoption-free imports
-//!   change no input → the memo stays valid.
+//! * **Pinned** — copy tokens, spray timestamps, destination, oracle
+//!   overrides. Compared exactly on every lookup; any difference forces
+//!   a rebuild. (These change rarely: only binary-spray splits and
+//!   oracle ablations move them.)
+//! * **Event-guarded** — λ and the dropped-list counts `d_i`. The hooks
+//!   invalidate surgically: a contact-up that records an intermeeting
+//!   sample moves λ and clears everything (λ enters every priority); an
+//!   own drop moves `d_i` of one message and evicts that entry; a
+//!   gossip import evicts exactly the entries whose `d_i` the adopted
+//!   records changed ([`DroppedList::merge_tracking`]); sample-less
+//!   contact-ups, contact-downs and adoption-free imports change no
+//!   input and leave everything valid.
+//! * **Time-derived** — the remaining TTL and the Eq. 15 bucket
+//!   estimate of `m_i`. The TTL enters through two final flops per
+//!   evaluation (`A_i = (log2 C_i + 1) R_i − correction`), so the entry
+//!   caches everything *up to* the TTL. `m_i` only moves when some
+//!   spray bucket `floor((now − t_k)/E(I_min))` crosses an integer
+//!   boundary; the entry records the earliest such boundary
+//!   (`seen_valid_until`, verified against float rounding) and any
+//!   evaluation before it finishes from the cached prefixes — the
+//!   *incremental* path. The mere passage of time therefore never
+//!   invalidates an entry, it only re-runs the two-flop tail.
 //!
-//! A hit therefore returns the bit-identical float a recompute would —
-//! runs with the memo on and off produce identical simulations, which
+//! Both the hit path (same instant, value returned verbatim) and the
+//! incremental path (new instant, cached prefixes + fresh TTL) return
+//! the bit-identical float a full recompute would: the cached prefixes
+//! are associated exactly as [`PriorityModel::log_priority`] and
+//! friends associate them (see [`UtilityEntry::complete`]). Runs with
+//! the memo on and off produce identical simulations, which
 //! `tests/priority_cache_differential.rs` enforces
 //! fingerprint-for-fingerprint.
 
@@ -75,6 +91,40 @@ pub enum LambdaMode {
     },
 }
 
+/// Which form of the priority the policy evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PriorityMode {
+    /// The exact Eq. 10 closed form, evaluated in log space.
+    Exact,
+    /// The Eq. 13 Taylor truncation — the paper's cheap approximation,
+    /// whose accuracy grows with the number of terms (Fig. 4).
+    Taylor {
+        /// Number of series terms, `>= 1`.
+        terms: usize,
+    },
+}
+
+impl PriorityMode {
+    /// Maps the `Option<usize>` encoding (`None` = exact) that the
+    /// scenario-file `SdsrpCustom` variant has used since before this
+    /// enum existed; kept so on-disk configs and their hashes are
+    /// unchanged.
+    pub fn from_terms(terms: Option<usize>) -> Self {
+        match terms {
+            None => PriorityMode::Exact,
+            Some(k) => PriorityMode::Taylor { terms: k },
+        }
+    }
+
+    /// Inverse of [`from_terms`](Self::from_terms).
+    pub fn taylor_terms(&self) -> Option<usize> {
+        match self {
+            PriorityMode::Exact => None,
+            PriorityMode::Taylor { terms } => Some(*terms),
+        }
+    }
+}
+
 /// SDSRP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SdsrpConfig {
@@ -82,9 +132,8 @@ pub struct SdsrpConfig {
     pub n_nodes: usize,
     /// λ source.
     pub lambda: LambdaMode,
-    /// `Some(k)` evaluates the Eq. 13 Taylor form with `k` terms instead
-    /// of the exact Eq. 10 closed form.
-    pub taylor_terms: Option<usize>,
+    /// Exact Eq. 10 or the Eq. 13 Taylor fast path.
+    pub mode: PriorityMode,
     /// Refuse to receive messages present in the dropped list
     /// (paper Section III-C). Disable for ablation.
     pub reject_dropped: bool,
@@ -107,73 +156,218 @@ impl SdsrpConfig {
                 prior: 1.0 / 2000.0,
                 min_samples: 5,
             },
-            taylor_terms: None,
+            mode: PriorityMode::Exact,
             reject_dropped: true,
             gossip: true,
         }
     }
 }
 
-/// Exact inputs of one memoised [`Sdsrp::utility`] evaluation. Two
-/// evaluations with equal keys are guaranteed to produce the *same
-/// float*: every quantity `utility` reads is either fixed per message
-/// id (source, destination, size, created, TTL, initial copies), a pure
-/// function of `now` (remaining TTL, the Eq. 15 floor buckets), part of
-/// the key (copy tokens, spray timestamps, oracle `(m, n)`), or policy
-/// state guarded by the event-exact invalidation hooks (λ samples,
-/// dropped-list counts — see the module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct UtilityKey {
-    /// Bit pattern of the evaluation instant.
-    now_bits: u64,
-    /// Copy tokens held (changes on binary-spray splits).
-    copies: u32,
-    /// Spray-timestamp count plus an FNV-1a hash over the raw bit
-    /// patterns — together they pin the Eq. 15 input exactly.
-    spray_len: u32,
-    spray_hash: u64,
-    /// Encoded oracle `(m_i, n_i)` override (0 when absent).
-    oracle_key: u64,
+/// Cap on pinned spray timestamps per memo entry. A copy accumulates
+/// one timestamp per binary-spray split in its lineage — at most
+/// `log2(initial copies)` — so 12 covers initial copy counts up to
+/// 4096. Views with longer histories are evaluated without memoising.
+const SPRAY_PIN_CAP: usize = 12;
+
+/// Encodes the oracle `(m_i, n_i)` overrides for pinning (0 = absent).
+fn oracle_key_of(msg: &MessageView<'_>) -> u64 {
+    let encode = |v: Option<u32>| v.map_or(0u64, |x| x as u64 + 1);
+    encode(msg.oracle_seen) << 33 | encode(msg.oracle_holders)
 }
 
-impl UtilityKey {
-    fn of(now: SimTime, msg: &MessageView<'_>) -> Self {
-        let mut spray_hash = 0xcbf2_9ce4_8422_2325u64;
-        for t in msg.spray_times {
-            for b in t.as_secs().to_bits().to_le_bytes() {
-                spray_hash = (spray_hash ^ b as u64).wrapping_mul(0x0100_0000_01b3);
-            }
+/// One message's memoised evaluation state: the pinned inputs it was
+/// derived from (any difference forces a rebuild), derived prefixes
+/// valid for every instant in `[computed_at, seen_valid_until)`, and
+/// the finished value at the most recent evaluation instant.
+#[derive(Debug, Clone, Copy)]
+struct UtilityEntry {
+    // Pinned inputs, compared exactly on every lookup.
+    copies: u32,
+    spray_len: u32,
+    spray_bits: [u64; SPRAY_PIN_CAP],
+    destination: NodeId,
+    oracle_key: u64,
+    // Derived prefixes. Valid while the pinned inputs match, no
+    // invalidation hook fired, and `now ∈ [computed_at, seen_valid_until)`
+    // (the window certifying the Eq. 15 `m_i` buckets are unchanged).
+    computed_at: f64,
+    seen_valid_until: f64,
+    pt_dead: bool,
+    /// 0 = exact closed form (pooled or per-destination λ baked into
+    /// `base`/`lh`); `k >= 1` = Eq. 13 with `k` terms.
+    taylor_terms: usize,
+    base: f64,
+    lh: f64,
+    h_ln: f64,
+    lp1: f64,
+    correction: f64,
+    // Same-instant memo.
+    now_bits: u64,
+    value: f64,
+}
+
+impl UtilityEntry {
+    /// Whether every pinned input still matches the view.
+    fn matches(&self, msg: &MessageView<'_>) -> bool {
+        self.copies == msg.copies
+            && self.destination == msg.destination
+            && self.oracle_key == oracle_key_of(msg)
+            && self.spray_len as usize == msg.spray_times.len()
+            && msg
+                .spray_times
+                .iter()
+                .zip(&self.spray_bits)
+                .all(|(t, &b)| t.as_secs().to_bits() == b)
+    }
+
+    /// Finishes the evaluation for remaining TTL `r` from the cached
+    /// prefixes. Bit-identical to the full forms by expression-tree
+    /// identity: `base`, `lh` and `h_ln` are the leading partial sums
+    /// of [`PriorityModel::log_priority`] / `log_priority_dest` /
+    /// `log_priority_taylor`, associated exactly as those functions
+    /// associate them, and `(lp1 * r - correction).max(0.0)` is
+    /// [`PriorityModel::exposure`] with its copy-dependent parts
+    /// precomputed ([`PriorityModel::exposure_parts`]).
+    fn complete(&self, r: f64) -> f64 {
+        let a = (self.lp1 * r - self.correction).max(0.0);
+        if self.pt_dead || a <= 0.0 {
+            return f64::NEG_INFINITY;
         }
-        let encode = |v: Option<u32>| v.map_or(0u64, |x| x as u64 + 1);
-        UtilityKey {
-            now_bits: now.as_secs().to_bits(),
-            copies: msg.copies,
-            spray_len: msg.spray_times.len() as u32,
-            spray_hash,
-            oracle_key: encode(msg.oracle_seen) << 33 | encode(msg.oracle_holders),
+        match self.taylor_terms {
+            0 => self.base + a.ln() - self.lh * a,
+            terms => {
+                let x = self.lh * a;
+                let pr = 1.0 - (-x).exp();
+                let mut sum = 0.0;
+                let mut pow = 1.0;
+                for j in 1..=terms {
+                    pow *= pr;
+                    sum += pow / j as f64;
+                }
+                if sum <= 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                self.base - x + sum.ln() - self.h_ln
+            }
         }
     }
 }
 
-/// Per-message memo of [`Sdsrp::utility`] results, plus the
-/// [`PriorityModel`] shared by every evaluation between invalidations.
+/// The largest float strictly below `x` (`f64::next_down`, reimplemented
+/// for MSRV). Must not be fed NaN.
+fn next_down(x: f64) -> f64 {
+    debug_assert!(!x.is_nan());
+    if x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits - 1)
+    } else {
+        f64::from_bits(bits + 1)
+    }
+}
+
+/// The smallest float strictly above `x` (`f64::next_up` for MSRV).
+/// Must not be fed NaN.
+fn next_up(x: f64) -> f64 {
+    debug_assert!(!x.is_nan());
+    if x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// First future instant at which the Eq. 15 estimate `m_i` could move:
+/// the smallest spray-bucket boundary strictly after `now_s`.
 ///
-/// The hot path re-ranks the same `(node, message)` pairs many times at
-/// the same instant — every transfer completion re-arms all idle links
-/// of both endpoints, and each re-arm walks both buffers — so most
-/// lookups hit. Invalidation is event-based *and* exact: the hooks
-/// ([`BufferPolicy::on_contact_up`], `on_drop`, `import_gossip`) clear
-/// exactly the entries whose inputs (λ, `d_i`) their event can move —
-/// see the module docs for the per-event rules — and [`UtilityKey`]
-/// catches every remaining input (time, copy splits, spray history,
-/// oracle overrides), making a hit bit-identical to a recompute by
-/// construction.
+/// `estimate_m` is non-decreasing in `now` and depends on time only
+/// through the per-spray buckets `floor((now − t_k)/E(I_min))`, so the
+/// memoised `seen` — and everything derived from it — is exact for
+/// every instant in `[now_s, horizon)`. Each candidate boundary is
+/// verified against float rounding in both directions: stepped down
+/// while the instant just below it already lands in the new bucket,
+/// and stepped up while the candidate itself still lands in the old
+/// one (e.g. `100.0 + 1.0 * 0.1` rounds *below* the true `0.1`-bucket
+/// boundary). Subtraction, division and floor are all monotone in
+/// `now`, so `bucket(next_down(b)) <= exp < bucket(b)` certifies the
+/// whole half-open window.
+fn seen_horizon(
+    spray_times: &[SimTime],
+    now_s: f64,
+    e_min: f64,
+    seen: u32,
+    n_nodes: usize,
+    oracle: bool,
+) -> f64 {
+    if oracle {
+        // `m_i` is pinned by the oracle key; time cannot move it.
+        return f64::INFINITY;
+    }
+    let cap = (n_nodes.saturating_sub(1)) as u32;
+    if seen >= cap || spray_times.is_empty() || !e_min.is_finite() || e_min <= 0.0 {
+        // Saturated estimates stay saturated (monotonicity), an empty
+        // spray history always estimates 1, and a degenerate E(I_min)
+        // pegs the estimate at the cap — none can move with time.
+        return f64::INFINITY;
+    }
+    let bucket = |x: f64, tk: f64| ((x - tk).max(0.0) / e_min).floor().clamp(0.0, 62.0);
+    let mut horizon = f64::INFINITY;
+    for &t_k in spray_times {
+        let tk = t_k.as_secs();
+        let exp = bucket(now_s, tk);
+        if exp >= 62.0 {
+            // Clamped: this spray's bucket can never advance again.
+            continue;
+        }
+        let mut b = tk + (exp + 1.0) * e_min;
+        while b > now_s && bucket(next_down(b), tk) > exp {
+            b = next_down(b);
+        }
+        if b <= now_s {
+            // No certifiable window at all: expire the entry
+            // immediately (every later instant rebuilds).
+            return now_s;
+        }
+        while b.is_finite() && bucket(b, tk) <= exp {
+            b = next_up(b);
+        }
+        horizon = horizon.min(b);
+    }
+    horizon
+}
+
+/// Per-message incremental memo of [`Sdsrp::utility`] evaluations, plus
+/// the [`PriorityModel`] shared by every evaluation between λ changes.
+///
+/// The hot path re-ranks the same `(node, message)` pairs many times —
+/// every transfer completion re-arms all idle links of both endpoints,
+/// and each re-arm walks both buffers — mostly at *new* instants, since
+/// simulated time advances between events. Entries therefore survive
+/// the passage of time: a lookup at a fresh instant takes the
+/// incremental path (cached prefixes + the two-flop TTL tail) as long
+/// as the pinned inputs match and no spray bucket boundary has been
+/// crossed. See the module docs for the per-event invalidation rules.
 struct UtilityCache {
     enabled: bool,
-    entries: HashMap<MessageId, (UtilityKey, f64)>,
+    entries: HashMap<MessageId, UtilityEntry>,
     model: Option<PriorityModel>,
     hits: u64,
+    incremental: u64,
     misses: u64,
+    /// Scratch for [`DroppedList::merge_tracking`]'s change reports.
+    changed: Vec<MessageId>,
 }
 
 impl UtilityCache {
@@ -183,11 +377,13 @@ impl UtilityCache {
             entries: HashMap::new(),
             model: None,
             hits: 0,
+            incremental: 0,
             misses: 0,
+            changed: Vec::new(),
         }
     }
 
-    /// Drops every memoised value (λ or dropped-list state changed).
+    /// Drops every memoised value (λ or wholesale policy state changed).
     fn invalidate(&mut self) {
         self.entries.clear();
         self.model = None;
@@ -210,8 +406,8 @@ impl Sdsrp {
     /// non-positive λ, zero Taylor terms).
     pub fn new(node: NodeId, cfg: SdsrpConfig) -> Self {
         assert!(cfg.n_nodes >= 2, "need at least two nodes");
-        if let Some(k) = cfg.taylor_terms {
-            assert!(k >= 1, "need at least one Taylor term");
+        if let PriorityMode::Taylor { terms } = cfg.mode {
+            assert!(terms >= 1, "need at least one Taylor term");
         }
         let lambda_est = match cfg.lambda {
             LambdaMode::Oracle(l) => {
@@ -265,19 +461,36 @@ impl Sdsrp {
         self.utility_with(self.model(), now, msg)
     }
 
-    /// [`Self::utility`] through the per-message memo — the form the
-    /// [`BufferPolicy`] ranking hooks use. A hit returns the exact float
-    /// a recompute would produce (see [`UtilityKey`]); simulation
-    /// results are bit-identical with the cache on or off.
+    /// [`Self::utility`] through the incremental memo — the form the
+    /// [`BufferPolicy`] ranking hooks use. Both the verbatim-hit and the
+    /// incremental path return the exact float a recompute would
+    /// produce (see [`UtilityEntry::complete`]); simulation results are
+    /// bit-identical with the cache on or off.
     fn utility_cached(&mut self, now: SimTime, msg: &MessageView<'_>) -> f64 {
         if !self.cache.enabled {
+            // Bypass: the memo is never consulted, so nothing counts as
+            // a hit or a miss — uncached runs report all-zero stats.
             return self.utility(now, msg);
         }
-        let key = UtilityKey::of(now, msg);
-        if let Some((cached_key, value)) = self.cache.entries.get(&msg.id) {
-            if *cached_key == key {
-                self.cache.hits += 1;
-                return *value;
+        let ts = now.as_secs();
+        if let Some(e) = self.cache.entries.get_mut(&msg.id) {
+            if e.matches(msg) {
+                if e.now_bits == ts.to_bits() {
+                    self.cache.hits += 1;
+                    return e.value;
+                }
+                if ts >= e.computed_at && ts < e.seen_valid_until {
+                    // Every input that moved since `computed_at` is a
+                    // pure function of time, and the bucket horizon
+                    // certifies `m_i` did not move: finish from the
+                    // cached prefixes.
+                    let r = msg.remaining_ttl.as_secs().max(0.0);
+                    let value = e.complete(r);
+                    e.now_bits = ts.to_bits();
+                    e.value = value;
+                    self.cache.incremental += 1;
+                    return value;
+                }
             }
         }
         let model = match self.cache.model {
@@ -288,10 +501,90 @@ impl Sdsrp {
                 m
             }
         };
-        let value = self.utility_with(model, now, msg);
         self.cache.misses += 1;
-        self.cache.entries.insert(msg.id, (key, value));
+        if msg.spray_times.len() > SPRAY_PIN_CAP {
+            // Too much history to pin: evaluate without memoising.
+            return self.utility_with(model, now, msg);
+        }
+        let entry = self.build_entry(model, now, msg);
+        let value = entry.value;
+        self.cache.entries.insert(msg.id, entry);
         value
+    }
+
+    /// Miss-path rebuild: evaluates exactly as
+    /// [`utility_with`](Self::utility_with) would and records the
+    /// prefixes and validity horizon the incremental path needs.
+    fn build_entry(&self, model: PriorityModel, now: SimTime, msg: &MessageView<'_>) -> UtilityEntry {
+        let ts = now.as_secs();
+        let e_min = model.e_i_min();
+        let seen = msg
+            .oracle_seen
+            .unwrap_or_else(|| estimate_m(msg.spray_times, now, e_min, self.cfg.n_nodes));
+        let holders = msg
+            .oracle_holders
+            .unwrap_or_else(|| estimate_n(seen, self.dropped.drop_count(msg.id)));
+        let r = msg.remaining_ttl.as_secs().max(0.0);
+        let pt = model.p_delivered(seen);
+        let h = holders.max(1) as f64;
+        let (lp1, correction) = model.exposure_parts(msg.copies);
+        let (taylor_terms, base, lh, h_ln) = match self.cfg.mode {
+            PriorityMode::Exact => {
+                if let LambdaMode::OnlinePerDestination { .. } = self.cfg.lambda {
+                    // SDSRP-H: the destination-specific rate takes the
+                    // leading factor and the exponent; the pooled λ
+                    // stays inside A_i (already in `correction`).
+                    let l_dest = self.lambda_est.lambda_for(msg.destination);
+                    (0, (1.0 - pt).ln() + l_dest.ln(), l_dest * h, 0.0)
+                } else {
+                    (
+                        0,
+                        (1.0 - pt).ln() + model.lambda.ln(),
+                        model.lambda * h,
+                        0.0,
+                    )
+                }
+            }
+            PriorityMode::Taylor { terms } => {
+                (terms, (1.0 - pt).ln(), model.lambda * h, h.ln())
+            }
+        };
+        let mut spray_bits = [0u64; SPRAY_PIN_CAP];
+        for (slot, t) in spray_bits.iter_mut().zip(msg.spray_times) {
+            *slot = t.as_secs().to_bits();
+        }
+        let entry = UtilityEntry {
+            copies: msg.copies,
+            spray_len: msg.spray_times.len() as u32,
+            spray_bits,
+            destination: msg.destination,
+            oracle_key: oracle_key_of(msg),
+            computed_at: ts,
+            seen_valid_until: seen_horizon(
+                msg.spray_times,
+                ts,
+                e_min,
+                seen,
+                self.cfg.n_nodes,
+                msg.oracle_seen.is_some(),
+            ),
+            pt_dead: pt >= 1.0,
+            taylor_terms,
+            base,
+            lh,
+            h_ln,
+            lp1,
+            correction,
+            now_bits: ts.to_bits(),
+            value: 0.0,
+        };
+        let value = entry.complete(r);
+        debug_assert_eq!(
+            value.to_bits(),
+            self.utility_with(model, now, msg).to_bits(),
+            "prefix evaluation diverged from the full form"
+        );
+        UtilityEntry { value, ..entry }
     }
 
     fn utility_with(&self, model: PriorityModel, now: SimTime, msg: &MessageView<'_>) -> f64 {
@@ -306,14 +599,16 @@ impl Sdsrp {
         let r = msg.remaining_ttl.as_secs().max(0.0);
         // SDSRP-H: rank with the destination-specific meeting rate.
         if let LambdaMode::OnlinePerDestination { .. } = self.cfg.lambda {
-            if self.cfg.taylor_terms.is_none() {
+            if self.cfg.mode == PriorityMode::Exact {
                 let l_dest = self.lambda_est.lambda_for(msg.destination);
                 return model.log_priority_dest(seen, holders, msg.copies, r, l_dest);
             }
         }
-        match self.cfg.taylor_terms {
-            None => model.log_priority(seen, holders, msg.copies, r),
-            Some(k) => model.log_priority_taylor(seen, holders, msg.copies, r, k),
+        match self.cfg.mode {
+            PriorityMode::Exact => model.log_priority(seen, holders, msg.copies, r),
+            PriorityMode::Taylor { terms } => {
+                model.log_priority_taylor(seen, holders, msg.copies, r, terms)
+            }
         }
     }
 }
@@ -379,23 +674,43 @@ impl BufferPolicy for Sdsrp {
         if !self.cfg.gossip {
             return 0;
         }
-        let adopted = self.dropped.merge_gossip_bytes(bytes);
-        if adopted > 0 {
-            // Adopted records can change any message's d_i, but λ is
-            // untouched: drop the memoised values, keep the model.
-            self.cache.entries.clear();
+        if !self.cache.enabled {
+            // Reference path: the pre-optimisation algorithm decoded the
+            // whole payload into owned records and then merged. The
+            // differential suite runs it against the streaming merge
+            // below and demands bit-identical fingerprints, so the two
+            // merge strategies verify each other on every CI run.
+            return match DroppedList::decode_records(bytes) {
+                Some(records) => self.dropped.merge(&records),
+                None => 0,
+            };
         }
+        // Adopted records move d_i of exactly the reported messages; λ
+        // and every other memo entry stay valid.
+        let mut changed = std::mem::take(&mut self.cache.changed);
+        changed.clear();
+        let adopted = self.dropped.merge_gossip_bytes_tracking(bytes, &mut changed);
+        for id in changed.drain(..) {
+            self.cache.entries.remove(&id);
+        }
+        self.cache.changed = changed;
         adopted
     }
 
     fn set_priority_cache(&mut self, enabled: bool) {
         self.cache.enabled = enabled;
         self.cache.invalidate();
+        // Counters restart with the new setting so the reported stats
+        // describe a single cache configuration, never a mix.
+        self.cache.hits = 0;
+        self.cache.incremental = 0;
+        self.cache.misses = 0;
     }
 
     fn priority_cache_stats(&self) -> Option<PriorityCacheStats> {
         Some(PriorityCacheStats {
             hits: self.cache.hits,
+            incremental: self.cache.incremental,
             misses: self.cache.misses,
         })
     }
@@ -417,7 +732,7 @@ mod tests {
         SdsrpConfig {
             n_nodes: 100,
             lambda: LambdaMode::Oracle(1.0 / 1000.0),
-            taylor_terms: None,
+            mode: PriorityMode::Exact,
             reject_dropped: true,
             gossip: true,
         }
@@ -467,7 +782,7 @@ mod tests {
         SdsrpConfig {
             n_nodes: 100,
             lambda: LambdaMode::Oracle(1e-5),
-            taylor_terms: None,
+            mode: PriorityMode::Exact,
             reject_dropped: true,
             gossip: true,
         }
@@ -610,7 +925,7 @@ mod tests {
     fn taylor_mode_approximates_exact() {
         let exact = Sdsrp::new(NodeId(0), sparse_cfg());
         let mut cfg = sparse_cfg();
-        cfg.taylor_terms = Some(64);
+        cfg.mode = PriorityMode::Taylor { terms: 64 };
         let approx = Sdsrp::new(NodeId(0), cfg);
         let now = t(3000.0);
         let m = msg_with(1, 8, 150.0, &[2500.0], 3000.0);
@@ -722,12 +1037,12 @@ mod tests {
     #[should_panic(expected = "at least one Taylor term")]
     fn zero_taylor_terms_rejected() {
         let mut cfg = oracle_cfg();
-        cfg.taylor_terms = Some(0);
+        cfg.mode = PriorityMode::Taylor { terms: 0 };
         let _ = Sdsrp::new(NodeId(0), cfg);
     }
 
     /// Online-λ config so contacts actually move λ (the harshest case
-    /// for the memo: every contact invalidates).
+    /// for the memo: every λ sample invalidates wholesale).
     fn online_cfg() -> SdsrpConfig {
         SdsrpConfig {
             n_nodes: 100,
@@ -735,7 +1050,7 @@ mod tests {
                 prior: 1.0 / 2000.0,
                 min_samples: 1,
             },
-            taylor_terms: None,
+            mode: PriorityMode::Exact,
             reject_dropped: true,
             gossip: true,
         }
@@ -745,7 +1060,8 @@ mod tests {
     fn cached_ranking_is_bit_identical_to_uncached() {
         // Twin policies fed the same event stream; one with the memo
         // disabled. Every ranking must agree to the last bit, including
-        // repeats at the same instant (hits) and across λ / drop / gossip
+        // repeats at the same instant (hits), repeats at fresh instants
+        // (incremental completions) and across λ / drop / gossip
         // invalidations.
         let mut cached = Sdsrp::new(NodeId(0), online_cfg());
         let mut plain = Sdsrp::new(NodeId(0), online_cfg());
@@ -783,12 +1099,168 @@ mod tests {
             p.import_gossip(t(1010.0), &gossip);
         }
         check(&mut cached, &mut plain, t(1050.0));
-        // Time moves with no intervening event: keys differ, no stale hit.
+        // Time moves with no intervening event: the incremental path
+        // must still agree bit-for-bit.
         check(&mut cached, &mut plain, t(1051.0));
 
         let stats = cached.priority_cache_stats().unwrap();
         assert!(stats.hits > 0, "memo never hit: {stats:?}");
-        assert_eq!(plain.priority_cache_stats().unwrap().hits, 0);
+        assert!(stats.incremental > 0, "incremental path never ran: {stats:?}");
+        assert_eq!(plain.priority_cache_stats().unwrap(), Default::default());
+    }
+
+    #[test]
+    fn time_passage_takes_incremental_path_not_miss() {
+        // The point of the incremental design: advancing the clock with
+        // no intervening event must NOT rebuild entries. Sparse config
+        // so the Eq. 15 bucket (E(I_min) ≈ 1010 s) comfortably spans
+        // the probe instants.
+        let mut p = Sdsrp::new(NodeId(0), sparse_cfg());
+        let m = msg_with(1, 4, 200.0, &[500.0], 1000.0);
+        p.send_priority(t(1000.0), &m.view());
+        let after_warm = p.priority_cache_stats().unwrap();
+        assert_eq!((after_warm.misses, after_warm.incremental), (1, 0));
+
+        for (k, now) in [1001.0, 1002.5, 1040.0, 1300.0].into_iter().enumerate() {
+            let v = p.send_priority(t(now), &m.view());
+            let stats = p.priority_cache_stats().unwrap();
+            assert_eq!(stats.misses, 1, "time passage caused a rebuild");
+            assert_eq!(stats.incremental as usize, k + 1);
+            // Incremental completion == cold recompute, bit for bit.
+            let cold = Sdsrp::new(NodeId(0), sparse_cfg());
+            assert_eq!(v.to_bits(), cold.utility(t(now), &m.view()).to_bits());
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_crossing_forces_rebuild_and_stays_exact() {
+        // Oracle-λ model: E(I_min) = 1000/99 ≈ 10.101 s. A spray at
+        // t=0 moves buckets every E(I_min); probing across many
+        // boundaries must re-estimate m_i exactly like a cold policy.
+        let mut p = policy();
+        let e_min = p.model().e_i_min();
+        let spray_at = 0.0;
+        for step in 1..40 {
+            let now = spray_at + e_min * step as f64 * 0.75;
+            let m = msg_with(1, 8, 120.0, &[now - spray_at], now);
+            let warm = p.send_priority(t(now), &m.view());
+            let cold = Sdsrp::new(NodeId(0), oracle_cfg());
+            assert_eq!(
+                warm.to_bits(),
+                cold.utility(t(now), &m.view()).to_bits(),
+                "diverged at step {step}"
+            );
+        }
+        let stats = p.priority_cache_stats().unwrap();
+        assert!(
+            stats.misses > 1,
+            "bucket boundaries never forced a rebuild: {stats:?}"
+        );
+        assert!(
+            stats.incremental > 0,
+            "within-bucket probes never took the fast path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn eviction_ranking_uses_consistent_now_snapshot() {
+        // Regression (stale-TTL ranking): warm the memo at t0, then
+        // plan an eviction at t1 where TTL decay has flipped the order
+        // of two residents. The warm policy must pick the same victim
+        // as a cold policy ranking everything freshly at t1.
+        let now0 = t(100.0);
+        let now1 = t(4000.0);
+        // Resident A: long TTL, sprayed (lower priority early).
+        // Resident B: short TTL, unsprayed (higher priority early, but
+        // its exposure collapses as the TTL burns down).
+        let a = msg_with(1, 2, 300.0, &[50.0], 100.0);
+        let b = msg_with(2, 16, 68.0, &[], 100.0);
+        let incoming = msg_with(9, 32, 300.0, &[], 100.0);
+        let views = vec![a.view(), b.view()];
+
+        let plan_at = |p: &mut Sdsrp, now: SimTime| {
+            plan_admission(
+                p,
+                now,
+                &incoming.view(),
+                &views,
+                Bytes::ZERO,
+                Bytes::from_mb(1.0),
+            )
+        };
+
+        let mut warm = Sdsrp::new(NodeId(0), sparse_cfg());
+        // Warm every entry at t0...
+        warm.send_priority(now0, &a.view());
+        warm.send_priority(now0, &b.view());
+        warm.send_priority(now0, &incoming.view());
+        // ...then rank at t1.
+        let warm_plan = plan_at(&mut warm, now1);
+        let mut cold = Sdsrp::new(NodeId(0), sparse_cfg());
+        let cold_plan = plan_at(&mut cold, now1);
+        assert_eq!(warm_plan, cold_plan, "stale-TTL ranking divergence");
+
+        // Non-vacuity: the same decision taken at t0 differs, i.e. the
+        // TTL decay between t0 and t1 really flips the order.
+        let mut cold0 = Sdsrp::new(NodeId(0), sparse_cfg());
+        assert_ne!(plan_at(&mut cold0, now0), cold_plan);
+    }
+
+    #[test]
+    fn gossip_import_invalidates_only_reported_messages() {
+        let mut p = Sdsrp::new(NodeId(0), sparse_cfg());
+        let now = t(1000.0);
+        let m1 = msg_with(1, 4, 100.0, &[500.0], 1000.0);
+        let m2 = msg_with(2, 4, 100.0, &[500.0], 1000.0);
+        p.send_priority(now, &m1.view());
+        p.send_priority(now, &m2.view());
+
+        // A peer gossips a drop of message 1 only.
+        let mut peer = Sdsrp::new(NodeId(9), sparse_cfg());
+        peer.on_drop(t(40.0), MessageId(1));
+        let adopted = p.import_gossip(t(1001.0), &peer.export_gossip(t(1001.0)).unwrap());
+        assert_eq!(adopted, 1);
+
+        let before = p.priority_cache_stats().unwrap();
+        // Message 2's entry survived: same-instant probe is a hit.
+        p.send_priority(now, &m2.view());
+        // Message 1's entry was evicted: this is a rebuild.
+        p.send_priority(now, &m1.view());
+        let after = p.priority_cache_stats().unwrap();
+        assert_eq!(after.hits, before.hits + 1, "m2 entry was evicted");
+        assert_eq!(after.misses, before.misses + 1, "m1 entry survived");
+        // And the rebuilt value reflects the new d_i.
+        let cold = {
+            let mut c = Sdsrp::new(NodeId(0), sparse_cfg());
+            c.import_gossip(t(1001.0), &peer.export_gossip(t(1001.0)).unwrap());
+            c
+        };
+        assert_eq!(
+            p.send_priority(now, &m1.view()).to_bits(),
+            cold.utility(now, &m1.view()).to_bits()
+        );
+    }
+
+    #[test]
+    fn disabling_cache_resets_stats_and_counts_nothing() {
+        let mut p = Sdsrp::new(NodeId(0), sparse_cfg());
+        let m = msg_with(1, 4, 100.0, &[500.0], 1000.0);
+        p.send_priority(t(1000.0), &m.view());
+        p.send_priority(t(1000.0), &m.view());
+        assert_ne!(p.priority_cache_stats().unwrap(), Default::default());
+
+        p.set_priority_cache(false);
+        assert_eq!(p.priority_cache_stats().unwrap(), Default::default());
+        p.send_priority(t(1000.0), &m.view());
+        p.send_priority(t(1001.0), &m.view());
+        // Bypass evaluations are not misses — the memo was never asked.
+        assert_eq!(p.priority_cache_stats().unwrap(), Default::default());
+
+        // Re-enabling also restarts the counters.
+        p.set_priority_cache(true);
+        p.send_priority(t(1002.0), &m.view());
+        let stats = p.priority_cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.incremental, stats.misses), (0, 0, 1));
     }
 
     #[test]
@@ -822,7 +1294,8 @@ mod tests {
     #[test]
     fn cache_key_distinguishes_spray_history_at_same_instant() {
         // Same id, same copies, same now — only the spray timestamps
-        // differ. The key must force a recompute (distinct value).
+        // differ. The pinned inputs must force a recompute (distinct
+        // value).
         let mut p = Sdsrp::new(NodeId(0), sparse_cfg());
         let now = t(5000.0);
         let a = msg_with(1, 4, 100.0, &[4000.0], 5000.0);
@@ -830,5 +1303,56 @@ mod tests {
         let ua = p.send_priority(now, &a.view());
         let ub = p.send_priority(now, &b.view());
         assert_ne!(ua, ub, "spray-history change not reflected");
+    }
+
+    #[test]
+    fn seen_horizon_is_exact_at_bucket_boundaries() {
+        // Brute-force check of the certification: for a range of spray
+        // times and E(I_min) values, estimate_m must be constant on
+        // [now, horizon) and different (or the entry rebuilt) at the
+        // horizon itself.
+        for &(tk, e_min, now_s) in &[
+            (0.0, 10.0, 25.0),
+            (3.0, 1010.10101010101, 500.0),
+            (100.0, 0.1, 100.05),
+            (7.0, 3.3333333333333335, 7.0),
+            (0.0, 1e-3, 0.0617),
+        ] {
+            let spray = [t(tk)];
+            let seen = estimate_m(&spray, t(now_s), e_min, 100);
+            let horizon = seen_horizon(&spray, now_s, e_min, seen, 100, false);
+            assert!(horizon > now_s, "empty window for tk={tk} e={e_min}");
+            if horizon.is_finite() {
+                // Just below the horizon: same estimate.
+                let probe = next_down(horizon);
+                assert_eq!(
+                    estimate_m(&spray, t(probe), e_min, 100),
+                    seen,
+                    "estimate moved inside the certified window (tk={tk}, e={e_min})"
+                );
+                // At the horizon: the estimate moves (that is what the
+                // boundary means).
+                assert_ne!(
+                    estimate_m(&spray, t(horizon), e_min, 100),
+                    seen,
+                    "horizon is not actually a boundary (tk={tk}, e={e_min})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_down_is_strictly_below() {
+        for &x in &[1.0, 0.0, -1.0, 1e300, 1e-300, 25.000000000000004] {
+            let y = next_down(x);
+            assert!(y < x, "next_down({x}) = {y} not below");
+            assert_eq!(f64::from_bits(y.to_bits()), y);
+            let z = next_up(x);
+            assert!(z > x, "next_up({x}) = {z} not above");
+            assert_eq!(next_up(y), x, "next_up does not undo next_down at {x}");
+        }
+        assert_eq!(next_down(f64::INFINITY), f64::MAX);
+        assert_eq!(next_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
     }
 }

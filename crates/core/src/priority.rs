@@ -101,9 +101,24 @@ impl PriorityModel {
         if self.n_nodes <= 1 {
             return 0.0;
         }
+        let (lp1, correction) = self.exposure_parts(copies);
+        (lp1 * remaining_ttl - correction).max(0.0)
+    }
+
+    /// The copy-count-dependent pieces of [`exposure`](Self::exposure):
+    /// `(log2(C_i) + 1, log2(C_i)(log2(C_i)+1) / (2 (N-1) λ))`, so that
+    /// `A_i = (parts.0 * R_i - parts.1).max(0.0)` bit-for-bit. Lets an
+    /// incremental evaluator cache everything that does not depend on
+    /// the remaining TTL and finish Eq. 10 with two flops per call.
+    ///
+    /// # Panics
+    /// Panics on degenerate (`N <= 1`) models — callers that tolerate
+    /// those must stay on [`exposure`](Self::exposure), which returns 0.
+    pub fn exposure_parts(&self, copies: u32) -> (f64, f64) {
+        assert!(self.n_nodes >= 2, "need at least two nodes");
         let l = log2_copies(copies);
         let correction = l * (l + 1.0) / (2.0 * (self.n_nodes as f64 - 1.0) * self.lambda);
-        ((l + 1.0) * remaining_ttl - correction).max(0.0)
+        (l + 1.0, correction)
     }
 
     /// `P(T_i)` — probability the message has already been delivered

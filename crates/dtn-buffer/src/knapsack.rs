@@ -26,8 +26,17 @@ use dtn_core::units::Bytes;
 const GRANULE: u64 = 50_000;
 
 /// The knapsack scheduling/drop policy (see module docs).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Knapsack;
+///
+/// Holds reusable DP scratch: overflow decisions run once per admission
+/// attempt on the hot path, and re-allocating an `O(n * cap)` table (and
+/// the item list) each time showed up as allocator traffic in profiles.
+#[derive(Debug, Clone, Default)]
+pub struct Knapsack {
+    /// Flattened `(n + 1) x (cap_units + 1)` DP table, reused across calls.
+    table: Vec<f64>,
+    /// Item list `(value, weight, id)`, reused across calls.
+    items: Vec<(f64, usize, MessageId)>,
+}
 
 impl Knapsack {
     fn value(msg: &MessageView<'_>) -> f64 {
@@ -43,22 +52,26 @@ impl Knapsack {
 
     /// Solves 0/1 knapsack over `items = [(value, weight, id)]` with
     /// total weight `cap_units`, returning the kept ids.
-    fn solve(items: &[(f64, usize, MessageId)], cap_units: usize) -> Vec<MessageId> {
-        // Layer-by-layer DP with full reconstruction. Buffers hold at
-        // most a few dozen messages and capacities a few hundred units,
-        // so the O(n * cap) table is tiny.
+    fn solve(&mut self, items: &[(f64, usize, MessageId)], cap_units: usize) -> Vec<MessageId> {
+        // Layer-by-layer DP with full reconstruction, on the reusable
+        // flat table (row stride `cap_units + 1`). Buffers hold at most
+        // a few dozen messages and capacities a few hundred units, so
+        // the O(n * cap) table is tiny — but it is rebuilt per
+        // overflow, hence the scratch.
         let n = items.len();
-        let mut table = vec![vec![0.0f64; cap_units + 1]; n + 1];
+        let stride = cap_units + 1;
+        self.table.clear();
+        self.table.resize((n + 1) * stride, 0.0);
         for i in 1..=n {
             let (v, w, _) = items[i - 1];
             for cap in 0..=cap_units {
-                let without = table[i - 1][cap];
+                let without = self.table[(i - 1) * stride + cap];
                 let with = if w <= cap {
-                    table[i - 1][cap - w] + v
+                    self.table[(i - 1) * stride + (cap - w)] + v
                 } else {
                     f64::NEG_INFINITY
                 };
-                table[i][cap] = without.max(with);
+                self.table[i * stride + cap] = without.max(with);
             }
         }
         let mut kept = Vec::new();
@@ -66,7 +79,7 @@ impl Knapsack {
         for i in (1..=n).rev() {
             // Item i was taken iff its layer improved on the previous
             // one at this capacity.
-            if (table[i][cap] - table[i - 1][cap]).abs() > 1e-15 {
+            if (self.table[i * stride + cap] - self.table[(i - 1) * stride + cap]).abs() > 1e-15 {
                 let (_, w, id) = items[i - 1];
                 kept.push(id);
                 cap -= w;
@@ -95,16 +108,20 @@ impl BufferPolicy for Knapsack {
         capacity: Bytes,
     ) -> Option<AdmissionPlan> {
         let cap_units = (capacity.as_u64() / GRANULE) as usize;
-        let mut items: Vec<(f64, usize, MessageId)> = residents
-            .iter()
-            .map(|m| (Self::value(m), Self::weight(m.size), m.id))
-            .collect();
+        let mut items = std::mem::take(&mut self.items);
+        items.clear();
+        items.extend(
+            residents
+                .iter()
+                .map(|m| (Self::value(m), Self::weight(m.size), m.id)),
+        );
         items.push((
             Self::value(incoming),
             Self::weight(incoming.size),
             incoming.id,
         ));
-        let kept = Self::solve(&items, cap_units);
+        let kept = self.solve(&items, cap_units);
+        self.items = items;
         if !kept.contains(&incoming.id) {
             return Some(AdmissionPlan::RejectIncoming);
         }
@@ -151,14 +168,14 @@ mod tests {
             (5.0, 5, MessageId(2)),
             (9.0, 10, MessageId(3)),
         ];
-        let mut kept = Knapsack::solve(&items, 10);
+        let mut kept = Knapsack::default().solve(&items, 10);
         kept.sort();
         assert_eq!(kept, vec![MessageId(1), MessageId(2)]);
     }
 
     #[test]
     fn solver_empty_items() {
-        assert!(Knapsack::solve(&[], 10).is_empty());
+        assert!(Knapsack::default().solve(&[], 10).is_empty());
     }
 
     #[test]
@@ -169,7 +186,7 @@ mod tests {
         // but the key case: the *large* resident must be evicted for the
         // first small newcomer even though a single eviction frees twice
         // what is needed.
-        let mut p = Knapsack;
+        let mut p = Knapsack::default();
         let big = msg(1, 1.0, 0.3);
         let small = msg(2, 0.5, 0.9);
         let plan = plan_admission(
@@ -190,7 +207,7 @@ mod tests {
 
     #[test]
     fn rejects_low_value_newcomer() {
-        let mut p = Knapsack;
+        let mut p = Knapsack::default();
         let residents = [msg(1, 0.5, 0.8), msg(2, 0.5, 0.7)];
         let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
         let incoming = msg(9, 0.5, 0.1);
@@ -207,7 +224,7 @@ mod tests {
 
     #[test]
     fn admits_into_free_space_without_evictions() {
-        let mut p = Knapsack;
+        let mut p = Knapsack::default();
         let resident = msg(1, 0.5, 0.5);
         let incoming = msg(2, 0.5, 0.4);
         let plan = plan_admission(
@@ -257,7 +274,7 @@ mod tests {
                     .enumerate()
                     .map(|(i, &(v, w))| (v, w, MessageId(i as u64)))
                     .collect();
-                let kept = Knapsack::solve(&items, cap);
+                let kept = Knapsack::default().solve(&items, cap);
                 let kept_value: f64 = items
                     .iter()
                     .filter(|(_, _, id)| kept.contains(id))
@@ -286,7 +303,7 @@ mod tests {
         // is 0.5 MB with value 0.5, it simply fits alongside after no
         // eviction. The set-wise win: resident 1 MB @ 0.4 vs two
         // messages {0.9 MB @ 0.35 incoming + existing 0.5 MB @ 0.3}.
-        let mut p = Knapsack;
+        let mut p = Knapsack::default();
         let big_mediocre = msg(1, 1.0, 0.4);
         let small_ok = msg(2, 0.5, 0.3);
         let views = vec![big_mediocre.view(), small_ok.view()];

@@ -36,5 +36,7 @@ pub mod random;
 pub mod ttl;
 pub mod view;
 
-pub use policy::{plan_admission, AdmissionPlan, BufferPolicy};
+pub use policy::{
+    plan_admission, plan_admission_with, AdmissionPlan, BufferPolicy, EvictionScratch,
+};
 pub use view::MessageView;

@@ -103,30 +103,43 @@ pub trait BufferPolicy: Send {
     }
 }
 
-/// Aggregate hit/miss counters of a policy's priority memoisation (see
+/// Aggregate counters of a policy's priority memoisation (see
 /// [`BufferPolicy::priority_cache_stats`]).
+///
+/// Requests are classified three ways: `hits` returned a stored value
+/// verbatim (same evaluation instant), `incremental` finished an
+/// evaluation from cached partial results (a new instant whose changed
+/// inputs are all pure functions of time), and `misses` rebuilt the
+/// entry from scratch. Paths that never consult the memo — the cache
+/// disabled, or a policy without one — count in none of the buckets, so
+/// an uncached run reports all-zero stats rather than a wall of fake
+/// misses.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PriorityCacheStats {
-    /// Ranking requests answered from the memo.
+    /// Ranking requests answered verbatim from the memo.
     pub hits: u64,
-    /// Ranking requests that had to recompute.
+    /// Ranking requests completed from cached partial results.
+    pub incremental: u64,
+    /// Ranking requests that had to rebuild the entry from scratch.
     pub misses: u64,
 }
 
 impl PriorityCacheStats {
-    /// Fraction of requests answered from the memo (0 when idle).
+    /// Fraction of requests the memo served — verbatim or by finishing
+    /// a cached partial evaluation (0 when idle).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.incremental + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.incremental) as f64 / total as f64
         }
     }
 
     /// Component-wise sum (for aggregating across nodes).
     pub fn merge(&mut self, other: PriorityCacheStats) {
         self.hits += other.hits;
+        self.incremental += other.incremental;
         self.misses += other.misses;
     }
 }
@@ -184,6 +197,47 @@ pub enum AdmissionPlan {
     RejectIncoming,
 }
 
+/// Reusable backing storage for the amortized top-k victim selection.
+///
+/// Every admission decision still re-ranks the candidates from the
+/// caller's single `now` snapshot — rankings are *never* reused across
+/// instants, only the heap's allocation is. Holding one scratch per
+/// simulation world turns the former per-decision `Vec` allocation into
+/// a clear-and-refill of memory that is already hot in cache.
+#[derive(Debug, Default)]
+pub struct EvictionScratch {
+    ranked: Vec<Reverse<EvictionRank>>,
+}
+
+impl EvictionScratch {
+    /// Lazy lowest-first selection without a reject rule (forced
+    /// admission of newly generated messages): heapifies `candidates`
+    /// in O(B), then pops ascending `(keep priority, id)` victims into
+    /// `victims` until `free` covers `needed` or the candidates run
+    /// out. Returns the resulting free space.
+    pub fn select_victims(
+        &mut self,
+        candidates: impl Iterator<Item = EvictionRank>,
+        mut free: Bytes,
+        needed: Bytes,
+        victims: &mut Vec<(MessageId, Bytes)>,
+    ) -> Bytes {
+        let mut backing = std::mem::take(&mut self.ranked);
+        backing.clear();
+        backing.extend(candidates.map(Reverse));
+        let mut ranked = BinaryHeap::from(backing);
+        while free < needed {
+            let Some(Reverse(v)) = ranked.pop() else {
+                break;
+            };
+            victims.push((v.id, v.size));
+            free += v.size;
+        }
+        self.ranked = ranked.into_vec();
+        free
+    }
+}
+
 /// The paper's drop rule (Algorithm 1, lines 8-12), generalised to
 /// heterogeneous sizes: evict the lowest-`keep_priority` resident until
 /// the newcomer fits, but if at any point the newcomer itself has the
@@ -191,7 +245,9 @@ pub enum AdmissionPlan {
 /// evict nothing.
 ///
 /// `free` is the buffer space currently available; `residents` the
-/// views of messages currently buffered.
+/// views of messages currently buffered. Convenience wrapper over
+/// [`plan_admission_with`] paying a fresh scratch allocation; hot
+/// callers keep an [`EvictionScratch`] alive instead.
 pub fn plan_admission(
     policy: &mut dyn BufferPolicy,
     now: SimTime,
@@ -199,6 +255,34 @@ pub fn plan_admission(
     residents: &[MessageView<'_>],
     free: Bytes,
     capacity: Bytes,
+) -> AdmissionPlan {
+    let mut scratch = EvictionScratch::default();
+    plan_admission_with(
+        policy,
+        now,
+        incoming,
+        residents,
+        free,
+        capacity,
+        &mut scratch,
+    )
+}
+
+/// [`plan_admission`] with caller-provided scratch so the per-decision
+/// heap allocation is amortized across admissions.
+///
+/// All rankings are taken at the single `now` snapshot passed in —
+/// incoming and every resident alike — so an entry memoised at an
+/// earlier tick can never outrank a fresher one (stale-TTL discipline).
+#[allow(clippy::too_many_arguments)]
+pub fn plan_admission_with(
+    policy: &mut dyn BufferPolicy,
+    now: SimTime,
+    incoming: &MessageView<'_>,
+    residents: &[MessageView<'_>],
+    free: Bytes,
+    capacity: Bytes,
+    scratch: &mut EvictionScratch,
 ) -> AdmissionPlan {
     if incoming.size > capacity {
         // Can never fit, even with an empty buffer.
@@ -218,34 +302,38 @@ pub fn plan_admission(
     // ascending by `(keep priority, id)` — the same total order the sort
     // used (ties evict the older message id first) — so the victim
     // sequence is bit-identical.
-    let mut ranked: BinaryHeap<Reverse<EvictionRank>> = residents
-        .iter()
-        .map(|m| {
-            Reverse(EvictionRank {
-                priority: policy.keep_priority(now, m),
-                id: m.id,
-                size: m.size,
-            })
+    let mut backing = std::mem::take(&mut scratch.ranked);
+    backing.clear();
+    backing.extend(residents.iter().map(|m| {
+        Reverse(EvictionRank {
+            priority: policy.keep_priority(now, m),
+            id: m.id,
+            size: m.size,
         })
-        .collect();
+    }));
+    let mut ranked = BinaryHeap::from(backing);
 
     let mut evict = Vec::new();
     let mut freed = free;
-    while freed < incoming.size {
+    let plan = loop {
+        if freed >= incoming.size {
+            break AdmissionPlan::Admit { evict };
+        }
         let Some(Reverse(victim)) = ranked.pop() else {
             // Even evicting everything cheaper than the newcomer is not
             // enough.
-            return AdmissionPlan::RejectIncoming;
+            break AdmissionPlan::RejectIncoming;
         };
         if incoming_priority <= victim.priority {
             // The newcomer is now the lowest-priority candidate: refuse
             // it (Algorithm 1 line 10-11 with the comparison inverted).
-            return AdmissionPlan::RejectIncoming;
+            break AdmissionPlan::RejectIncoming;
         }
         evict.push(victim.id);
         freed += victim.size;
-    }
-    AdmissionPlan::Admit { evict }
+    };
+    scratch.ranked = ranked.into_vec();
+    plan
 }
 
 /// Sorts message ids by descending send priority (scheduling order for a

@@ -19,7 +19,7 @@ use dtn_routing::prophet::{Prophet, ProphetConfig};
 use dtn_routing::protocol::RoutingProtocol;
 use dtn_routing::spray_and_focus::SprayAndFocus;
 use dtn_routing::SprayAndWait;
-use sdsrp_core::{LambdaMode, Sdsrp, SdsrpConfig};
+use sdsrp_core::{LambdaMode, PriorityMode, Sdsrp, SdsrpConfig};
 use serde::{Deserialize, Serialize};
 
 /// Which buffer-management strategy a scenario runs — the paper's four
@@ -80,7 +80,7 @@ impl PolicyKind {
                 streams::BUFFER,
                 node.0 as u64,
             ))),
-            PolicyKind::Knapsack => Box::new(Knapsack),
+            PolicyKind::Knapsack => Box::new(Knapsack::default()),
             PolicyKind::Sdsrp => Box::new(Sdsrp::new(node, SdsrpConfig::paper(n_nodes))),
             PolicyKind::SdsrpCustom {
                 lambda,
@@ -92,7 +92,7 @@ impl PolicyKind {
                 SdsrpConfig {
                     n_nodes,
                     lambda,
-                    taylor_terms,
+                    mode: PriorityMode::from_terms(taylor_terms),
                     reject_dropped,
                     gossip,
                 },
@@ -102,7 +102,7 @@ impl PolicyKind {
                 SdsrpConfig {
                     n_nodes,
                     lambda: LambdaMode::Oracle(lambda),
-                    taylor_terms: None,
+                    mode: PriorityMode::Exact,
                     reject_dropped: true,
                     gossip: true,
                 },

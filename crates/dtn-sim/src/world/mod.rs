@@ -65,7 +65,9 @@ use crate::config::{ImmunityMode, RoutingKind, ScenarioConfig};
 use crate::message::{BufferedCopy, Message};
 use crate::node::{make_view, two_nodes, Node};
 use crate::report::Report;
-use dtn_buffer::policy::{plan_admission, AdmissionPlan, EvictionRank, PriorityCacheStats};
+use dtn_buffer::policy::{
+    plan_admission_with, AdmissionPlan, EvictionRank, EvictionScratch, PriorityCacheStats,
+};
 use dtn_core::event::EventQueue;
 use dtn_core::ids::{MessageId, NodeId, NodePair};
 use dtn_core::pool::Pool;
@@ -145,6 +147,12 @@ struct WorldMetrics {
     delivery_latency_secs: dtn_telemetry::HistogramId,
     transfer_bytes: dtn_telemetry::HistogramId,
     live_contacts: dtn_telemetry::GaugeId,
+    /// Cumulative priority-memo counters aggregated across every node,
+    /// refreshed each telemetry phase. Gauges, not counters: the nodes
+    /// own the running totals and the world just mirrors them.
+    priority_cache_hits: dtn_telemetry::GaugeId,
+    priority_cache_incremental: dtn_telemetry::GaugeId,
+    priority_cache_misses: dtn_telemetry::GaugeId,
 }
 
 /// Metric handles registered when both a recorder and the validator
@@ -215,6 +223,12 @@ pub struct World {
     /// allocating a fresh clone, removals push theirs back (bounded by
     /// [`SPRAY_POOL_CAP`]).
     spray_pool: Vec<Vec<SimTime>>,
+    /// Reusable eviction-heap backing for both admission paths — every
+    /// overflow heapifies the resident set, so the allocation is
+    /// hoisted out of the per-admission hot path.
+    evict_scratch: EvictionScratch,
+    /// Reusable victim list for forced (source-side) admission.
+    victim_scratch: Vec<(MessageId, dtn_core::units::Bytes)>,
     /// RNG for mid-transfer abort injection; `None` (never consulted)
     /// when `transfer_abort_prob` is zero, so zero-fault runs draw
     /// nothing from the FAULTS stream.
@@ -360,6 +374,8 @@ impl World {
             scratch_events: Vec::new(),
             scratch_idle: Vec::new(),
             spray_pool: Vec::new(),
+            evict_scratch: EvictionScratch::default(),
+            victim_scratch: Vec::new(),
             abort_rng,
             pool: Pool::new(1),
         }
@@ -386,6 +402,9 @@ impl World {
                     &[65_536.0, 262_144.0, 524_288.0, 1_048_576.0, 4_194_304.0],
                 ),
                 live_contacts: m.gauge("live_contacts"),
+                priority_cache_hits: m.gauge("priority_cache_hits"),
+                priority_cache_incremental: m.gauge("priority_cache_incremental"),
+                priority_cache_misses: m.gauge("priority_cache_misses"),
             })
         } else {
             None

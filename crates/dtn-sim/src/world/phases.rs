@@ -97,7 +97,12 @@ impl World {
     fn phase_telemetry(&mut self) {
         if let Some(m) = self.metrics.as_ref() {
             let live = self.links.len() as f64;
-            self.recorder.metrics_mut().set_gauge(m.live_contacts, live);
+            let cache = self.priority_cache_stats();
+            let metrics = self.recorder.metrics_mut();
+            metrics.set_gauge(m.live_contacts, live);
+            metrics.set_gauge(m.priority_cache_hits, cache.hits as f64);
+            metrics.set_gauge(m.priority_cache_incremental, cache.incremental as f64);
+            metrics.set_gauge(m.priority_cache_misses, cache.misses as f64);
         }
         if self.recorder.timeseries_due(self.now.as_secs()) {
             let point = self.sample_timepoint();

@@ -101,41 +101,33 @@ impl World {
         let now = self.now;
         let msg = self.catalog[msg_id.index()];
         let node = &mut self.nodes[node_id.index()];
-        let mut free = node.free();
-        let mut victims: Vec<(MessageId, dtn_core::units::Bytes)> = Vec::new();
+        let free = node.free();
+        let mut victims = std::mem::take(&mut self.victim_scratch);
+        victims.clear();
         if free < msg.size {
             // Lazy lowest-keep-priority selection: heapify every
             // resident in O(B), pop only the victims actually needed.
             // `EvictionRank` orders by `(priority, id)` — the total
             // order the former full sort used — so the victim sequence
-            // is unchanged.
-            let mut ranked: std::collections::BinaryHeap<std::cmp::Reverse<EvictionRank>> = {
-                let policy = node.policy.as_mut();
-                let catalog = &self.catalog;
-                let oracle = self.oracle.as_ref();
-                node.buffer
-                    .values()
-                    .map(|c| {
-                        let m = &catalog[c.msg.index()];
-                        let oi = oracle.map(|o| o.of(c.msg));
-                        let view = make_view(m, c, now, oi);
-                        std::cmp::Reverse(EvictionRank {
-                            priority: policy.keep_priority(now, &view),
-                            id: c.msg,
-                            size: m.size,
-                        })
-                    })
-                    .collect()
-            };
-            while free < msg.size {
-                let Some(std::cmp::Reverse(v)) = ranked.pop() else {
-                    break;
-                };
-                victims.push((v.id, v.size));
-                free += v.size;
-            }
+            // is unchanged. Every resident is ranked at the same `now`
+            // snapshot the overflow decision uses.
+            let policy = node.policy.as_mut();
+            let catalog = &self.catalog;
+            let oracle = self.oracle.as_ref();
+            let candidates = node.buffer.values().map(|c| {
+                let m = &catalog[c.msg.index()];
+                let oi = oracle.map(|o| o.of(c.msg));
+                let view = make_view(m, c, now, oi);
+                EvictionRank {
+                    priority: policy.keep_priority(now, &view),
+                    id: c.msg,
+                    size: m.size,
+                }
+            });
+            self.evict_scratch
+                .select_victims(candidates, free, msg.size, &mut victims);
         }
-        for (victim, size) in victims {
+        for &(victim, size) in &victims {
             let node = &mut self.nodes[node_id.index()];
             let removed = node.remove_copy(victim, size);
             node.policy.on_drop(now, victim);
@@ -156,6 +148,8 @@ impl World {
             }
             recycle_spray(&mut self.spray_pool, removed);
         }
+        victims.clear();
+        self.victim_scratch = victims;
         self.nodes[node_id.index()].insert_copy(copy, msg.size);
         if let Some(o) = self.oracle.as_mut() {
             o.holders[msg_id.index()] += 1;
@@ -193,13 +187,14 @@ impl World {
                 make_view(m, c, now, oi)
             })
             .collect();
-        let plan = plan_admission(
+        let plan = plan_admission_with(
             node.policy.as_mut(),
             now,
             &incoming_view,
             &resident_views,
             free,
             capacity,
+            &mut self.evict_scratch,
         );
         drop(resident_views);
 

@@ -19,7 +19,8 @@
 //! `--routing NAME`, `--seed N`, `--duration SECS`, `--copies L`,
 //! `--buffer-mb X`, `--immunity none|oracle|gossip`, `--json`,
 //! `--emit-config`, `--timeseries FILE`, `--telemetry FILE`,
-//! `--validate`, `--no-priority-cache`, `--replay MANIFEST`.
+//! `--validate`, `--no-priority-cache`, `--taylor-terms K`,
+//! `--replay MANIFEST`.
 //!
 //! `--telemetry FILE` streams every simulation event as one JSON object
 //! per line to `FILE` and writes a run manifest (config hash, seed,
@@ -33,6 +34,10 @@
 //! `--no-priority-cache` disables the SDSRP priority memoisation cache
 //! (the reference path used by the differential regression suite).
 //! Results are bit-identical either way; this flag only changes speed.
+//!
+//! `--taylor-terms K` truncates SDSRP's Eq. 13 priority to a K-term
+//! Taylor series (the paper's Fig. 4 ablation axis); `0` means the
+//! exact closed form. Applies to `sdsrp` and custom SDSRP policies.
 //!
 //! `--sweep copies|buffer|genrate` sweeps the paper's axis of that name
 //! over the resolved base scenario with the paper's four policies,
@@ -69,7 +74,7 @@ fn usage() -> ! {
          \t[--seed N] [--duration SECS] [--copies L] [--buffer-mb X]\n\
          \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
          \t[--timeseries FILE] [--telemetry FILE] [--validate]\n\
-         \t[--no-priority-cache] [--replay MANIFEST.json]\n\
+         \t[--no-priority-cache] [--taylor-terms K] [--replay MANIFEST.json]\n\
          \t[--threads N] [--world-threads N]\n\
          \t[--sweep copies|buffer|genrate [--seeds N]\n\
          \t\t[--validate-cells] [--checkpoint FILE [--resume]]\n\
@@ -413,6 +418,35 @@ fn main() {
                 overrides.push(Box::new(move |c| c.warmup_secs = w));
             }
             "--no-priority-cache" => priority_cache = false,
+            "--taylor-terms" => {
+                let k: usize = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                let terms = (k > 0).then_some(k);
+                overrides.push(Box::new(move |c| {
+                    c.policy = match c.policy {
+                        PolicyKind::Sdsrp => PolicyKind::SdsrpCustom {
+                            lambda: sdsrp::sdsrp::LambdaMode::Online {
+                                prior: 1.0 / 2000.0,
+                                min_samples: 5,
+                            },
+                            taylor_terms: terms,
+                            reject_dropped: true,
+                            gossip: true,
+                        },
+                        PolicyKind::SdsrpCustom {
+                            lambda,
+                            reject_dropped,
+                            gossip,
+                            ..
+                        } => PolicyKind::SdsrpCustom {
+                            lambda,
+                            taylor_terms: terms,
+                            reject_dropped,
+                            gossip,
+                        },
+                        other => other,
+                    };
+                }));
+            }
             "--json" => json_out = true,
             "--emit-config" => emit_config = true,
             "--timeseries" => timeseries_path = Some(next(&args, &mut i)),

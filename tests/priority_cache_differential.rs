@@ -16,37 +16,53 @@ use sdsrp::sim::world::World;
 use sdsrp::telemetry::Recorder;
 
 /// Runs `cfg` to completion with the cache toggled and returns the
-/// canonical fingerprint rendering plus the cache hit count.
-fn run_fingerprint(cfg: &ScenarioConfig, cache: bool) -> (String, u64) {
+/// canonical fingerprint rendering plus the cache counters.
+fn run_fingerprint(
+    cfg: &ScenarioConfig,
+    cache: bool,
+) -> (String, sdsrp::buffer::policy::PriorityCacheStats) {
     let mut world = World::build(cfg);
     world.set_priority_cache(cache);
     world.attach_recorder(Recorder::enabled(16));
-    let stats_probe = world.priority_cache_stats();
-    assert_eq!(stats_probe.hits + stats_probe.misses, 0);
+    let probe = world.priority_cache_stats();
+    assert_eq!(probe.hits + probe.incremental + probe.misses, 0);
     world.step_until(dtn_core::time::SimTime::from_secs(cfg.duration_secs));
-    let hits = world.priority_cache_stats().hits;
+    let stats = world.priority_cache_stats();
     let totals = world.recorder().totals().clone();
     let fp = fingerprint(world.report(), &totals).to_canonical_json();
-    (fp, hits)
+    (fp, stats)
 }
 
 fn assert_cache_invariant(cfg: &ScenarioConfig) {
-    let (cached, hits) = run_fingerprint(cfg, true);
-    let (uncached, uncached_hits) = run_fingerprint(cfg, false);
+    let (cached, stats) = run_fingerprint(cfg, true);
+    let (uncached, uncached_stats) = run_fingerprint(cfg, false);
     assert_eq!(
         cached, uncached,
         "{}: fingerprint diverged between cached and uncached priority paths",
         cfg.name
     );
+    // The reference path bypasses the cache entirely: no bucket — hit,
+    // incremental or miss — may move.
     assert_eq!(
-        uncached_hits, 0,
-        "{}: disabled cache must never serve hits",
+        uncached_stats.hits + uncached_stats.incremental + uncached_stats.misses,
+        0,
+        "{}: disabled cache must count nothing",
         cfg.name
     );
     // SDSRP runs should actually exercise the cache, otherwise this
-    // suite silently stops testing anything.
+    // suite silently stops testing anything. Time advances between
+    // rankings, so the incremental (cross-instant) path must fire too.
     if cfg.policy == PolicyKind::Sdsrp {
-        assert!(hits > 0, "{}: SDSRP run produced no cache hits", cfg.name);
+        assert!(
+            stats.hits > 0,
+            "{}: SDSRP run produced no cache hits",
+            cfg.name
+        );
+        assert!(
+            stats.incremental > 0,
+            "{}: SDSRP run never took the incremental path",
+            cfg.name
+        );
     }
 }
 
@@ -117,4 +133,150 @@ fn scenario_gen_sdsrp_batch_is_cache_invariant() {
         cfg.name = format!("fuzz-sdsrp-{seed}");
         assert_cache_invariant(&cfg);
     }
+}
+
+/// Fault churn (crashes, blackouts, aborted transfers) exercises the
+/// cache's hardest invalidation paths: `on_node_reset` wholesale
+/// wipes, gossip records that restart after a crash, and contacts that
+/// tear down mid-transfer. The cached and reference paths must still
+/// agree bit-for-bit.
+#[test]
+fn fault_churn_is_cache_invariant() {
+    let mut cfg = presets::smoke();
+    cfg.name = "churn-diff".into();
+    cfg.policy = PolicyKind::Sdsrp;
+    cfg.duration_secs = 1_800.0;
+    cfg.seed = 11;
+    cfg.faults.crash_rate_per_hour = 2.0;
+    cfg.faults.reboot_secs = 60.0;
+    cfg.faults.blackout_rate_per_hour = 3.0;
+    cfg.faults.blackout_secs = 30.0;
+    cfg.faults.transfer_abort_prob = 0.1;
+    cfg.validate();
+    assert_cache_invariant(&cfg);
+
+    // And a couple of generator-drawn plans, so the shape of the churn
+    // isn't hand-picked.
+    for seed in 0..3u64 {
+        let mut cfg = presets::smoke();
+        cfg.name = format!("churn-diff-gen-{seed}");
+        cfg.policy = PolicyKind::Sdsrp;
+        cfg.duration_secs = 1_200.0;
+        cfg.seed = 100 + seed;
+        cfg.faults = sdsrp::sim::scenario_gen::random_fault_plan(seed);
+        assert_cache_invariant(&cfg);
+    }
+}
+
+/// The Eq. 13 Taylor fast path is an *approximation*, so it is not
+/// expected to match the exact fingerprint — but it must be (a)
+/// deterministic run-to-run and (b) cache-invariant like every other
+/// mode: the memo may never change what the truncated series computes.
+#[test]
+fn taylor_mode_is_deterministic_and_cache_invariant() {
+    let mut cfg = presets::smoke();
+    cfg.name = "taylor-diff".into();
+    cfg.policy = PolicyKind::SdsrpCustom {
+        lambda: sdsrp::sdsrp::LambdaMode::Online {
+            prior: 1.0 / 2000.0,
+            min_samples: 5,
+        },
+        taylor_terms: Some(8),
+        reject_dropped: true,
+        gossip: true,
+    };
+    cfg.duration_secs = 1_800.0;
+    cfg.seed = 42;
+    cfg.validate();
+
+    let (first, stats) = run_fingerprint(&cfg, true);
+    let (second, _) = run_fingerprint(&cfg, true);
+    assert_eq!(first, second, "Taylor run is not deterministic");
+    assert!(
+        stats.hits + stats.incremental > 0,
+        "Taylor run never used the cache"
+    );
+    assert_cache_invariant(&cfg);
+}
+
+/// Ranks `msgs` by `send_priority` under the given priority mode and
+/// returns the message ids best-first. λ is pinned via `Oracle` so the
+/// two modes see identical inputs.
+fn ranking(mode: sdsrp::sdsrp::PriorityMode, msgs: &[sdsrp::buffer::view::TestMessage]) -> Vec<u64> {
+    use sdsrp::buffer::policy::BufferPolicy;
+    let mut policy = sdsrp::sdsrp::Sdsrp::new(
+        sdsrp::core::ids::NodeId(99),
+        sdsrp::sdsrp::SdsrpConfig {
+            n_nodes: 64,
+            lambda: sdsrp::sdsrp::LambdaMode::Oracle(1.0 / 2000.0),
+            mode,
+            reject_dropped: true,
+            gossip: true,
+        },
+    );
+    let now = dtn_core::time::SimTime::from_secs(600.0);
+    let mut scored: Vec<(u64, f64)> = msgs
+        .iter()
+        .map(|m| (m.id.0, policy.send_priority(now, &m.view())))
+        .collect();
+    // Best (highest utility) first; ties broken by id for stability.
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Counts pairs ordered differently by the two rankings.
+fn rank_inversions(a: &[u64], b: &[u64]) -> usize {
+    let pos: std::collections::HashMap<u64, usize> =
+        b.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut inversions = 0;
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            if pos[&a[i]] > pos[&a[j]] {
+                inversions += 1;
+            }
+        }
+    }
+    inversions
+}
+
+/// Fig. 4's qualitative claim, as a regression test: the Taylor
+/// truncation converges on the exact Eq. 10 ranking as terms grow. A
+/// deep truncation (k = 8) must agree with the exact closed form up to
+/// a small rank-inversion tolerance, and must never be further from it
+/// than the crudest truncation (k = 1).
+#[test]
+fn taylor_ranking_converges_to_exact() {
+    use sdsrp::buffer::view::TestMessage;
+    use sdsrp::sdsrp::PriorityMode;
+
+    // A diverse buffer: spread TTLs, copy counts and (oracle-pinned)
+    // seen/holder counts so the priorities span several regimes of
+    // Eq. 10 rather than clustering where any truncation looks exact.
+    let mut msgs = Vec::new();
+    for i in 0..36u64 {
+        let mut m = TestMessage::sample(i);
+        m.remaining_ttl = dtn_core::time::SimDuration::from_mins(10.0 + 8.0 * i as f64);
+        m.copies = 1 + (i % 12) as u32;
+        m.initial_copies = 32;
+        m.oracle_seen = Some(1 + (i * 7 % 40) as u32);
+        m.oracle_holders = Some(1 + (i * 3 % 10) as u32);
+        msgs.push(m);
+    }
+
+    let exact = ranking(PriorityMode::Exact, &msgs);
+    let deep = ranking(PriorityMode::Taylor { terms: 8 }, &msgs);
+    let shallow = ranking(PriorityMode::Taylor { terms: 1 }, &msgs);
+
+    let pairs = msgs.len() * (msgs.len() - 1) / 2;
+    let deep_inv = rank_inversions(&exact, &deep);
+    let shallow_inv = rank_inversions(&exact, &shallow);
+
+    assert!(
+        deep_inv <= shallow_inv,
+        "k=8 ({deep_inv} inversions) ranked further from exact than k=1 ({shallow_inv})"
+    );
+    assert!(
+        deep_inv * 10 <= pairs,
+        "k=8 disagrees with exact on {deep_inv}/{pairs} pairs (> 10% tolerance)"
+    );
 }
