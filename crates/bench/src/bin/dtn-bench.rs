@@ -17,8 +17,10 @@
 //! pre-optimisation algorithm) so every report carries its own
 //! cached-vs-uncached speedup, and a sweep-scaling section times the
 //! buffer-pressure cell batch on the in-process thread pool (baseline)
-//! and on the `dtn-fleet` subprocess coordinator at 1/2/4 workers,
-//! asserting every fleet row is bit-identical to the baseline. A
+//! and on the `dtn-fleet` coordinator at 1/2/4 workers over both the
+//! subprocess backend and loopback TCP (`dtn-fleet-worker --connect`
+//! children against a `127.0.0.1` listener), asserting every fleet row
+//! is bit-identical to the baseline. A
 //! thread-scaling section runs one large world (10k nodes; 2k with
 //! `--quick`) with the parallel tick phases on 1/2/4/8 intra-run
 //! threads, gating on bit-identical fingerprints across all counts.
@@ -30,7 +32,7 @@
 //! buffer-pressure wall clock and delivery ratio at that depth.
 //! The whole report — wall clock, contacts/sec, events/sec, peak RSS,
 //! config hash, cache hit rates, fingerprints — is written as
-//! `BENCH_sdsrp.json` (schema `dtn-bench/v4`; see EXPERIMENTS.md
+//! `BENCH_sdsrp.json` (schema `dtn-bench/v5`; see EXPERIMENTS.md
 //! §Benchmarking for how to read and compare trajectories).
 //!
 //! Correctness gate: the headline fingerprint is compared against the
@@ -44,7 +46,10 @@
 //! dtn-bench [--quick] [--out FILE] [--iters N]
 //! ```
 
-use dtn_fleet::{locate_worker, run_fleet, FleetOptions, SubprocessTransport};
+use dtn_fleet::{
+    locate_worker, run_fleet, FleetOptions, LocalTcpWorkers, SubprocessTransport, TcpTransport,
+    Transport,
+};
 use dtn_sim::config::{presets, PolicyKind, ScenarioConfig};
 use dtn_sim::replay::fingerprint;
 use dtn_sim::sweep::{run_cells, CellJob, CellRun, SweepOptions};
@@ -91,8 +96,9 @@ struct ScenarioResult {
 
 /// One sweep-scaling entry: the buffer-pressure cell batch on `workers`
 /// workers of the given transport (`"in-process"` = `run_cells` thread
-/// pool, `"subprocess"` = `dtn-fleet` coordinator with
-/// `dtn-fleet-worker` children).
+/// pool, `"subprocess"` = `dtn-fleet` coordinator with stdio
+/// `dtn-fleet-worker` children, `"tcp"` = the same children dialing a
+/// loopback listener with `--connect`).
 #[derive(Serialize)]
 struct ScalingResult {
     workers: usize,
@@ -275,7 +281,13 @@ fn bench_thread_scaling(quick: bool) -> Vec<ThreadScalingResult> {
 fn run_once(
     cfg: &ScenarioConfig,
     cache: bool,
-) -> (f64, u64, u64, dtn_buffer::policy::PriorityCacheStats, String) {
+) -> (
+    f64,
+    u64,
+    u64,
+    dtn_buffer::policy::PriorityCacheStats,
+    String,
+) {
     let mut world = World::build(cfg);
     world.set_priority_cache(cache);
     world.attach_recorder(Recorder::enabled(16));
@@ -403,25 +415,25 @@ fn bench_scaling_inprocess(quick: bool, threads: usize) -> (ScalingResult, Vec<O
     (row, out.runs)
 }
 
-/// Times the same cell batch through the `dtn-fleet` coordinator on
-/// `workers` subprocess workers and checks the per-cell results are
+/// Times the cell batch through the `dtn-fleet` coordinator on an
+/// already-built transport and checks the per-cell results are
 /// bit-identical to the in-process baseline.
-fn bench_scaling_fleet(
+fn run_scaling_row(
     quick: bool,
     workers: usize,
-    worker_bin: &Path,
+    label: &str,
+    transport: &dyn Transport,
     baseline: &[Option<CellRun>],
 ) -> ScalingResult {
     let jobs = scaling_jobs(quick);
     let cells = jobs.len();
-    let transport = SubprocessTransport::new(worker_bin.to_path_buf());
     let opts = FleetOptions {
         workers,
         ..FleetOptions::default()
     };
     let started = Instant::now();
-    let run = run_fleet(&jobs, &transport, &opts).unwrap_or_else(|e| {
-        eprintln!("FATAL: fleet scaling row ({workers} workers) failed: {e}");
+    let run = run_fleet(&jobs, transport, &opts).unwrap_or_else(|e| {
+        eprintln!("FATAL: fleet scaling row ({workers} {label} workers) failed: {e}");
         std::process::exit(1);
     });
     let wall = started.elapsed().as_secs_f64();
@@ -436,23 +448,56 @@ fn bench_scaling_fleet(
     let fingerprints_match_baseline = run.output.runs == baseline;
     if !fingerprints_match_baseline {
         eprintln!(
-            "FATAL: fleet scaling row ({workers} workers) diverged from the in-process baseline"
+            "FATAL: fleet scaling row ({workers} {label} workers) diverged from the in-process baseline"
         );
     }
     let events_total = run.output.totals.total();
     eprintln!(
-        "sweep-scaling    {workers:>2} subprocess worker(s): {cells} cells in {wall:7.3}s ({:.0} events/s)",
+        "sweep-scaling    {workers:>2} {label} worker(s): {cells} cells in {wall:7.3}s ({:.0} events/s)",
         events_total as f64 / wall
     );
     ScalingResult {
         workers,
-        transport: "subprocess".into(),
+        transport: label.into(),
         cells,
         wall_clock_secs: wall,
         events_total,
         events_per_sec: events_total as f64 / wall,
         fingerprints_match_baseline,
     }
+}
+
+/// The subprocess-backend scaling row.
+fn bench_scaling_fleet(
+    quick: bool,
+    workers: usize,
+    worker_bin: &Path,
+    baseline: &[Option<CellRun>],
+) -> ScalingResult {
+    let transport = SubprocessTransport::new(worker_bin.to_path_buf());
+    run_scaling_row(quick, workers, "subprocess", &transport, baseline)
+}
+
+/// The loopback-TCP scaling row: a fresh listener on `127.0.0.1:0` and
+/// `workers` local `dtn-fleet-worker --connect` children per row.
+fn bench_scaling_tcp(
+    quick: bool,
+    workers: usize,
+    worker_bin: &Path,
+    baseline: &[Option<CellRun>],
+) -> ScalingResult {
+    let transport = TcpTransport::bind("127.0.0.1:0").unwrap_or_else(|e| {
+        eprintln!("FATAL: tcp scaling row ({workers} workers): {e}");
+        std::process::exit(1);
+    });
+    let _children =
+        LocalTcpWorkers::spawn(worker_bin, transport.local_addr(), workers, None, None, &[])
+            .unwrap_or_else(|e| {
+                eprintln!("FATAL: tcp scaling row ({workers} workers): {e}");
+                std::process::exit(1);
+            });
+    transport.expect_workers(workers);
+    run_scaling_row(quick, workers, "tcp", &transport, baseline)
 }
 
 /// Analytic worst-case relative error of the `k`-term Eq. 13 Taylor
@@ -478,7 +523,11 @@ fn taylor_max_rel_err(terms: usize) -> f64 {
 /// clock and delivery ratio, so the accuracy/compute trade-off lands in
 /// the report as data.
 fn bench_taylor_ablation(quick: bool) -> Vec<TaylorAblationResult> {
-    let depths: &[usize] = if quick { &[0, 1, 8] } else { &[0, 1, 2, 4, 8, 16] };
+    let depths: &[usize] = if quick {
+        &[0, 1, 8]
+    } else {
+        &[0, 1, 2, 4, 8, 16]
+    };
     depths
         .iter()
         .map(|&terms| {
@@ -606,14 +655,23 @@ fn main() {
     let golden_fingerprint_ok = golden_check(&scenarios[0].fingerprint) && golden_check_parallel();
 
     // Scaling curve: the in-process single-thread baseline, then the
-    // dtn-fleet subprocess curve at 1/2/4 workers. Fleet rows gate on
-    // bit-identical per-cell results against the baseline.
+    // dtn-fleet curve at 1/2/4 workers over the subprocess backend and
+    // again over loopback TCP. Fleet rows gate on bit-identical
+    // per-cell results against the baseline.
     let (baseline_row, baseline_runs) = bench_scaling_inprocess(quick, 1);
     let mut sweep_scaling = vec![baseline_row];
     match locate_worker() {
         Ok(worker_bin) => {
             for workers in [1, 2, 4] {
                 sweep_scaling.push(bench_scaling_fleet(
+                    quick,
+                    workers,
+                    &worker_bin,
+                    &baseline_runs,
+                ));
+            }
+            for workers in [1, 2, 4] {
+                sweep_scaling.push(bench_scaling_tcp(
                     quick,
                     workers,
                     &worker_bin,
@@ -635,7 +693,7 @@ fn main() {
     let taylor_ablation = bench_taylor_ablation(quick);
 
     let report = BenchReport {
-        schema: "dtn-bench/v4".into(),
+        schema: "dtn-bench/v5".into(),
         quick,
         iters,
         threads_available,

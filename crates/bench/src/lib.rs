@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use dtn_fleet::{locate_worker, run_sweep_fleet, FleetOptions, SubprocessTransport};
+use dtn_fleet::{
+    locate_worker, run_sweep_fleet, FleetOptions, SubprocessTransport, TcpTransport, Transport,
+};
 use dtn_sim::config::{PolicyKind, ScenarioConfig};
 use dtn_sim::output::{Metric, SeriesTable};
 use dtn_sim::sweep::{
@@ -57,6 +59,19 @@ pub struct Cli {
     /// Explicit path to the `dtn-fleet-worker` binary; defaults to
     /// `locate_worker()` (env var, then the binary's own directory).
     pub worker_bin: Option<PathBuf>,
+    /// Fleet backend: `subprocess` (default) spawns workers locally,
+    /// `tcp` listens on `--listen` for `dtn-fleet-worker --connect`
+    /// peers. Figure binaries that run several sweep groups reuse one
+    /// listener across all of them, so TCP workers should be started
+    /// with `--reconnect`.
+    pub transport: String,
+    /// Bind address for `--transport tcp` (default `127.0.0.1:0`; the
+    /// chosen port is printed to stderr).
+    pub listen: String,
+    /// Shared-secret handshake token for `--transport tcp`.
+    pub token: Option<String>,
+    /// Seconds to wait for each of the first N TCP workers to dial in.
+    pub accept_timeout: f64,
 }
 
 impl Cli {
@@ -74,6 +89,10 @@ impl Cli {
             resume: false,
             workers: 0,
             worker_bin: None,
+            transport: "subprocess".into(),
+            listen: "127.0.0.1:0".into(),
+            token: None,
+            accept_timeout: 30.0,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -118,6 +137,25 @@ impl Cli {
                     cli.worker_bin = Some(PathBuf::from(
                         args.get(i).expect("--worker-bin needs a path"),
                     ));
+                }
+                "--transport" => {
+                    i += 1;
+                    cli.transport = args.get(i).expect("--transport needs a name").clone();
+                }
+                "--listen" => {
+                    i += 1;
+                    cli.listen = args.get(i).expect("--listen needs an address").clone();
+                }
+                "--token" => {
+                    i += 1;
+                    cli.token = Some(args.get(i).expect("--token needs a value").clone());
+                }
+                "--accept-timeout" => {
+                    i += 1;
+                    cli.accept_timeout = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--accept-timeout needs a number");
                 }
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
@@ -299,22 +337,62 @@ fn run_group_fleet(
     progress: &(dyn Fn(dtn_sim::sweep::SweepProgress) + Sync),
     cli: &Cli,
 ) -> SweepOutput {
-    let worker_bin = match cli.worker_bin.clone() {
-        Some(path) => path,
-        None => locate_worker().unwrap_or_else(|e| {
-            eprintln!("{fig}: {e}");
+    // One listener for the whole process: fig8/fig9 run three sweep
+    // groups back-to-back, and rebinding between them would race
+    // `--reconnect` workers dialing the old port. Each group re-arms
+    // the blocking accept budget via `expect_workers`.
+    static TCP: std::sync::OnceLock<TcpTransport> = std::sync::OnceLock::new();
+    let subprocess_holder;
+    let transport: &dyn Transport = match cli.transport.as_str() {
+        "tcp" => {
+            let tcp = TCP.get_or_init(|| {
+                let tcp = TcpTransport::bind(&cli.listen)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{fig}: {e}");
+                        std::process::exit(2);
+                    })
+                    .with_token(cli.token.clone())
+                    .with_timeouts(cli.accept_timeout, 30.0);
+                eprintln!(
+                    "{fig}: listening on {} (token {}); start workers with \
+                     `dtn-fleet-worker --connect ADDR --reconnect`",
+                    tcp.local_addr(),
+                    if cli.token.is_some() {
+                        "required"
+                    } else {
+                        "none"
+                    },
+                );
+                tcp
+            });
+            tcp.expect_workers(cli.workers);
+            tcp
+        }
+        "subprocess" => {
+            let worker_bin = match cli.worker_bin.clone() {
+                Some(path) => path,
+                None => locate_worker().unwrap_or_else(|e| {
+                    eprintln!("{fig}: {e}");
+                    std::process::exit(2);
+                }),
+            };
+            let mut transport = SubprocessTransport::new(worker_bin);
+            transport.checkpoint = checkpoint.as_ref().map(|ck| ck.path.clone());
+            subprocess_holder = transport;
+            &subprocess_holder
+        }
+        other => {
+            eprintln!("{fig}: unknown transport {other:?} (subprocess|tcp)");
             std::process::exit(2);
-        }),
+        }
     };
-    let mut transport = SubprocessTransport::new(worker_bin);
-    transport.checkpoint = checkpoint.as_ref().map(|ck| ck.path.clone());
     let opts = FleetOptions {
         workers: cli.workers,
         checkpoint,
         progress: Some(progress),
         ..FleetOptions::default()
     };
-    match run_sweep_fleet(spec, &transport, &opts) {
+    match run_sweep_fleet(spec, transport, &opts) {
         Ok((out, stats)) => {
             eprintln!(
                 "\r{fig}: fleet {} workers ({}), {} dispatched, {} retries, {} lost, {:.1}s wall",

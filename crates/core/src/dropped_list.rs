@@ -322,7 +322,8 @@ impl DroppedList {
         let mut adopted = 0;
         for _ in 0..n_records {
             let origin = NodeId(u32_at(&mut cur).expect("validated"));
-            let record_time = SimTime::from_secs(f64::from_bits(u64_at(&mut cur).expect("validated")));
+            let record_time =
+                SimTime::from_secs(f64::from_bits(u64_at(&mut cur).expect("validated")));
             let n_msgs = u32_at(&mut cur).expect("validated") as usize;
             let ids = take(&mut cur, n_msgs * 8).expect("validated");
             if origin == self.owner {
@@ -689,20 +690,29 @@ mod tests {
 
         // Fresh record: every entry is reported.
         let mut changed = Vec::new();
-        assert_eq!(a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 1);
+        assert_eq!(
+            a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed),
+            1
+        );
         changed.sort_unstable();
         assert_eq!(changed, vec![MessageId(6), MessageId(7)]);
 
         // Idempotent re-merge: nothing adopted, nothing reported.
         changed.clear();
-        assert_eq!(a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 0);
+        assert_eq!(
+            a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed),
+            0
+        );
         assert_eq!(changed, Vec::new());
 
         // Replacement: only the symmetric difference is reported (6 and
         // 7 persist in b's record, 8 is new).
         b.record_own_drop(t(9.0), MessageId(8));
         changed.clear();
-        assert_eq!(a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 1);
+        assert_eq!(
+            a.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed),
+            1
+        );
         assert_eq!(changed, vec![MessageId(8)]);
         assert_eq!(a.drop_count(MessageId(6)), 1);
         assert_eq!(a.drop_count(MessageId(8)), 1);
@@ -714,7 +724,10 @@ mod tests {
         b.prune(|m| m == MessageId(6));
         b.record_own_drop(t(20.0), MessageId(9));
         changed.clear();
-        assert_eq!(c.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed), 1);
+        assert_eq!(
+            c.merge_gossip_bytes_tracking(&b.to_gossip_bytes(), &mut changed),
+            1
+        );
         changed.sort_unstable();
         assert_eq!(changed, vec![MessageId(6), MessageId(9)]);
         assert_eq!(c.drop_count(MessageId(6)), 0);

@@ -515,7 +515,12 @@ impl Sdsrp {
     /// Miss-path rebuild: evaluates exactly as
     /// [`utility_with`](Self::utility_with) would and records the
     /// prefixes and validity horizon the incremental path needs.
-    fn build_entry(&self, model: PriorityModel, now: SimTime, msg: &MessageView<'_>) -> UtilityEntry {
+    fn build_entry(
+        &self,
+        model: PriorityModel,
+        now: SimTime,
+        msg: &MessageView<'_>,
+    ) -> UtilityEntry {
         let ts = now.as_secs();
         let e_min = model.e_i_min();
         let seen = msg
@@ -545,9 +550,7 @@ impl Sdsrp {
                     )
                 }
             }
-            PriorityMode::Taylor { terms } => {
-                (terms, (1.0 - pt).ln(), model.lambda * h, h.ln())
-            }
+            PriorityMode::Taylor { terms } => (terms, (1.0 - pt).ln(), model.lambda * h, h.ln()),
         };
         let mut spray_bits = [0u64; SPRAY_PIN_CAP];
         for (slot, t) in spray_bits.iter_mut().zip(msg.spray_times) {
@@ -689,7 +692,9 @@ impl BufferPolicy for Sdsrp {
         // and every other memo entry stay valid.
         let mut changed = std::mem::take(&mut self.cache.changed);
         changed.clear();
-        let adopted = self.dropped.merge_gossip_bytes_tracking(bytes, &mut changed);
+        let adopted = self
+            .dropped
+            .merge_gossip_bytes_tracking(bytes, &mut changed);
         for id in changed.drain(..) {
             self.cache.entries.remove(&id);
         }
@@ -1105,7 +1110,10 @@ mod tests {
 
         let stats = cached.priority_cache_stats().unwrap();
         assert!(stats.hits > 0, "memo never hit: {stats:?}");
-        assert!(stats.incremental > 0, "incremental path never ran: {stats:?}");
+        assert!(
+            stats.incremental > 0,
+            "incremental path never ran: {stats:?}"
+        );
         assert_eq!(plain.priority_cache_stats().unwrap(), Default::default());
     }
 

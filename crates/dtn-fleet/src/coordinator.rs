@@ -32,7 +32,7 @@ use dtn_sim::sweep::{
     CheckpointError, CheckpointSink, SweepCheckpoint, SweepOutput, SweepProgress, SweepSpec,
 };
 use dtn_telemetry::{hash_config_json, EventTotals, SweepEvent};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
@@ -100,7 +100,7 @@ pub struct WorkerUtilization {
 /// What the fleet did, beyond the sweep output itself.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetStats {
-    /// Transport label (`"subprocess"`, `"thread"`).
+    /// Transport label (`"subprocess"`, `"thread"`, `"tcp"`).
     pub transport: String,
     /// Worker slots spawned.
     pub workers: usize,
@@ -108,6 +108,10 @@ pub struct FleetStats {
     pub dispatched: u64,
     /// Cells re-dispatched after a worker loss.
     pub retries: u64,
+    /// Full config bodies streamed to workers (first-sight pushes plus
+    /// `ConfigMissing` re-pushes); every other assignment carried only
+    /// the config hash.
+    pub config_pushes: u64,
     /// Worker incarnations torn down (timeouts, exits, pipe failures).
     pub workers_lost: u64,
     /// Respawns across all slots.
@@ -153,6 +157,12 @@ struct WorkerSlot {
     restarts: u32,
     cells_completed: usize,
     busy_secs: f64,
+    /// Config hashes whose bodies this incarnation has been sent.
+    /// Respawns start empty — a fresh worker has an empty cache.
+    pushed: HashSet<String>,
+    /// Consecutive `ConfigMissing` NACKs for the current assignment;
+    /// bounded so a pathological worker cannot ping-pong forever.
+    nacks: u32,
 }
 
 impl WorkerSlot {
@@ -169,6 +179,8 @@ impl WorkerSlot {
             restarts,
             cells_completed: 0,
             busy_secs: 0.0,
+            pushed: HashSet::new(),
+            nacks: 0,
         }
     }
 }
@@ -192,6 +204,7 @@ struct Fleet<'a, 'b> {
     retries_left: Vec<u32>,
     dispatched: u64,
     retries: u64,
+    config_pushes: u64,
     workers_lost: u64,
     worker_restarts: u64,
 }
@@ -255,13 +268,27 @@ impl Fleet<'_, '_> {
                 continue; // a late result already filled this cell
             }
             let retry = self.attempts[idx];
+            // Config-push by hash: the body streams once per worker
+            // incarnation; every Assign carries only the hash.
+            if !self.workers[w].pushed.contains(&self.hashes[idx]) {
+                let push = CoordinatorMsg::Config {
+                    config_hash: self.hashes[idx].clone(),
+                    config: self.configs[idx].clone(),
+                };
+                if let Err(e) = self.workers[w].handle.send(&push) {
+                    self.pending.push_front(idx);
+                    self.worker_lost(w, format!("config push failed: {}", e.message), true);
+                    return;
+                }
+                self.workers[w].pushed.insert(self.hashes[idx].clone());
+                self.config_pushes += 1;
+            }
             let msg = CoordinatorMsg::Assign {
                 index: idx,
                 label: self.jobs[idx].label.clone(),
                 policy: self.jobs[idx].policy.clone(),
                 seed: self.jobs[idx].cfg.seed,
                 config_hash: self.hashes[idx].clone(),
-                config: self.configs[idx].clone(),
                 validate: self.opts.validate,
                 retry,
             };
@@ -269,6 +296,7 @@ impl Fleet<'_, '_> {
                 Ok(()) => {
                     self.attempts[idx] += 1;
                     self.dispatched += 1;
+                    self.workers[w].nacks = 0;
                     self.workers[w].assigned = Some(idx);
                     self.workers[w].assigned_at = Instant::now();
                     self.emit(SweepEvent::CellDispatched {
@@ -407,7 +435,7 @@ impl Fleet<'_, '_> {
             self.workers[w].last_seen = Instant::now();
         }
         match envelope {
-            Envelope::Msg(WorkerMsg::Hello { pid, protocol }) => {
+            Envelope::Msg(WorkerMsg::Hello { pid, protocol, .. }) => {
                 if let Some(w) = current {
                     self.workers[w].pid = pid;
                     if protocol != PROTOCOL_VERSION {
@@ -425,6 +453,47 @@ impl Fleet<'_, '_> {
             Envelope::Msg(WorkerMsg::Heartbeat { .. })
             | Envelope::Msg(WorkerMsg::Started { .. }) => {
                 // Liveness already refreshed above.
+            }
+            Envelope::Msg(WorkerMsg::ConfigMissing { index, config_hash }) => {
+                // The worker has no body for the hash we assigned
+                // (fresh incarnation, or evicted after an earlier run
+                // of the same cell): re-push and re-assign. Bounded so
+                // a worker that keeps NACKing what we keep pushing is
+                // torn down instead of ping-ponging forever.
+                let Some(w) = current else { return }; // retired uid
+                if self.workers[w].assigned != Some(index)
+                    || self.hashes.get(index) != Some(&config_hash)
+                {
+                    return; // stale NACK for a superseded assignment
+                }
+                self.workers[w].nacks += 1;
+                if self.workers[w].nacks > 3 {
+                    self.worker_lost(w, "config re-push loop".to_string(), true);
+                    return;
+                }
+                let push = CoordinatorMsg::Config {
+                    config_hash: config_hash.clone(),
+                    config: self.configs[index].clone(),
+                };
+                let reassign = CoordinatorMsg::Assign {
+                    index,
+                    label: self.jobs[index].label.clone(),
+                    policy: self.jobs[index].policy.clone(),
+                    seed: self.jobs[index].cfg.seed,
+                    config_hash: config_hash.clone(),
+                    validate: self.opts.validate,
+                    retry: self.attempts[index].saturating_sub(1),
+                };
+                self.config_pushes += 1;
+                self.workers[w].pushed.insert(config_hash);
+                let mut sent = self.workers[w].handle.send(&push);
+                if sent.is_ok() {
+                    sent = self.workers[w].handle.send(&reassign);
+                }
+                if let Err(e) = sent {
+                    // worker_lost requeues the still-assigned cell.
+                    self.worker_lost(w, format!("config re-push failed: {}", e.message), true);
+                }
             }
             Envelope::Msg(WorkerMsg::Done { run }) => {
                 let idx = run.index;
@@ -487,8 +556,28 @@ impl Fleet<'_, '_> {
         }
     }
 
+    /// Revives dead worker slots with connections the transport has
+    /// queued (TCP late-joiners). Slots whose restart budget is spent
+    /// stay dead; the connection waits for the next eligible loss.
+    fn adopt_waiting(&mut self) {
+        while self.transport.waiting_workers() > 0 && !self.pending.is_empty() {
+            let Some(w) = (0..self.workers.len()).find(|&w| {
+                self.workers[w].dead && self.workers[w].restarts < self.opts.max_worker_restarts
+            }) else {
+                break;
+            };
+            let restarts = self.workers[w].restarts;
+            if !self.spawn_slot(w, restarts + 1) {
+                break;
+            }
+            self.worker_restarts += 1;
+            self.dispatch_to(w);
+        }
+    }
+
     /// Clock-driven supervision: cell timeouts and heartbeat silence.
     fn tick(&mut self) {
+        self.adopt_waiting();
         for w in 0..self.workers.len() {
             if self.workers[w].dead {
                 continue;
@@ -524,6 +613,12 @@ impl Fleet<'_, '_> {
     /// When no worker is left to run them, pending cells fail
     /// structurally instead of hanging the sweep.
     fn fail_stranded(&mut self) {
+        if self.workers.iter().any(|w| !w.dead) {
+            return;
+        }
+        // Last chance: a late-joining TCP worker can rescue a fleet
+        // whose spawned workers all died.
+        self.adopt_waiting();
         if self.workers.iter().any(|w| !w.dead) {
             return;
         }
@@ -641,6 +736,7 @@ pub fn run_fleet(
         retries_left: vec![opts.max_cell_retries; total],
         dispatched: 0,
         retries: 0,
+        config_pushes: 0,
         workers_lost: 0,
         worker_restarts: 0,
     };
@@ -738,6 +834,7 @@ pub fn run_fleet(
             workers: fleet.workers.len(),
             dispatched: fleet.dispatched,
             retries: fleet.retries,
+            config_pushes: fleet.config_pushes,
             workers_lost: fleet.workers_lost,
             worker_restarts: fleet.worker_restarts,
             wall_clock_secs,

@@ -19,7 +19,16 @@
 //!   stdin/stdout.
 //! * [`thread`] is an in-process backend running the same worker loop
 //!   on a plain thread — zero-setup fallback and the reference
-//!   implementation the subprocess transport is tested against.
+//!   implementation the other transports are tested against.
+//! * [`tcp`] is the network backend: `dtn-fleet-worker --connect`
+//!   peers dial a listening coordinator, authenticate with a versioned
+//!   `Hello` (+ optional shared-secret token) and carry the same
+//!   protocol in length-prefixed frames. Late joiners revive dead
+//!   worker slots mid-sweep.
+//!
+//! See DESIGN.md ("Fleet wire protocol") for the full message state
+//! machine and failure→retry semantics, and EXPERIMENTS.md for the
+//! multi-host runbook.
 //!
 //! # Determinism
 //!
@@ -37,6 +46,7 @@ pub mod merge;
 pub mod protocol;
 pub mod schedule;
 pub mod subprocess;
+pub mod tcp;
 pub mod thread;
 pub mod transport;
 pub mod worker;
@@ -47,6 +57,7 @@ pub use coordinator::{
 pub use merge::{discover_shards, shard_path};
 pub use protocol::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
 pub use subprocess::{locate_worker, SubprocessTransport};
+pub use tcp::{connect_worker_main, parse_socket_addr, LocalTcpWorkers, TcpTransport};
 pub use thread::ThreadTransport;
 pub use transport::{Envelope, FleetError, Transport, WorkerHandle};
-pub use worker::{worker_main, FaultHook, WorkerConfig};
+pub use worker::{worker_main, FaultHook, Framing, WorkerConfig};

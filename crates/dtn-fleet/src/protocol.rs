@@ -1,26 +1,62 @@
 //! The coordinator/worker wire protocol.
 //!
-//! Messages are framed as newline-delimited JSON (one externally-tagged
-//! enum value per line, no embedded newlines — serialised JSON strings
-//! escape them). The coordinator writes [`CoordinatorMsg`] lines to the
-//! worker's stdin; the worker writes [`WorkerMsg`] lines to stdout.
-//! Unknown lines are ignored by both sides so the protocol can grow
-//! fields without flag-day upgrades; [`PROTOCOL_VERSION`] in the
-//! worker's `Hello` guards against genuinely incompatible pairings.
+//! Messages are externally-tagged serde enums, one JSON value per
+//! frame. Two framings carry the same frames:
+//!
+//! * **NDJSON** (subprocess stdio): one JSON value per line. Unknown
+//!   lines are ignored by both sides so the protocol can grow fields
+//!   without flag-day upgrades.
+//! * **Length-prefixed NDJSON** (TCP): each frame is
+//!   `<decimal byte length>\n<json>\n`. See [`write_frame`] /
+//!   [`read_frame`]. Framing violations on a socket are treated as a
+//!   broken connection (worker loss), not skipped — a TCP peer that
+//!   cannot frame correctly cannot be trusted to resynchronise.
+//!
+//! [`PROTOCOL_VERSION`] in the worker's `Hello` guards against
+//! genuinely incompatible pairings; the TCP transport additionally
+//! checks the `Hello` auth token before a connection may join the
+//! fleet, answering [`CoordinatorMsg::Reject`] on mismatch.
+//!
+//! Since protocol v2 an [`CoordinatorMsg::Assign`] carries only the
+//! cell's canonical config *hash*; the config body streams once per
+//! worker in a [`CoordinatorMsg::Config`] frame and is re-pushed on a
+//! [`WorkerMsg::ConfigMissing`] NACK.
+
+use std::io::{BufRead, Write};
 
 use dtn_sim::sweep::CellRun;
 use serde::{Deserialize, Serialize};
 
 /// Version tag carried in [`WorkerMsg::Hello`]. Bump on breaking frame
 /// changes; the coordinator refuses workers that disagree.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: `Assign` dropped the inline `config` body (config-push by
+/// hash), `Hello` gained the optional auth `token`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
-/// Coordinator → worker messages (one JSON line each on worker stdin).
+/// Upper bound on a single frame's payload, enforced by
+/// [`read_frame`]. Generous — the largest real frame is a `Config`
+/// push or a `Done` with a full fingerprint, both well under a
+/// megabyte — while still refusing absurd lengths from a corrupt or
+/// hostile peer before allocating.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Coordinator → worker messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CoordinatorMsg {
-    /// Run one cell. Carries the fully-resolved canonical config JSON,
-    /// so the worker needs no access to the `SweepSpec` (or even the
-    /// same working directory).
+    /// Stream a cell config body to the worker, keyed by its canonical
+    /// hash. Sent once per `(worker incarnation, config_hash)` before
+    /// the first `Assign` that references the hash, and again whenever
+    /// the worker NACKs with [`WorkerMsg::ConfigMissing`].
+    Config {
+        /// FNV-1a hash of `config` — the cache key.
+        config_hash: String,
+        /// Canonical config JSON of the cell.
+        config: String,
+    },
+    /// Run one cell. Since protocol v2 this carries only the config
+    /// *hash*; the body arrives separately via `Config` so retries and
+    /// repeat assignments do not re-send multi-kilobyte configs.
     Assign {
         /// Position in the materialised job list.
         index: usize,
@@ -30,32 +66,45 @@ pub enum CoordinatorMsg {
         policy: String,
         /// RNG seed of the run.
         seed: u64,
-        /// FNV-1a hash of `config` — the cell identity and resume key.
+        /// FNV-1a hash of the canonical config JSON — the cell
+        /// identity and resume key.
         config_hash: String,
-        /// Canonical config JSON of the cell.
-        config: String,
         /// Attach a `dtn-validate` validator to the run.
         validate: bool,
         /// Dispatch attempt number (0 on first dispatch).
         retry: u32,
     },
+    /// Handshake refusal (TCP only): the worker's `Hello` failed the
+    /// version or token check. Carries a human-readable reason so the
+    /// worker can print something actionable before exiting.
+    Reject {
+        /// Why the connection was refused.
+        reason: String,
+    },
     /// Drain and exit cleanly.
     Shutdown,
 }
 
-/// Worker → coordinator messages (one JSON line each on worker stdout).
+/// Worker → coordinator messages.
 // `Done` dwarfs the liveness variants, but boxing `CellRun` would put
 // an indirection on every result frame to save bytes on heartbeats that
 // exist for microseconds — not worth it on this traffic volume.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkerMsg {
-    /// First line after spawn: liveness + version handshake.
+    /// First frame after spawn/connect: liveness + version handshake.
+    /// Over TCP this is also the authentication frame — the listener
+    /// reads it before the connection may join the fleet.
     Hello {
         /// OS process id (0 for in-process transports).
         pid: u64,
         /// [`PROTOCOL_VERSION`] the worker speaks.
         protocol: u32,
+        /// Shared-secret fleet token (TCP). Absent on stdio transports
+        /// where the process tree is the trust boundary; pre-v2 peers
+        /// omit the field entirely, which parses as `None`.
+        #[serde(default)]
+        token: Option<String>,
     },
     /// Periodic liveness signal, emitted from a side thread so it keeps
     /// flowing while a cell executes.
@@ -68,6 +117,15 @@ pub enum WorkerMsg {
         /// Job index of the assignment.
         index: usize,
         /// Config hash of the assignment.
+        config_hash: String,
+    },
+    /// NACK: an `Assign` referenced a config hash this worker has no
+    /// body for. The coordinator answers with `Config` + a fresh
+    /// `Assign` for the same cell.
+    ConfigMissing {
+        /// Job index of the assignment being NACKed.
+        index: usize,
+        /// The config hash the worker could not resolve.
         config_hash: String,
     },
     /// A cell finished; `run` is the exact checkpoint record.
@@ -102,6 +160,56 @@ impl CoordinatorMsg {
     }
 }
 
+/// Write one length-prefixed frame: `<decimal len>\n<payload>\n`.
+///
+/// The payload is the NDJSON line (no trailing newline); the length
+/// counts payload bytes only. Flushes, so a frame is on the wire when
+/// this returns.
+pub fn write_frame<W: Write>(w: &mut W, line: &str) -> std::io::Result<()> {
+    w.write_all(line.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame written by [`write_frame`].
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary. Anything
+/// malformed — a non-numeric length, a length above [`MAX_FRAME_LEN`],
+/// truncation mid-frame, a missing `\n` terminator, or invalid UTF-8 —
+/// is an [`std::io::ErrorKind::InvalidData`] error: on a socket that
+/// means the connection is broken, not a line to skip.
+pub fn read_frame<R: BufRead>(r: &mut R) -> std::io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None); // clean EOF between frames
+    }
+    let len: usize = header
+        .trim_end_matches('\n')
+        .trim_end_matches('\r')
+        .parse()
+        .map_err(|_| bad_frame(format!("invalid frame length {header:?}")))?;
+    if len > MAX_FRAME_LEN {
+        return Err(bad_frame(format!(
+            "frame length {len} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"
+        )));
+    }
+    let mut payload = vec![0u8; len + 1];
+    r.read_exact(&mut payload)
+        .map_err(|e| bad_frame(format!("truncated frame ({len} bytes expected): {e}")))?;
+    if payload.pop() != Some(b'\n') {
+        return Err(bad_frame("frame missing trailing newline".into()));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| bad_frame("frame payload is not UTF-8".into()))
+}
+
+fn bad_frame(why: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, why)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,7 +224,6 @@ mod tests {
             policy: "SDSRP".into(),
             seed: 42,
             config_hash: "deadbeefdeadbeef".into(),
-            config: "{\"name\":\"smoke\"}".into(),
             validate: true,
             retry: 1,
         };
@@ -124,6 +231,52 @@ mod tests {
         assert!(!line.contains('\n'), "frames must be single lines");
         let back: CoordinatorMsg = serde_json::from_str(&line).expect("parse");
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn config_push_round_trips() {
+        let msg = CoordinatorMsg::Config {
+            config_hash: "deadbeefdeadbeef".into(),
+            config: "{\"name\":\"smoke\"}".into(),
+        };
+        let back: CoordinatorMsg = serde_json::from_str(&msg.to_line()).expect("parse");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn hello_token_round_trips_and_defaults() {
+        let msg = WorkerMsg::Hello {
+            pid: 9,
+            protocol: PROTOCOL_VERSION,
+            token: Some("sesame".into()),
+        };
+        let back: WorkerMsg = serde_json::from_str(&msg.to_line()).expect("parse");
+        assert_eq!(back, msg);
+        // A v1-era Hello without the token field still parses (None).
+        let legacy = "{\"Hello\":{\"pid\":3,\"protocol\":1}}";
+        match serde_json::from_str::<WorkerMsg>(legacy).expect("parse legacy") {
+            WorkerMsg::Hello {
+                pid: 3,
+                protocol: 1,
+                token: None,
+            } => {}
+            other => panic!("bad legacy parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_missing_and_reject_round_trip() {
+        let nack = WorkerMsg::ConfigMissing {
+            index: 4,
+            config_hash: "ff00".into(),
+        };
+        let back: WorkerMsg = serde_json::from_str(&nack.to_line()).expect("parse");
+        assert_eq!(back, nack);
+        let rej = CoordinatorMsg::Reject {
+            reason: "bad token".into(),
+        };
+        let back: CoordinatorMsg = serde_json::from_str(&rej.to_line()).expect("parse");
+        assert_eq!(back, rej);
     }
 
     #[test]
@@ -168,5 +321,32 @@ mod tests {
         let line = CoordinatorMsg::Shutdown.to_line();
         let back: CoordinatorMsg = serde_json::from_str(&line).expect("parse");
         assert_eq!(back, CoordinatorMsg::Shutdown);
+    }
+
+    #[test]
+    fn frames_round_trip_through_length_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "línea").unwrap(); // multi-byte UTF-8
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("línea"));
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_skips() {
+        for wire in [
+            "not-a-number\n{}\n",   // garbage length
+            "5\nab\n",              // truncated payload
+            "2\nabX",               // wrong terminator
+            "999999999999999999\n", // absurd length
+        ] {
+            let mut r = std::io::Cursor::new(wire.as_bytes().to_vec());
+            let err = read_frame(&mut r).expect_err(wire);
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{wire}");
+        }
     }
 }

@@ -56,6 +56,20 @@ pub fn locate_worker() -> Result<PathBuf, FleetError> {
 }
 
 /// Spawns `dtn-fleet-worker` subprocesses.
+///
+/// ```no_run
+/// use dtn_fleet::{locate_worker, run_sweep_fleet, FleetOptions, SubprocessTransport};
+/// # fn spec() -> dtn_sim::sweep::SweepSpec { unimplemented!() }
+///
+/// let transport = SubprocessTransport::new(locate_worker()?);
+/// let (out, stats) = run_sweep_fleet(
+///     &spec(),
+///     &transport,
+///     &FleetOptions { workers: 4, ..FleetOptions::default() },
+/// )?;
+/// assert_eq!(stats.transport, "subprocess");
+/// # Ok::<(), dtn_fleet::FleetError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct SubprocessTransport {
     /// Path of the worker binary.
@@ -87,12 +101,7 @@ impl Transport for SubprocessTransport {
         uid: u64,
         inbox: Sender<(u64, Envelope)>,
     ) -> Result<Box<dyn WorkerHandle>, FleetError> {
-        let mut cmd = Command::new(&self.worker_bin);
-        cmd.arg("--heartbeat")
-            .arg(format!("{}", self.heartbeat_secs))
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
+        let mut argv: Vec<String> = vec!["--heartbeat".into(), format!("{}", self.heartbeat_secs)];
         if let Some(main) = &self.checkpoint {
             // Shard names derive from the spawn uid. Uids are never
             // reused within a run, so a respawn gets a fresh shard and
@@ -100,14 +109,18 @@ impl Transport for SubprocessTransport {
             // insurance; merge-on-resume discovers *all* shards
             // regardless of numbering, and the coordinator removes
             // them once consumed.
-            cmd.arg("--shard").arg(shard_path(main, uid as usize));
+            argv.push("--shard".into());
+            argv.push(shard_path(main, uid as usize).display().to_string());
         }
-        for arg in &self.extra_args {
-            cmd.arg(arg);
-        }
-        let mut child = cmd
-            .spawn()
-            .map_err(|e| FleetError::new(format!("spawn {}: {e}", self.worker_bin.display())))?;
+        argv.extend(self.extra_args.iter().cloned());
+        let mut cmd = Command::new(&self.worker_bin);
+        cmd.args(&argv)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut child = cmd.spawn().map_err(|e| {
+            FleetError::spawn_failure(format!("spawn worker: {e}"), &self.worker_bin, argv.clone())
+        })?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let pid = u64::from(child.id());

@@ -23,6 +23,28 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Spawns in-process worker threads.
+///
+/// ```
+/// use dtn_fleet::{run_sweep_fleet, FleetOptions, ThreadTransport};
+/// use dtn_sim::config::{presets, PolicyKind};
+/// use dtn_sim::sweep::{SweepAxis, SweepSpec};
+///
+/// let spec = SweepSpec {
+///     base: presets::smoke(),
+///     axis: SweepAxis::InitialCopies(vec![8]),
+///     policies: vec![PolicyKind::Sdsrp],
+///     seeds: vec![1],
+///     validate: false,
+/// };
+/// let (out, stats) = run_sweep_fleet(
+///     &spec,
+///     &ThreadTransport::default(),
+///     &FleetOptions { workers: 2, ..FleetOptions::default() },
+/// )
+/// .expect("fleet runs");
+/// assert_eq!(out.executed, 1);
+/// assert_eq!(stats.transport, "thread");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ThreadTransport {
     /// Heartbeat period, seconds (0 disables heartbeats).
@@ -76,18 +98,43 @@ impl Transport for ThreadTransport {
                     Envelope::Msg(WorkerMsg::Hello {
                         pid: 0,
                         protocol: PROTOCOL_VERSION,
+                        token: None,
                     }),
                 ));
+                // Config bodies pushed by hash, exactly like the
+                // subprocess/TCP worker loop (evicted on completion so
+                // the NACK path stays exercised by every backend).
+                let mut configs = std::collections::HashMap::<String, String>::new();
                 while let Ok(msg) = rx.recv() {
                     match msg {
+                        CoordinatorMsg::Config {
+                            config_hash,
+                            config,
+                        } => {
+                            configs.insert(config_hash, config);
+                        }
                         CoordinatorMsg::Assign {
                             index,
                             seed,
                             config_hash,
-                            config,
                             validate,
                             ..
                         } => {
+                            let Some(config) = configs.get(&config_hash).cloned() else {
+                                if inbox
+                                    .send((
+                                        uid,
+                                        Envelope::Msg(WorkerMsg::ConfigMissing {
+                                            index,
+                                            config_hash,
+                                        }),
+                                    ))
+                                    .is_err()
+                                {
+                                    break;
+                                }
+                                continue;
+                            };
                             let _ = inbox.send((
                                 uid,
                                 Envelope::Msg(WorkerMsg::Started {
@@ -97,10 +144,12 @@ impl Transport for ThreadTransport {
                             ));
                             let reply =
                                 run_assignment(index, seed, &config_hash, &config, validate);
+                            configs.remove(&config_hash);
                             if inbox.send((uid, Envelope::Msg(reply))).is_err() {
                                 break;
                             }
                         }
+                        CoordinatorMsg::Reject { .. } => break,
                         CoordinatorMsg::Shutdown => break,
                     }
                 }

@@ -52,16 +52,30 @@ pub trait Transport {
     ) -> Result<Box<dyn WorkerHandle>, FleetError>;
     /// Stable backend label for stats and logs.
     fn label(&self) -> &'static str;
+    /// Number of workers the backend has ready to join beyond those
+    /// already spawned — e.g. authenticated TCP connections queued by
+    /// the listener. The coordinator polls this to revive dead worker
+    /// slots when a late worker arrives mid-sweep. Backends that only
+    /// create workers on demand (subprocess, thread) report 0.
+    fn waiting_workers(&self) -> usize {
+        0
+    }
 }
 
 /// A fleet-level failure: the coordinator could not run the sweep at
 /// all (as opposed to per-cell failures, which are `CellError`s in the
 /// output). Worker deaths are *not* fleet errors — they are retried,
 /// and exhaustion degrades to per-cell errors.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FleetError {
     /// What failed.
     pub message: String,
+    /// The worker binary a failed spawn attempted to execute, when the
+    /// failure was a spawn. Triage ("is the path wrong, or the binary
+    /// broken?") needs this without rerunning under strace.
+    pub worker_bin: Option<std::path::PathBuf>,
+    /// Full argv of the failed spawn attempt (excluding argv\[0\]).
+    pub argv: Vec<String>,
 }
 
 impl FleetError {
@@ -69,13 +83,36 @@ impl FleetError {
     pub fn new(message: impl Into<String>) -> Self {
         FleetError {
             message: message.into(),
+            ..FleetError::default()
+        }
+    }
+
+    /// A spawn failure, carrying the attempted binary path and argv so
+    /// the error is actionable as printed.
+    pub fn spawn_failure(
+        message: impl Into<String>,
+        worker_bin: impl Into<std::path::PathBuf>,
+        argv: Vec<String>,
+    ) -> Self {
+        FleetError {
+            message: message.into(),
+            worker_bin: Some(worker_bin.into()),
+            argv,
         }
     }
 }
 
 impl std::fmt::Display for FleetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "fleet error: {}", self.message)
+        write!(f, "fleet error: {}", self.message)?;
+        if let Some(bin) = &self.worker_bin {
+            write!(f, " (worker-bin: {}", bin.display())?;
+            if !self.argv.is_empty() {
+                write!(f, ", argv: {:?}", self.argv)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
     }
 }
 

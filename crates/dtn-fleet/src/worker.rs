@@ -7,16 +7,30 @@
 //! in-process backend — both therefore produce bit-identical
 //! [`CellRun`] records for the same assignment.
 
-use crate::protocol::{CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::protocol::{read_frame, write_frame, CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
 use dtn_sim::config::ScenarioConfig;
 use dtn_sim::sweep::{execute_job, panic_message, CellRun};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How [`worker_main`] frames protocol messages on its byte streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Framing {
+    /// One JSON value per line (subprocess stdio). Garbled lines are
+    /// skipped — stdio noise (e.g. a stray print) must not kill the
+    /// worker.
+    #[default]
+    Ndjson,
+    /// `<len>\n<json>\n` frames (TCP). Framing violations end the
+    /// session: a socket that loses sync cannot be re-synchronised.
+    LengthPrefixed,
+}
 
 /// A deterministic fault hook for tests and CI: when the worker is
 /// assigned `config_hash` and `marker` does not exist yet, it creates
@@ -68,6 +82,10 @@ pub struct WorkerConfig {
     /// Private shard checkpoint this worker streams finished cells to
     /// (crash insurance merged by the coordinator on resume).
     pub shard: Option<PathBuf>,
+    /// Message framing on the input/output streams.
+    pub framing: Framing,
+    /// Shared-secret token carried in the `Hello` (TCP fleets).
+    pub token: Option<String>,
     /// Test hook: exit with code 17 instead of running the cell.
     pub fail_once: Option<FaultHook>,
     /// Test hook: hang (sleep ~1h) instead of running the cell.
@@ -79,6 +97,8 @@ impl Default for WorkerConfig {
         WorkerConfig {
             heartbeat_secs: 0.5,
             shard: None,
+            framing: Framing::Ndjson,
+            token: None,
             fail_once: None,
             hang_once: None,
         }
@@ -126,30 +146,63 @@ pub fn run_assignment(
     }
 }
 
+/// Writes one protocol frame under the given framing, flushing so it
+/// is on the wire when this returns.
+fn write_msg(w: &mut impl Write, framing: Framing, line: &str) -> std::io::Result<()> {
+    match framing {
+        Framing::Ndjson => writeln!(w, "{line}").and_then(|()| w.flush()),
+        Framing::LengthPrefixed => write_frame(w, line),
+    }
+}
+
+/// Pulls the next inbound frame. `Ok(None)` means the session is over
+/// (EOF, or an unrecoverable framing error on a length-prefixed
+/// stream); NDJSON read errors also end the session.
+fn next_msg(r: &mut impl BufRead, framing: Framing) -> Option<String> {
+    match framing {
+        Framing::Ndjson => {
+            let mut line = String::new();
+            match r.read_line(&mut line) {
+                Ok(0) | Err(_) => None,
+                Ok(_) => Some(line.trim().to_string()),
+            }
+        }
+        Framing::LengthPrefixed => read_frame(r).ok().flatten(),
+    }
+}
+
 /// The worker main loop: `Hello`, then heartbeats from a side thread
 /// while assignments stream in on `input` and replies stream out on
-/// `output`. Returns the process exit code.
+/// `output`. Returns the process exit code: 0 on clean shutdown/EOF,
+/// 1 when the coordinator became unreachable, 3 when the handshake was
+/// rejected ([`CoordinatorMsg::Reject`]), 17 on the `fail_once` test
+/// hook.
+///
+/// Since protocol v2 assignments reference configs by hash; bodies
+/// arrive in `Config` frames and are cached until the referencing cell
+/// completes, after which they are evicted (in-flight memory stays
+/// bounded, and any surprise reference NACKs via
+/// [`WorkerMsg::ConfigMissing`] for a re-push).
 ///
 /// Output is a mutex-guarded writer because the heartbeat thread and
-/// the assignment loop interleave lines; each line is written and
+/// the assignment loop interleave frames; each frame is written and
 /// flushed atomically under the lock, so frames never tear.
 pub fn worker_main(
     cfg: WorkerConfig,
-    input: impl BufRead,
+    mut input: impl BufRead,
     output: impl Write + Send + 'static,
 ) -> i32 {
+    let framing = cfg.framing;
     let out = Arc::new(Mutex::new(output));
     let emit = |msg: &WorkerMsg| -> bool {
         let mut guard = out.lock();
-        let line = msg.to_line();
-        writeln!(guard, "{line}")
-            .and_then(|()| guard.flush())
-            .is_ok()
+        write_msg(&mut *guard, framing, &msg.to_line()).is_ok()
     };
 
     if !emit(&WorkerMsg::Hello {
         pid: std::process::id() as u64,
         protocol: PROTOCOL_VERSION,
+        token: cfg.token.clone(),
     }) {
         return 1; // coordinator already gone
     }
@@ -170,11 +223,7 @@ pub fn worker_main(
                 busy: busy.load(Ordering::Relaxed),
             };
             let mut guard = out.lock();
-            let line = msg.to_line();
-            if writeln!(guard, "{line}")
-                .and_then(|()| guard.flush())
-                .is_err()
-            {
+            if write_msg(&mut *guard, framing, &msg.to_line()).is_err() {
                 break; // coordinator gone; the main loop will see EOF too
             }
         }))
@@ -193,24 +242,32 @@ pub fn worker_main(
             .ok()
     });
 
+    // Config bodies keyed by canonical hash, pushed by the coordinator.
+    let mut configs: HashMap<String, String> = HashMap::new();
+
     let mut code = 0;
-    for line in input.lines() {
-        let Ok(line) = line else { break };
-        let line = line.trim();
+    while let Some(line) = next_msg(&mut input, framing) {
         if line.is_empty() {
             continue;
         }
         // Unknown/garbled frames are skipped, not fatal: a newer
-        // coordinator may speak additional message kinds.
-        let Ok(msg) = serde_json::from_str::<CoordinatorMsg>(line) else {
+        // coordinator may speak additional message kinds. (On TCP,
+        // *framing* violations are fatal — handled in `next_msg` —
+        // but a well-framed unknown message is still skipped.)
+        let Ok(msg) = serde_json::from_str::<CoordinatorMsg>(&line) else {
             continue;
         };
         match msg {
+            CoordinatorMsg::Config {
+                config_hash,
+                config,
+            } => {
+                configs.insert(config_hash, config);
+            }
             CoordinatorMsg::Assign {
                 index,
                 seed,
                 config_hash,
-                config,
                 validate,
                 ..
             } => {
@@ -238,6 +295,15 @@ pub fn worker_main(
                     std::thread::sleep(Duration::from_secs(3600));
                     break;
                 }
+                let Some(config) = configs.get(&config_hash).cloned() else {
+                    // NACK: we never saw (or already evicted) the body.
+                    // The coordinator re-pushes and re-assigns.
+                    if !emit(&WorkerMsg::ConfigMissing { index, config_hash }) {
+                        code = 1;
+                        break;
+                    }
+                    continue;
+                };
                 busy.store(true, Ordering::Relaxed);
                 let _ = emit(&WorkerMsg::Started {
                     index,
@@ -248,11 +314,20 @@ pub fn worker_main(
                     let line = serde_json::to_string(run).expect("cell run serialises");
                     let _ = writeln!(file, "{line}").and_then(|()| file.flush());
                 }
+                // Evict after completion: in-flight memory stays
+                // bounded to the configs of cells not yet run, and a
+                // (rare) re-assignment exercises the NACK/re-push path.
+                configs.remove(&config_hash);
                 busy.store(false, Ordering::Relaxed);
                 if !emit(&reply) {
                     code = 1;
                     break;
                 }
+            }
+            CoordinatorMsg::Reject { reason } => {
+                eprintln!("dtn-fleet-worker: handshake rejected: {reason}");
+                code = 3;
+                break;
             }
             CoordinatorMsg::Shutdown => break,
         }
@@ -306,35 +381,43 @@ mod tests {
         }
     }
 
-    #[test]
-    fn worker_loop_answers_assignments_over_buffers() {
-        let (config, hash) = smoke_assignment();
-        let assign = CoordinatorMsg::Assign {
-            index: 0,
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn assign(index: usize, hash: &str) -> CoordinatorMsg {
+        CoordinatorMsg::Assign {
+            index,
             label: "smoke".into(),
             policy: "SDSRP".into(),
             seed: 7,
-            config_hash: hash.clone(),
-            config,
+            config_hash: hash.to_string(),
             validate: false,
             retry: 0,
+        }
+    }
+
+    #[test]
+    fn worker_loop_answers_assignments_over_buffers() {
+        let (config, hash) = smoke_assignment();
+        let push = CoordinatorMsg::Config {
+            config_hash: hash.clone(),
+            config,
         };
         let input = format!(
-            "{}\nnot a protocol line\n{}\n",
-            assign.to_line(),
+            "{}\nnot a protocol line\n{}\n{}\n",
+            push.to_line(),
+            assign(0, &hash).to_line(),
             CoordinatorMsg::Shutdown.to_line()
         );
         let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
-        struct SharedSink(Arc<Mutex<Vec<u8>>>);
-        impl Write for SharedSink {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
         let code = worker_main(
             WorkerConfig {
                 heartbeat_secs: 0.0,
@@ -357,6 +440,107 @@ mod tests {
             }
         ));
         assert!(matches!(&msgs[1], WorkerMsg::Started { config_hash, .. } if *config_hash == hash));
+        assert!(matches!(&msgs[2], WorkerMsg::Done { run } if run.config_hash == hash));
+    }
+
+    #[test]
+    fn assign_without_config_body_nacks_config_missing() {
+        let (config, hash) = smoke_assignment();
+        // Assign before any Config push → NACK; then push + re-assign
+        // (what the coordinator does on ConfigMissing) → normal run.
+        let push = CoordinatorMsg::Config {
+            config_hash: hash.clone(),
+            config,
+        };
+        let input = format!(
+            "{}\n{}\n{}\n{}\n",
+            assign(2, &hash).to_line(),
+            push.to_line(),
+            assign(2, &hash).to_line(),
+            CoordinatorMsg::Shutdown.to_line()
+        );
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let code = worker_main(
+            WorkerConfig {
+                heartbeat_secs: 0.0,
+                ..WorkerConfig::default()
+            },
+            std::io::BufReader::new(input.as_bytes()),
+            SharedSink(Arc::clone(&out)),
+        );
+        assert_eq!(code, 0);
+        let body = String::from_utf8(out.lock().clone()).expect("utf8");
+        let msgs: Vec<WorkerMsg> = body
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("worker frame parses"))
+            .collect();
+        assert!(
+            matches!(&msgs[1], WorkerMsg::ConfigMissing { index: 2, config_hash } if *config_hash == hash)
+        );
+        assert!(matches!(&msgs[2], WorkerMsg::Started { .. }));
+        assert!(matches!(&msgs[3], WorkerMsg::Done { run } if run.config_hash == hash));
+    }
+
+    #[test]
+    fn reject_frame_exits_with_code_3() {
+        let input = format!(
+            "{}\n",
+            CoordinatorMsg::Reject {
+                reason: "version mismatch".into()
+            }
+            .to_line()
+        );
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let code = worker_main(
+            WorkerConfig {
+                heartbeat_secs: 0.0,
+                ..WorkerConfig::default()
+            },
+            std::io::BufReader::new(input.as_bytes()),
+            SharedSink(Arc::clone(&out)),
+        );
+        assert_eq!(code, 3);
+    }
+
+    #[test]
+    fn length_prefixed_framing_round_trips_a_cell() {
+        use crate::protocol::{read_frame, write_frame};
+        let (config, hash) = smoke_assignment();
+        let mut input = Vec::new();
+        write_frame(
+            &mut input,
+            &CoordinatorMsg::Config {
+                config_hash: hash.clone(),
+                config,
+            }
+            .to_line(),
+        )
+        .unwrap();
+        write_frame(&mut input, &assign(1, &hash).to_line()).unwrap();
+        write_frame(&mut input, &CoordinatorMsg::Shutdown.to_line()).unwrap();
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let code = worker_main(
+            WorkerConfig {
+                heartbeat_secs: 0.0,
+                framing: Framing::LengthPrefixed,
+                token: Some("sesame".into()),
+                ..WorkerConfig::default()
+            },
+            std::io::BufReader::new(&input[..]),
+            SharedSink(Arc::clone(&out)),
+        );
+        assert_eq!(code, 0);
+        let bytes = out.lock().clone();
+        let mut r = std::io::Cursor::new(bytes);
+        let mut msgs = Vec::new();
+        while let Some(line) = read_frame(&mut r).expect("well-framed output") {
+            msgs.push(serde_json::from_str::<WorkerMsg>(&line).expect("frame parses"));
+        }
+        assert!(
+            matches!(&msgs[0], WorkerMsg::Hello { token: Some(t), .. } if t == "sesame"),
+            "TCP Hello carries the auth token"
+        );
+        assert!(matches!(&msgs[1], WorkerMsg::Started { index: 1, .. }));
         assert!(matches!(&msgs[2], WorkerMsg::Done { run } if run.config_hash == hash));
     }
 

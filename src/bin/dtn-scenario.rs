@@ -55,8 +55,18 @@
 //! leftover per-worker shard checkpoints on `--resume`. `--worker-bin`
 //! overrides the worker binary (default: `dtn-fleet-worker` next to
 //! this executable, or `$DTN_FLEET_WORKER`).
+//!
+//! `--transport tcp` listens on `--listen ADDR` (default
+//! `127.0.0.1:0`; the bound address is printed) instead of spawning
+//! subprocesses: start `dtn-fleet-worker --connect HOST:PORT` on any
+//! machine (same `--token`, if set) and the coordinator adopts the
+//! first N to authenticate — plus late joiners to replace lost
+//! workers. Output stays bit-identical to every other backend. See
+//! EXPERIMENTS.md ("Multi-host sweeps over TCP") for the runbook.
 
-use sdsrp::fleet::{locate_worker, run_sweep_fleet, FleetOptions, SubprocessTransport};
+use sdsrp::fleet::{
+    locate_worker, run_sweep_fleet, FleetOptions, SubprocessTransport, TcpTransport, Transport,
+};
 use sdsrp::sim::config::{presets, ImmunityMode, PolicyKind, RoutingKind, ScenarioConfig};
 use sdsrp::sim::output::{Metric, SeriesTable};
 use sdsrp::sim::replay::{manifest_for_run, replay_manifest};
@@ -79,7 +89,9 @@ fn usage() -> ! {
          \t[--sweep copies|buffer|genrate [--seeds N]\n\
          \t\t[--validate-cells] [--checkpoint FILE [--resume]]\n\
          \t\t[--workers N [--worker-bin FILE] [--cell-timeout SECS]\n\
-         \t\t[--worker-timeout SECS] [--retries N] [--worker-arg ARG]...]]\n\
+         \t\t[--worker-timeout SECS] [--retries N] [--worker-arg ARG]...\n\
+         \t\t[--transport subprocess|tcp] [--listen ADDR] [--token SECRET]\n\
+         \t\t[--accept-timeout SECS]]]\n\
          \n\
          --threads N: single runs execute the world's parallel tick phases\n\
          on N threads; in --sweep mode it fans cells out across N workers\n\
@@ -100,6 +112,16 @@ struct FleetCli {
     /// Extra CLI arguments for every worker (repeatable `--worker-arg`;
     /// CI uses this for the `--fail-once`/`--hang-once` fault hooks).
     worker_args: Vec<String>,
+    /// `subprocess` (default) spawns workers locally; `tcp` listens and
+    /// waits for `dtn-fleet-worker --connect` peers instead.
+    transport: String,
+    /// `--listen` bind address for `--transport tcp` (default
+    /// `127.0.0.1:0`; the chosen port is printed to stderr).
+    listen: String,
+    /// Shared-secret handshake token for `--transport tcp`.
+    token: Option<String>,
+    /// How long to wait for each of the first N workers to dial in.
+    accept_timeout: f64,
 }
 
 /// `--sweep` mode: one paper axis x the paper's four policies through
@@ -145,17 +167,47 @@ fn run_sweep_mode(
         resume,
     });
     let out = if fleet.workers > 0 {
-        let worker_bin = match &fleet.worker_bin {
-            Some(path) => std::path::PathBuf::from(path),
-            None => locate_worker().unwrap_or_else(|e| {
-                eprintln!("{e}");
-                exit(2);
-            }),
-        };
-        let transport = SubprocessTransport {
-            checkpoint: sweep_checkpoint.as_ref().map(|ck| ck.path.clone()),
-            extra_args: fleet.worker_args.clone(),
-            ..SubprocessTransport::new(worker_bin)
+        let transport: Box<dyn Transport> = match fleet.transport.as_str() {
+            "tcp" => {
+                let tcp = TcpTransport::bind(&fleet.listen)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(2);
+                    })
+                    .with_token(fleet.token.clone())
+                    .with_timeouts(fleet.accept_timeout, fleet.worker_timeout.max(1.0));
+                tcp.expect_workers(fleet.workers);
+                eprintln!(
+                    "fleet: listening on {} (token {}), waiting for {} worker(s) \
+                     to `dtn-fleet-worker --connect`",
+                    tcp.local_addr(),
+                    if fleet.token.is_some() {
+                        "required"
+                    } else {
+                        "none"
+                    },
+                    fleet.workers
+                );
+                Box::new(tcp)
+            }
+            "subprocess" => {
+                let worker_bin = match &fleet.worker_bin {
+                    Some(path) => std::path::PathBuf::from(path),
+                    None => locate_worker().unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(2);
+                    }),
+                };
+                Box::new(SubprocessTransport {
+                    checkpoint: sweep_checkpoint.as_ref().map(|ck| ck.path.clone()),
+                    extra_args: fleet.worker_args.clone(),
+                    ..SubprocessTransport::new(worker_bin)
+                })
+            }
+            other => {
+                eprintln!("unknown transport {other:?} (subprocess|tcp)");
+                usage()
+            }
         };
         let events = |ev: &sdsrp::telemetry::SweepEvent| {
             use sdsrp::telemetry::SweepEvent as E;
@@ -165,7 +217,7 @@ fn run_sweep_mode(
         };
         let (out, stats) = run_sweep_fleet(
             &spec,
-            &transport,
+            transport.as_ref(),
             &FleetOptions {
                 workers: fleet.workers,
                 checkpoint: sweep_checkpoint,
@@ -341,6 +393,10 @@ fn main() {
         worker_timeout: 30.0,
         retries: 2,
         worker_args: Vec::new(),
+        transport: "subprocess".into(),
+        listen: "127.0.0.1:0".into(),
+        token: None,
+        accept_timeout: 30.0,
     };
     type Override = Box<dyn Fn(&mut ScenarioConfig)>;
     let mut overrides: Vec<Override> = Vec::new();
@@ -480,6 +536,12 @@ fn main() {
                 fleet.retries = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
             }
             "--worker-arg" => fleet.worker_args.push(next(&args, &mut i)),
+            "--transport" => fleet.transport = next(&args, &mut i),
+            "--listen" => fleet.listen = next(&args, &mut i),
+            "--token" => fleet.token = Some(next(&args, &mut i)),
+            "--accept-timeout" => {
+                fleet.accept_timeout = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");

@@ -202,7 +202,10 @@ fn taylor_mode_is_deterministic_and_cache_invariant() {
 /// Ranks `msgs` by `send_priority` under the given priority mode and
 /// returns the message ids best-first. λ is pinned via `Oracle` so the
 /// two modes see identical inputs.
-fn ranking(mode: sdsrp::sdsrp::PriorityMode, msgs: &[sdsrp::buffer::view::TestMessage]) -> Vec<u64> {
+fn ranking(
+    mode: sdsrp::sdsrp::PriorityMode,
+    msgs: &[sdsrp::buffer::view::TestMessage],
+) -> Vec<u64> {
     use sdsrp::buffer::policy::BufferPolicy;
     let mut policy = sdsrp::sdsrp::Sdsrp::new(
         sdsrp::core::ids::NodeId(99),
