@@ -16,6 +16,9 @@
 //!    paper's four.
 //! 6. **Routing substrate** — binary vs source spray, Spray-and-Focus
 //!    and Epidemic under both FIFO and SDSRP buffers.
+//! 10. **Congestion-adaptive admission** — occupancy-gated acceptance
+//!     and tiered retention against the paper's four under buffer
+//!     pressure.
 //!
 //! ```text
 //! cargo run -p dtn-bench --release --bin ablations [-- --quick] [--seeds N]
@@ -295,6 +298,26 @@ fn main() {
         cfg.mobility = clustered;
         cfg.policy = PolicyKind::Fifo;
         row("FIFO reference", &cfg, seeds);
+    }
+
+    // 10. Congestion-adaptive admission (occupancy gate and tiered
+    // retention) against the paper's four, under buffer pressure:
+    // same operating point but 1.5 MB buffers so the thresholds bite.
+    header("10. congestion-adaptive variants under buffer pressure (1.5 MB)");
+    {
+        let mut pressured = base.clone();
+        pressured.buffer_capacity = dtn_core::units::Bytes::from_mb(1.5);
+        let mut lineup = PolicyKind::paper_four().to_vec();
+        lineup.push(PolicyKind::OccupancyGate { threshold: 0.8 });
+        lineup.push(PolicyKind::TieredRetention {
+            tiers: 4,
+            threshold: 0.9,
+        });
+        for policy in lineup {
+            let mut cfg = pressured.clone();
+            cfg.policy = policy;
+            row(policy.label(), &cfg, seeds);
+        }
     }
 
     let cell_violations = CELL_VIOLATIONS.load(Ordering::Relaxed);

@@ -30,9 +30,13 @@
 //! error of the Eq. 13 Taylor priority against the exact closed form
 //! (swept over a dense delivery-probability grid) next to the
 //! buffer-pressure wall clock and delivery ratio at that depth.
+//! A congestion section runs the paper's four baseline policies plus
+//! the two congestion-adaptive variants (occupancy-gated admission,
+//! tiered retention) on the buffer-pressure scenario, recording
+//! delivery, latency, drops and incoming rejects per policy.
 //! The whole report — wall clock, contacts/sec, events/sec, peak RSS,
 //! config hash, cache hit rates, fingerprints — is written as
-//! `BENCH_sdsrp.json` (schema `dtn-bench/v5`; see EXPERIMENTS.md
+//! `BENCH_sdsrp.json` (schema `dtn-bench/v6`; see EXPERIMENTS.md
 //! §Benchmarking for how to read and compare trajectories).
 //!
 //! Correctness gate: the headline fingerprint is compared against the
@@ -146,6 +150,21 @@ struct TaylorAblationResult {
     buffer_drops: u64,
 }
 
+/// One congestion-section row: a buffer policy on the buffer-pressure
+/// scenario — the paper's four baselines plus the two
+/// congestion-adaptive variants (occupancy-gated admission and tiered
+/// retention).
+#[derive(Serialize)]
+struct CongestionResult {
+    policy: String,
+    wall_clock_secs: f64,
+    delivery_ratio: f64,
+    /// Mean delivery latency in seconds; `null` when no run delivered.
+    avg_latency_secs: Option<f64>,
+    buffer_drops: u64,
+    incoming_rejects: u64,
+}
+
 /// Top-level `BENCH_sdsrp.json` schema.
 #[derive(Serialize)]
 struct BenchReport {
@@ -160,6 +179,7 @@ struct BenchReport {
     sweep_scaling: Vec<ScalingResult>,
     thread_scaling: Vec<ThreadScalingResult>,
     taylor_ablation: Vec<TaylorAblationResult>,
+    congestion: Vec<CongestionResult>,
     peak_rss_bytes: Option<u64>,
 }
 
@@ -571,6 +591,45 @@ fn bench_taylor_ablation(quick: bool) -> Vec<TaylorAblationResult> {
         .collect()
 }
 
+/// The congestion section: every paper baseline plus the two
+/// congestion-adaptive variants on the buffer-pressure scenario, where
+/// admission throttling actually has something to throttle. One run per
+/// policy (the section tracks behaviour, not best-of-N timing noise).
+fn bench_congestion(quick: bool) -> Vec<CongestionResult> {
+    let mut lineup = PolicyKind::paper_four().to_vec();
+    lineup.push(PolicyKind::OccupancyGate { threshold: 0.8 });
+    lineup.push(PolicyKind::TieredRetention {
+        tiers: 4,
+        threshold: 0.9,
+    });
+    lineup
+        .into_iter()
+        .map(|policy| {
+            let mut cfg = buffer_pressure_cfg(quick);
+            cfg.policy = policy;
+            let started = Instant::now();
+            let report = World::build(&cfg).run();
+            let wall = started.elapsed().as_secs_f64();
+            eprintln!(
+                "congestion       {:<16}: {:7.3}s wall, delivery {:.4}, drops {}, rejects {}",
+                policy.label(),
+                wall,
+                report.delivery_ratio(),
+                report.buffer_drops(),
+                report.incoming_rejects(),
+            );
+            CongestionResult {
+                policy: policy.label().to_string(),
+                wall_clock_secs: wall,
+                delivery_ratio: report.delivery_ratio(),
+                avg_latency_secs: report.avg_latency(),
+                buffer_drops: report.buffer_drops(),
+                incoming_rejects: report.incoming_rejects(),
+            }
+        })
+        .collect()
+}
+
 /// Re-runs the pinned headline scenario on four world threads and
 /// checks the fingerprint still matches the committed golden — the
 /// incremental cache must be invisible under the parallel tick phases.
@@ -692,8 +751,11 @@ fn main() {
     // Fig. 4 as data: accuracy vs compute per Taylor depth.
     let taylor_ablation = bench_taylor_ablation(quick);
 
+    // Congestion-adaptive variants vs the paper's four under pressure.
+    let congestion = bench_congestion(quick);
+
     let report = BenchReport {
-        schema: "dtn-bench/v5".into(),
+        schema: "dtn-bench/v6".into(),
         quick,
         iters,
         threads_available,
@@ -702,6 +764,7 @@ fn main() {
         sweep_scaling,
         thread_scaling,
         taylor_ablation,
+        congestion,
         peak_rss_bytes: peak_rss_bytes(),
     };
     let body = serde_json::to_string_pretty(&report).expect("report serialises");

@@ -12,8 +12,9 @@
 //! hardened cell runner: a panicking policy is reported as a structured
 //! cell error while the others still run and print.
 //! `--churn` runs the delivery-ratio-vs-churn-rate sweep instead: the
-//! paper's four policies across escalating node-crash rates, fully
-//! validated, rendered as the headline robustness table.
+//! paper's four policies plus the two congestion-adaptive variants
+//! (occupancy gate, tiered retention) across escalating node-crash
+//! rates, fully validated, rendered as the headline robustness table.
 
 use dtn_analysis::churn::{ChurnPoint, ChurnTable};
 use dtn_sim::replay::manifest_for_run;
@@ -62,17 +63,24 @@ fn run_hardened_cells() {
     }
 }
 
-/// The delivery-vs-churn headline: every paper policy across the
-/// standard crash-rate ladder, invariants checked on every run. Scaled
-/// to the smoke operating point so the whole grid finishes in seconds.
+/// The delivery-vs-churn headline: every paper policy plus the two
+/// congestion-adaptive variants across the standard crash-rate ladder,
+/// invariants checked on every run. Scaled to the smoke operating point
+/// so the whole grid finishes in seconds.
 fn run_churn_table(seeds: Vec<u64>) {
     let mut base = dtn_sim::config::presets::smoke();
     base.n_nodes = 20;
     base.duration_secs = 900.0;
+    let mut policies = dtn_sim::config::PolicyKind::paper_four().to_vec();
+    policies.push(dtn_sim::config::PolicyKind::OccupancyGate { threshold: 0.8 });
+    policies.push(dtn_sim::config::PolicyKind::TieredRetention {
+        tiers: 4,
+        threshold: 0.9,
+    });
     let spec = SweepSpec {
         base,
         axis: SweepAxis::churn_rates(),
-        policies: dtn_sim::config::PolicyKind::paper_four().to_vec(),
+        policies,
         seeds,
         validate: true,
     };

@@ -1,0 +1,389 @@
+//! Congestion-adaptive policies (extensions, after the Congestion Aware
+//! Spray and Wait line of work).
+//!
+//! Both policies rank messages by remaining-lifetime like
+//! [`TtlRatio`](crate::ttl::TtlRatio) but react to buffer *occupancy*,
+//! which the paper's strategies ignore:
+//!
+//! * [`OccupancyGate`] refuses every newcomer once buffer occupancy
+//!   already exceeds a threshold — back-pressure at the admission step
+//!   instead of churning the eviction heap.
+//! * [`TieredRetention`] bins messages into remaining-lifetime tiers and
+//!   purges stale tiers first, most-spread message first within a tier;
+//!   above the occupancy threshold it refuses newcomers that would land
+//!   in the stalest tier.
+//!
+//! Every priority either policy returns is finite for *any* view — including
+//! zero/negative remaining lifetime under clock skew — because the
+//! shared admission machinery panics on NaN rankings.
+
+use crate::policy::{AdmissionPlan, BufferPolicy};
+use crate::view::MessageView;
+use dtn_core::time::SimTime;
+use dtn_core::units::Bytes;
+
+/// Current buffer occupancy `used / capacity`, in `[0, 1]` — measured
+/// *before* the pending admission, so a threshold of exactly 1.0 can
+/// never be exceeded (a full buffer is 1.0, not above it). A
+/// zero-capacity buffer counts as fully congested.
+fn occupancy(free: Bytes, capacity: Bytes) -> f64 {
+    if capacity == Bytes::ZERO {
+        return 1.0;
+    }
+    let used = capacity.saturating_sub(free);
+    used.as_u64() as f64 / capacity.as_u64() as f64
+}
+
+/// [`MessageView::ttl_fraction`] with a totality guard: non-finite
+/// duration arithmetic (clock-skew pathologies) degrades to 0 — treat
+/// the message as expired — instead of leaking NaN into the rankings.
+fn finite_ttl_fraction(msg: &MessageView<'_>) -> f64 {
+    let f = msg.ttl_fraction();
+    if f.is_finite() {
+        f
+    } else {
+        0.0
+    }
+}
+
+/// Occupancy-gated admission: TTL-ratio ranking plus an admission
+/// override that rejects every newcomer while occupancy is already
+/// above `threshold`. Occupancy never exceeds 1.0, so with
+/// `threshold = 1.0` the gate never fires and the policy degenerates to
+/// plain [`TtlRatio`](crate::ttl::TtlRatio) — the natural reference
+/// point for the occupancy sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct OccupancyGate {
+    threshold: f64,
+}
+
+impl OccupancyGate {
+    /// Creates the gate.
+    ///
+    /// # Panics
+    /// Panics unless `threshold` is in `(0, 1]`.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "occupancy threshold must be in (0, 1]"
+        );
+        OccupancyGate { threshold }
+    }
+
+    /// The configured occupancy threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl BufferPolicy for OccupancyGate {
+    fn name(&self) -> &'static str {
+        "OccupancyGate"
+    }
+
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        finite_ttl_fraction(msg)
+    }
+
+    fn admission_override(
+        &mut self,
+        _now: SimTime,
+        _incoming: &MessageView<'_>,
+        _residents: &[MessageView<'_>],
+        free: Bytes,
+        capacity: Bytes,
+    ) -> Option<AdmissionPlan> {
+        if occupancy(free, capacity) > self.threshold {
+            Some(AdmissionPlan::RejectIncoming)
+        } else {
+            // Below the gate: fall through to the shared Algorithm-1
+            // greedy rule with the TTL-ratio ranking.
+            None
+        }
+    }
+}
+
+/// Tiered retention with priority-based purging: the remaining-lifetime
+/// fraction is quantised into `tiers` bins and eviction empties the
+/// stalest tier first (within a tier, the most-spread message — fewest
+/// copy tokens left — purges first). Above the occupancy `threshold`,
+/// newcomers that would land in the stalest tier are refused outright —
+/// congested buffers stop accepting messages that would be first
+/// against the wall anyway.
+#[derive(Debug, Clone, Copy)]
+pub struct TieredRetention {
+    tiers: u32,
+    threshold: f64,
+}
+
+impl TieredRetention {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    /// Panics unless `tiers >= 1` and `threshold` is in `(0, 1]`.
+    pub fn new(tiers: u32, threshold: f64) -> Self {
+        assert!(tiers >= 1, "need at least one tier");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "occupancy threshold must be in (0, 1]"
+        );
+        TieredRetention { tiers, threshold }
+    }
+
+    /// Remaining-lifetime tier of `msg` in `0..tiers` (0 = stalest).
+    fn tier(&self, msg: &MessageView<'_>) -> u32 {
+        let f = finite_ttl_fraction(msg);
+        ((f * self.tiers as f64) as u32).min(self.tiers - 1)
+    }
+}
+
+impl BufferPolicy for TieredRetention {
+    fn name(&self) -> &'static str {
+        "TieredRetention"
+    }
+
+    /// Scheduling stays pure TTL-ratio: replicate the freshest first.
+    fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        finite_ttl_fraction(msg)
+    }
+
+    /// Retention is tier-dominant: `tier * 2 + copies_fraction`, so any
+    /// message in a fresher tier strictly outranks every message in a
+    /// staler one (the fraction term is ≤ 1 < 2). *Within* a tier the
+    /// message with the fewest copy tokens left purges first — it has
+    /// already spread, so other custodians still carry it — which is
+    /// what distinguishes the policy from plain TTL-ratio ranking
+    /// (lifetime alone would make the tiers an order-preserving
+    /// relabelling).
+    fn keep_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
+        let copies = msg.copies_fraction(); // total by construction
+        self.tier(msg) as f64 * 2.0 + copies
+    }
+
+    fn admission_override(
+        &mut self,
+        _now: SimTime,
+        incoming: &MessageView<'_>,
+        _residents: &[MessageView<'_>],
+        free: Bytes,
+        capacity: Bytes,
+    ) -> Option<AdmissionPlan> {
+        if occupancy(free, capacity) > self.threshold && self.tier(incoming) == 0 {
+            Some(AdmissionPlan::RejectIncoming)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{plan_admission, schedule_order};
+    use crate::view::TestMessage;
+    use dtn_core::ids::MessageId;
+    use dtn_core::time::SimDuration;
+
+    fn with_ttl(id: u64, remaining_mins: f64) -> TestMessage {
+        let mut m = TestMessage::sample(id);
+        m.remaining_ttl = SimDuration::from_mins(remaining_mins);
+        m
+    }
+
+    #[test]
+    fn gate_admits_below_threshold() {
+        let mut p = OccupancyGate::new(0.8);
+        let incoming = TestMessage::sample(1); // 0.5 MB
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &[],
+            Bytes::from_mb(2.5),
+            Bytes::from_mb(2.5),
+        );
+        // Empty buffer: occupancy 0 <= 0.8, gate stays open.
+        assert_eq!(plan, AdmissionPlan::Admit { evict: vec![] });
+    }
+
+    #[test]
+    fn gate_rejects_above_threshold_even_with_free_space() {
+        let mut p = OccupancyGate::new(0.5);
+        let incoming = TestMessage::sample(1); // 0.5 MB
+        let residents = [TestMessage::sample(2), TestMessage::sample(3)]; // 1.0 MB used
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        // Occupancy 1.0 / 1.5 = 0.67 > 0.5 -> reject although the
+        // newcomer would physically fit in the 0.5 MB of free space.
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::from_mb(0.5),
+            Bytes::from_mb(1.5),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+
+    #[test]
+    fn gate_at_one_never_fires() {
+        // threshold = 1.0 behaves exactly like TtlRatio: the full
+        // buffer falls through to the shared eviction rule and the
+        // fresher newcomer displaces the stalest resident.
+        let mut p = OccupancyGate::new(1.0);
+        let residents = [with_ttl(1, 100.0), with_ttl(2, 10.0)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = with_ttl(9, 290.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn tiers_dominate_fractions_in_eviction() {
+        // 300 min initial TTL, 4 tiers of 75 min. A message at 80 min
+        // (tier 1) must outlive one at 74 min (tier 0) — but also a
+        // *fresher-looking* tier boundary case: 74 min evicts before
+        // 80 min even though both are stale.
+        let mut p = TieredRetention::new(4, 1.0);
+        let residents = [with_ttl(1, 80.0), with_ttl(2, 74.0)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = with_ttl(9, 200.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn within_a_tier_the_most_spread_message_purges_first() {
+        // Same tier (both > 225 min of 300), different spread: the
+        // message with fewer copy tokens left is evicted first — other
+        // custodians still carry it. Pure TTL ranking would evict the
+        // (staler) message 1 instead.
+        let mut p = TieredRetention::new(4, 1.0);
+        let mut spread = with_ttl(2, 280.0);
+        spread.copies = 2; // of 32: widely spread
+        let residents = [with_ttl(1, 240.0), spread];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let incoming = with_ttl(9, 290.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &incoming.view(),
+            &views,
+            Bytes::ZERO,
+            Bytes::from_mb(1.0),
+        );
+        assert_eq!(
+            plan,
+            AdmissionPlan::Admit {
+                evict: vec![MessageId(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn tiered_send_order_is_ttl_ratio() {
+        let mut p = TieredRetention::new(4, 1.0);
+        let msgs = [with_ttl(1, 100.0), with_ttl(2, 250.0), with_ttl(3, 10.0)];
+        let views: Vec<_> = msgs.iter().map(|m| m.view()).collect();
+        let order = schedule_order(&mut p, SimTime::ZERO, &views);
+        assert_eq!(order, vec![MessageId(2), MessageId(1), MessageId(3)]);
+    }
+
+    #[test]
+    fn tiered_refuses_stale_newcomer_only_when_congested() {
+        let mut p = TieredRetention::new(4, 0.5);
+        let stale = with_ttl(9, 5.0); // tier 0
+                                      // Uncongested: falls through (and the empty buffer admits).
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &stale.view(),
+            &[],
+            Bytes::from_mb(2.5),
+            Bytes::from_mb(2.5),
+        );
+        assert_eq!(plan, AdmissionPlan::Admit { evict: vec![] });
+        // Congested: the same stale newcomer is refused...
+        let residents = [with_ttl(1, 200.0), with_ttl(2, 250.0)];
+        let views: Vec<_> = residents.iter().map(|m| m.view()).collect();
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &stale.view(),
+            &views,
+            Bytes::from_mb(0.5),
+            Bytes::from_mb(1.5),
+        );
+        assert_eq!(plan, AdmissionPlan::RejectIncoming);
+        // ...but a fresh newcomer still reaches the eviction rule.
+        let fresh = with_ttl(8, 290.0);
+        let plan = plan_admission(
+            &mut p,
+            SimTime::ZERO,
+            &fresh.view(),
+            &views,
+            Bytes::from_mb(0.5),
+            Bytes::from_mb(1.5),
+        );
+        assert_eq!(plan, AdmissionPlan::Admit { evict: vec![] });
+    }
+
+    #[test]
+    fn priorities_are_total_for_degenerate_lifetimes() {
+        // Zero/negative remaining TTL and a zero initial TTL (the
+        // clock-skew pathologies) must rank finite in both policies.
+        let mut gate = OccupancyGate::new(0.8);
+        let mut tiered = TieredRetention::new(4, 0.8);
+        for (remaining, initial) in [(0.0, 300.0), (-50.0, 300.0), (0.0, 0.0), (100.0, 0.0)] {
+            let mut m = TestMessage::sample(1);
+            m.remaining_ttl = SimDuration::from_mins(remaining);
+            m.initial_ttl = SimDuration::from_mins(initial);
+            let v = m.view();
+            assert!(gate.send_priority(SimTime::ZERO, &v).is_finite());
+            assert!(gate.keep_priority(SimTime::ZERO, &v).is_finite());
+            assert!(tiered.send_priority(SimTime::ZERO, &v).is_finite());
+            assert!(tiered.keep_priority(SimTime::ZERO, &v).is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_counts_as_congested() {
+        assert_eq!(occupancy(Bytes::ZERO, Bytes::ZERO), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy threshold")]
+    fn rejects_zero_threshold() {
+        OccupancyGate::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn rejects_zero_tiers() {
+        TieredRetention::new(0, 0.8);
+    }
+}

@@ -15,7 +15,11 @@
 //! Extra baselines from the buffer-management literature are included for
 //! the ablation benches: [`Lifo`](fifo::Lifo), [`Mofo`](mofo::Mofo)
 //! (most-forwarded dropped first), [`Shli`](ttl::Shli) (smallest
-//! remaining TTL dropped first) and [`RandomDrop`](random::RandomDrop).
+//! remaining TTL dropped first) and [`RandomDrop`](random::RandomDrop),
+//! plus two congestion-adaptive extensions,
+//! [`OccupancyGate`](congestion::OccupancyGate) and
+//! [`TieredRetention`](congestion::TieredRetention), that throttle
+//! admission by buffer occupancy.
 //!
 //! The paper's own policy, SDSRP, implements this same trait from the
 //! `sdsrp-core` crate.
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod congestion;
 pub mod copies;
 pub mod fifo;
 pub mod knapsack;

@@ -13,6 +13,20 @@ use crate::policy::BufferPolicy;
 use crate::view::MessageView;
 use dtn_core::time::SimTime;
 
+/// Totality clamp for duration-derived priorities: the shared admission
+/// machinery panics on NaN rankings, and degenerate lifetimes (zero or
+/// negative remaining TTL under clock skew, a zero initial TTL, or
+/// non-finite duration arithmetic) must therefore degrade to a finite
+/// "rank last" value instead — the same defence-in-depth pattern the
+/// SDSRP priority model applies to its `n_nodes <= 1` denominators.
+fn finite_or(value: f64, fallback: f64) -> f64 {
+    if value.is_finite() {
+        value
+    } else {
+        fallback
+    }
+}
+
 /// Spray and Wait-O: `priority = R_i / TTL_i`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TtlRatio;
@@ -23,7 +37,10 @@ impl BufferPolicy for TtlRatio {
     }
 
     fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
-        msg.ttl_fraction()
+        // `ttl_fraction` clamps to [0, 1] and guards the zero-denominator
+        // case itself, but `clamp` passes NaN through — treat any
+        // non-finite ratio as an expired message.
+        finite_or(msg.ttl_fraction(), 0.0)
     }
 }
 
@@ -38,12 +55,13 @@ impl BufferPolicy for Shli {
 
     /// FIFO service order.
     fn send_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
-        -msg.received.as_secs()
+        finite_or(-msg.received.as_secs(), 0.0)
     }
 
-    /// Shortest remaining lifetime evicted first.
+    /// Shortest remaining lifetime evicted first. A degenerate
+    /// (non-finite) lifetime ranks as already expired.
     fn keep_priority(&mut self, _now: SimTime, msg: &MessageView<'_>) -> f64 {
-        msg.remaining_ttl.as_secs()
+        finite_or(msg.remaining_ttl.as_secs(), 0.0)
     }
 }
 
@@ -108,6 +126,38 @@ mod tests {
             Bytes::from_mb(1.0),
         );
         assert_eq!(plan, AdmissionPlan::RejectIncoming);
+    }
+
+    #[test]
+    fn degenerate_lifetimes_are_total() {
+        // Zero/negative remaining TTL, a zero initial TTL, and
+        // non-finite durations (clock-skew pathologies) must all yield
+        // finite priorities — the admission heap panics on NaN.
+        let mut ttl = TtlRatio;
+        let mut shli = Shli;
+        // NaN durations cannot even be constructed (`SimDuration`
+        // asserts), so the NaN routes into a ranking are ratios of
+        // infinities — the ∞/∞ case below — plus plain ±∞ lifetimes.
+        let cases = [
+            (0.0, 300.0),
+            (-50.0, 300.0),
+            (0.0, 0.0),
+            (100.0, 0.0),
+            (f64::INFINITY, f64::INFINITY),
+            (f64::NEG_INFINITY, 300.0),
+            (f64::INFINITY, 300.0),
+        ];
+        for (remaining, initial) in cases {
+            let mut m = TestMessage::sample(1);
+            m.remaining_ttl = SimDuration::from_secs(remaining);
+            m.initial_ttl = SimDuration::from_secs(initial);
+            m.received = SimTime::INFINITY; // worst-case receive stamp
+            let v = m.view();
+            assert!(ttl.send_priority(SimTime::ZERO, &v).is_finite());
+            assert!(ttl.keep_priority(SimTime::ZERO, &v).is_finite());
+            assert!(shli.send_priority(SimTime::ZERO, &v).is_finite());
+            assert!(shli.keep_priority(SimTime::ZERO, &v).is_finite());
+        }
     }
 
     #[test]

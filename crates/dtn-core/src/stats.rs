@@ -207,12 +207,18 @@ impl Histogram {
 }
 
 /// Exact empirical percentile from a mutable sample buffer
-/// (`q` in `[0, 1]`, nearest-rank). Returns `None` on an empty slice.
+/// (`q` in `[0, 1]`, nearest-rank). Returns `None` on an empty slice or
+/// a `q` outside `[0, 1]` (including NaN) — an out-of-range quantile is
+/// a caller bug, but answering it with a silently clamped sample would
+/// hide it, and panicking from a metrics path took down whole sweep
+/// cells.
+///
+/// Boundary semantics: `q = 0` is the minimum, `q = 1` the maximum, and
+/// a single-sample buffer answers every valid `q` with that sample.
 pub fn percentile(samples: &mut [f64], q: f64) -> Option<f64> {
-    if samples.is_empty() {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
         return None;
     }
-    assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1]");
     samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
     Some(samples[rank - 1])
@@ -342,6 +348,30 @@ mod tests {
         assert_eq!(percentile(&mut [], 0.5), None);
     }
 
+    #[test]
+    fn percentile_boundaries() {
+        // Single sample: every valid q answers with it.
+        for q in [0.0, 1e-9, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(percentile(&mut [7.0], q), Some(7.0));
+        }
+        // Two samples: anything in (0, 0.5] is the first, above the second.
+        let mut two = [10.0, 20.0];
+        assert_eq!(percentile(&mut two, 0.0), Some(10.0));
+        assert_eq!(percentile(&mut two, 0.5), Some(10.0));
+        assert_eq!(percentile(&mut two, 0.5 + 1e-12), Some(20.0));
+        assert_eq!(percentile(&mut two, 1.0), Some(20.0));
+        // Out-of-range or NaN q: None, never a clamped sample or a panic.
+        let mut v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&mut v, -0.1), None);
+        assert_eq!(percentile(&mut v, 1.1), None);
+        assert_eq!(percentile(&mut v, f64::NAN), None);
+        assert_eq!(percentile(&mut v, f64::INFINITY), None);
+        assert_eq!(percentile(&mut v, f64::NEG_INFINITY), None);
+        // Empty slice with a bad q is still None (no order of checks
+        // can panic).
+        assert_eq!(percentile(&mut [], f64::NAN), None);
+    }
+
     proptest! {
         #[test]
         fn prop_merge_associative(
@@ -357,6 +387,44 @@ mod tests {
             a.merge(&b);
             prop_assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-6);
             prop_assert_eq!(a.count(), all.count());
+        }
+
+        #[test]
+        fn prop_percentile_matches_sorted_reference(
+            xs in prop::collection::vec(-1e6f64..1e6, 1..64),
+            q in 0.0f64..=1.0,
+        ) {
+            // Nearest-rank reference: sort, take element ceil(q*n)
+            // (1-based), with q = 0 pinned to the minimum.
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let n = sorted.len();
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let expect = sorted[rank - 1];
+            let mut buf = xs.clone();
+            prop_assert_eq!(percentile(&mut buf, q), Some(expect));
+            // The result is always an actual sample within [min, max].
+            let got = percentile(&mut buf, q).unwrap();
+            prop_assert!(got >= sorted[0] && got <= sorted[n - 1]);
+        }
+
+        #[test]
+        fn prop_percentile_rejects_out_of_range_q(
+            xs in prop::collection::vec(-1e6f64..1e6, 0..16),
+            q in prop_oneof![
+                -10.0f64..10.0,
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+            ],
+        ) {
+            let mut buf = xs.clone();
+            let got = percentile(&mut buf, q);
+            if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+                prop_assert_eq!(got, None);
+            } else {
+                prop_assert!(got.is_some());
+            }
         }
 
         #[test]

@@ -289,7 +289,7 @@ mod tests {
                 delivery_ratio: 0.1 + 0.2, // deliberately non-representable
                 avg_hopcount: 2.25,
                 overhead_ratio: 13.5,
-                avg_latency: 1234.0625,
+                avg_latency: Some(1234.0625),
                 created: 96.0,
             },
             fingerprint: ReportFingerprint::default(),

@@ -94,7 +94,7 @@ mod tests {
                 delivery_ratio: 0.5,
                 avg_hopcount: 1.0,
                 overhead_ratio: 1.0,
-                avg_latency: 1.0,
+                avg_latency: Some(1.0),
                 created: 1.0,
             },
             fingerprint: ReportFingerprint::default(),

@@ -6,7 +6,9 @@
 
 use dtn_fleet::protocol::{read_frame, write_frame, CoordinatorMsg, WorkerMsg, PROTOCOL_VERSION};
 use dtn_fleet::worker::run_assignment;
-use dtn_fleet::{run_sweep_fleet, FleetOptions, LocalTcpWorkers, TcpTransport, ThreadTransport};
+use dtn_fleet::{
+    run_sweep_fleet, FleetOptions, LocalTcpWorkers, TcpTransport, ThreadTransport, Transport,
+};
 use dtn_sim::config::{presets, PolicyKind};
 use dtn_sim::sweep::{
     load_checkpoint, materialize_jobs, run_sweep_hardened, SweepAxis, SweepCheckpoint,
@@ -189,6 +191,16 @@ fn late_joining_worker_revives_a_dead_slot() {
         ],
     )
     .expect("initial workers");
+    // Both --fail-once workers must be authenticated (and thus first in
+    // the ready queue) before the spare dials in, or the spare can grab
+    // a slot and the victim cell runs on a worker that never fails.
+    for _ in 0..500 {
+        if transport.waiting_workers() >= 2 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(transport.waiting_workers(), 2, "initial pair authenticated");
     let _spare =
         LocalTcpWorkers::spawn(&worker_bin(), addr, 1, None, None, &[]).expect("spare worker");
     transport.expect_workers(2);

@@ -1,5 +1,6 @@
 //! Scenario configuration and the paper's presets.
 
+use dtn_buffer::congestion::{OccupancyGate, TieredRetention};
 use dtn_buffer::copies::CopiesRatio;
 use dtn_buffer::fifo::{Fifo, Lifo};
 use dtn_buffer::knapsack::Knapsack;
@@ -63,6 +64,25 @@ pub enum PolicyKind {
         /// Oracle intermeeting rate λ.
         lambda: f64,
     },
+    /// Congestion-adaptive admission (Congestion Aware Spray and Wait):
+    /// TTL-ratio ranking plus an occupancy gate that rejects newcomers
+    /// outright once the buffer is fuller than `threshold`.
+    OccupancyGate {
+        /// Occupancy fraction in `(0, 1]` above which incoming messages
+        /// are refused; `1.0` never triggers (pure TTL-ratio reference).
+        threshold: f64,
+    },
+    /// Tiered retention with priority-based purging: messages are binned
+    /// into remaining-lifetime tiers, stale tiers are purged first, and
+    /// above the occupancy `threshold` newcomers landing in the stalest
+    /// tier are refused.
+    TieredRetention {
+        /// Number of remaining-lifetime tiers (≥ 1).
+        tiers: u32,
+        /// Occupancy fraction above which stalest-tier newcomers are
+        /// refused; `1.0` never refuses (pure tiered eviction).
+        threshold: f64,
+    },
 }
 
 impl PolicyKind {
@@ -107,6 +127,10 @@ impl PolicyKind {
                     gossip: true,
                 },
             )),
+            PolicyKind::OccupancyGate { threshold } => Box::new(OccupancyGate::new(threshold)),
+            PolicyKind::TieredRetention { tiers, threshold } => {
+                Box::new(TieredRetention::new(tiers, threshold))
+            }
         }
     }
 
@@ -124,6 +148,8 @@ impl PolicyKind {
             PolicyKind::Sdsrp => "SDSRP",
             PolicyKind::SdsrpCustom { .. } => "SDSRP-custom",
             PolicyKind::SdsrpOracle { .. } => "SDSRP-oracle",
+            PolicyKind::OccupancyGate { .. } => "OccupancyGate",
+            PolicyKind::TieredRetention { .. } => "TieredRetention",
         }
     }
 
@@ -546,6 +572,11 @@ mod tests {
                 taylor_terms: Some(3),
                 reject_dropped: false,
                 gossip: false,
+            },
+            PolicyKind::OccupancyGate { threshold: 0.8 },
+            PolicyKind::TieredRetention {
+                tiers: 4,
+                threshold: 0.9,
             },
         ];
         for k in kinds {

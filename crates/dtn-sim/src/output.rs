@@ -46,13 +46,15 @@ impl Metric {
         }
     }
 
-    /// Extracts the metric from a cell.
+    /// Extracts the metric from a cell. A cell with no latency data
+    /// (zero deliveries in every run) yields NaN, which the renderers
+    /// print as `—` / empty rather than a fake `0.0`.
     pub fn of(self, cell: &SweepCell) -> f64 {
         match self {
             Metric::DeliveryRatio => cell.delivery_ratio,
             Metric::AvgHopcount => cell.avg_hopcount,
             Metric::OverheadRatio => cell.overhead_ratio,
-            Metric::AvgLatency => cell.avg_latency,
+            Metric::AvgLatency => cell.avg_latency.unwrap_or(f64::NAN),
         }
     }
 }
@@ -102,7 +104,12 @@ impl SeriesTable {
         for (label, vals) in &self.rows {
             let _ = write!(out, "| {label} |");
             for v in vals {
-                let _ = write!(out, " {v:.4} |");
+                if v.is_nan() {
+                    // No data (e.g. latency with zero deliveries).
+                    let _ = write!(out, " — |");
+                } else {
+                    let _ = write!(out, " {v:.4} |");
+                }
             }
             let _ = writeln!(out);
         }
@@ -153,7 +160,7 @@ mod tests {
                     delivery_ratio_std: 0.0,
                     avg_hopcount: 2.0,
                     overhead_ratio: 5.0,
-                    avg_latency: 100.0,
+                    avg_latency: Some(100.0),
                     created: 600.0,
                     runs: 3,
                     violations: 0,
@@ -182,6 +189,19 @@ mod tests {
         assert_eq!(Metric::OverheadRatio.of(c), 5.0);
         assert_eq!(Metric::AvgLatency.of(c), 100.0);
         assert_eq!(Metric::DeliveryRatio.name(), "delivery ratio");
+    }
+
+    #[test]
+    fn missing_latency_renders_as_dash() {
+        let mut cs = cells();
+        for c in &mut cs {
+            c.avg_latency = None;
+        }
+        assert!(Metric::AvgLatency.of(&cs[0]).is_nan());
+        let t = SeriesTable::from_cells("Fig X", "L", &cs, Metric::AvgLatency);
+        let md = t.to_markdown();
+        assert!(md.contains("| SDSRP | — | — |"));
+        assert!(!md.contains("0.0000"));
     }
 
     #[test]

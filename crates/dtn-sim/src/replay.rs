@@ -74,7 +74,9 @@ pub fn fingerprint(report: &Report, totals: &EventTotals) -> ReportFingerprint {
         delivery_ratio_micro: ReportFingerprint::scale(report.delivery_ratio(), 1e6),
         overhead_milli: ReportFingerprint::scale(report.overhead_ratio(), 1e3),
         avg_hopcount_milli: ReportFingerprint::scale(report.avg_hopcount(), 1e3),
-        avg_latency_milli: ReportFingerprint::scale(report.avg_latency(), 1e3),
+        // Zero-delivery runs fingerprint as 0 ms, exactly as the old
+        // `0.0` sentinel did — the digest stays bit-identical.
+        avg_latency_milli: ReportFingerprint::scale(report.avg_latency().unwrap_or(0.0), 1e3),
         events: totals.clone(),
     }
 }

@@ -173,9 +173,21 @@ impl Report {
         }
     }
 
-    /// Mean delivery latency (seconds) over first deliveries.
-    pub fn avg_latency(&self) -> f64 {
-        self.latency.mean().unwrap_or(0.0)
+    /// Mean delivery latency (seconds) over first deliveries, or `None`
+    /// before the first delivery. A run with zero deliveries has *no*
+    /// latency, not an instant one — callers that need a number for a
+    /// fingerprint or a plot decide their own sentinel explicitly.
+    pub fn avg_latency(&self) -> Option<f64> {
+        self.latency.mean()
+    }
+
+    /// Raw first-delivery latencies (seconds), in delivery order — the
+    /// exact empirical sample behind [`avg_latency`](Self::avg_latency)
+    /// and the percentiles, exported so the delay-distribution oracle
+    /// can compare an exact empirical CDF instead of the `OnlineStats`
+    /// aggregate.
+    pub fn latency_samples(&self) -> &[f64] {
+        &self.latencies
     }
 
     /// Delivery-latency percentile (`q` in `[0, 1]`, nearest rank) over
@@ -205,7 +217,9 @@ mod tests {
         assert_eq!(r.delivery_ratio(), 0.0);
         assert_eq!(r.avg_hopcount(), 0.0);
         assert_eq!(r.overhead_ratio(), 0.0);
-        assert_eq!(r.avg_latency(), 0.0);
+        // No deliveries means no latency — not an instant one.
+        assert_eq!(r.avg_latency(), None);
+        assert!(r.latency_samples().is_empty());
     }
 
     #[test]
@@ -231,7 +245,9 @@ mod tests {
         assert_eq!(r.avg_hopcount(), 2.0);
         // Overhead: (10 - 2) / 2.
         assert_eq!(r.overhead_ratio(), 4.0);
-        assert_eq!(r.avg_latency(), 100.0);
+        assert_eq!(r.avg_latency(), Some(100.0));
+        // Raw samples: first deliveries only, in delivery order.
+        assert_eq!(r.latency_samples(), &[50.0, 150.0]);
         assert!(r.is_delivered(MessageId(1)));
         assert!(!r.is_delivered(MessageId(3)));
     }
@@ -247,7 +263,24 @@ mod tests {
         assert_eq!(r.median_latency(), Some(30.0));
         assert_eq!(r.latency_percentile(0.0), Some(10.0));
         assert_eq!(r.latency_percentile(1.0), Some(50.0));
+        // Out-of-range quantiles answer None instead of panicking or
+        // clamping to an arbitrary sample.
+        assert_eq!(r.latency_percentile(-0.5), None);
+        assert_eq!(r.latency_percentile(1.5), None);
+        assert_eq!(r.latency_percentile(f64::NAN), None);
         assert_eq!(Report::new().median_latency(), None);
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let mut r = Report::new();
+        r.on_created();
+        r.on_transmission();
+        r.on_delivered(MessageId(1), 1, t(0.0), t(42.0));
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(r.latency_percentile(q), Some(42.0));
+        }
+        assert_eq!(r.avg_latency(), Some(42.0));
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub enum SweepAxis {
     /// point rewrites an `Sdsrp`/`SdsrpCustom` policy's Taylor setting
     /// and leaves every other policy unchanged (flat reference lines).
     TaylorTerms(Vec<Option<u32>>),
+    /// Buffer-occupancy threshold for the congestion-adaptive policies:
+    /// each point rewrites an `OccupancyGate` or `TieredRetention`
+    /// policy's threshold and leaves every other policy unchanged (flat
+    /// reference lines), mirroring [`SweepAxis::TaylorTerms`].
+    OccupancyThreshold(Vec<f64>),
 }
 
 impl SweepAxis {
@@ -109,6 +114,14 @@ impl SweepAxis {
         SweepAxis::TaylorTerms(vec![None, Some(1), Some(2), Some(4), Some(8), Some(16)])
     }
 
+    /// The standard congestion-adaptation sweep: from aggressive
+    /// throttling at half-full buffers to the permissive limit (a
+    /// threshold of 1.0 never triggers, giving the un-throttled
+    /// reference point on the same axis).
+    pub fn occupancy_thresholds() -> Self {
+        SweepAxis::OccupancyThreshold(vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+    }
+
     /// Number of sweep points.
     pub fn len(&self) -> usize {
         match self {
@@ -117,6 +130,7 @@ impl SweepAxis {
             SweepAxis::GenInterval(v) => v.len(),
             SweepAxis::CrashRate(v) => v.len(),
             SweepAxis::TaylorTerms(v) => v.len(),
+            SweepAxis::OccupancyThreshold(v) => v.len(),
         }
     }
 
@@ -133,6 +147,7 @@ impl SweepAxis {
             SweepAxis::GenInterval(_) => "generation interval (s)",
             SweepAxis::CrashRate(_) => "crash rate (/node-hour)",
             SweepAxis::TaylorTerms(_) => "Taylor terms k (0 = exact)",
+            SweepAxis::OccupancyThreshold(_) => "occupancy threshold",
         }
     }
 
@@ -147,6 +162,7 @@ impl SweepAxis {
                 None => "exact".to_string(),
                 Some(k) => format!("k={k}"),
             },
+            SweepAxis::OccupancyThreshold(v) => format!("{}", v[i]),
         }
     }
 
@@ -160,6 +176,7 @@ impl SweepAxis {
             // Exact mode plots at 0 (a k-axis has no natural slot for
             // it; the label carries the distinction).
             SweepAxis::TaylorTerms(v) => v[i].map_or(0.0, |k| k as f64),
+            SweepAxis::OccupancyThreshold(v) => v[i],
         }
     }
 
@@ -206,6 +223,18 @@ impl SweepAxis {
                     other => other,
                 };
             }
+            SweepAxis::OccupancyThreshold(v) => {
+                cfg.policy = match cfg.policy {
+                    PolicyKind::OccupancyGate { .. } => {
+                        PolicyKind::OccupancyGate { threshold: v[i] }
+                    }
+                    PolicyKind::TieredRetention { tiers, .. } => PolicyKind::TieredRetention {
+                        tiers,
+                        threshold: v[i],
+                    },
+                    other => other,
+                };
+            }
         }
     }
 }
@@ -247,8 +276,12 @@ pub struct SweepCell {
     pub avg_hopcount: f64,
     /// Mean overhead ratio.
     pub overhead_ratio: f64,
-    /// Mean delivery latency, seconds.
-    pub avg_latency: f64,
+    /// Mean delivery latency in seconds over the cell's runs that
+    /// delivered at least one message; `None` when no run did (a cell
+    /// with zero deliveries has no latency, not a zero one). Serialises
+    /// as `null`; legacy checkpoints carrying the old `0.0` sentinel
+    /// deserialize as `Some(0.0)`.
+    pub avg_latency: Option<f64>,
     /// Mean generated messages per run.
     pub created: f64,
     /// Seeds aggregated (fewer than requested if some runs panicked).
@@ -302,8 +335,9 @@ pub struct CellMetrics {
     pub avg_hopcount: f64,
     /// Overhead ratio.
     pub overhead_ratio: f64,
-    /// Average delivery latency, seconds.
-    pub avg_latency: f64,
+    /// Average delivery latency in seconds; `None` when the run
+    /// delivered nothing.
+    pub avg_latency: Option<f64>,
     /// Messages generated after warm-up.
     pub created: f64,
 }
@@ -764,7 +798,11 @@ pub fn aggregate_sweep(spec: &SweepSpec, out: CellsOutput) -> SweepOutput {
         a.delivery.push(run.metrics.delivery_ratio);
         a.hops.push(run.metrics.avg_hopcount);
         a.overhead.push(run.metrics.overhead_ratio);
-        a.latency.push(run.metrics.avg_latency);
+        // Zero-delivery runs contribute no latency sample: averaging in
+        // the old `0.0` sentinel would drag the cell mean toward zero.
+        if let Some(lat) = run.metrics.avg_latency {
+            a.latency.push(lat);
+        }
         a.created.push(run.metrics.created);
         a.violations += run.violations;
     }
@@ -786,7 +824,7 @@ pub fn aggregate_sweep(spec: &SweepSpec, out: CellsOutput) -> SweepOutput {
                 delivery_ratio_std: a.delivery.std_dev().unwrap_or(0.0),
                 avg_hopcount: a.hops.mean().unwrap_or(0.0),
                 overhead_ratio: a.overhead.mean().unwrap_or(0.0),
-                avg_latency: a.latency.mean().unwrap_or(0.0),
+                avg_latency: a.latency.mean(),
                 created: a.created.mean().unwrap_or(0.0),
                 runs: a.delivery.count() as usize,
                 violations: a.violations,
@@ -1408,6 +1446,39 @@ mod tests {
         let cells = run_sweep(&spec, 2);
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.runs == 1));
+    }
+
+    #[test]
+    fn occupancy_axis_rewrites_only_congestion_policies() {
+        let a = SweepAxis::occupancy_thresholds();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.name(), "occupancy threshold");
+        assert_eq!(a.label(0), "0.5");
+        assert_eq!(a.value(5), 1.0);
+
+        // Both congestion-adaptive kinds pick up the point's threshold;
+        // TieredRetention keeps its tier count.
+        let mut cfg = presets::smoke();
+        cfg.policy = PolicyKind::OccupancyGate { threshold: 0.8 };
+        a.apply(&mut cfg, 0);
+        assert_eq!(cfg.policy, PolicyKind::OccupancyGate { threshold: 0.5 });
+        cfg.policy = PolicyKind::TieredRetention {
+            tiers: 4,
+            threshold: 0.9,
+        };
+        a.apply(&mut cfg, 2);
+        assert_eq!(
+            cfg.policy,
+            PolicyKind::TieredRetention {
+                tiers: 4,
+                threshold: 0.7,
+            }
+        );
+        // Non-congestion policies pass through intact (reference rows).
+        cfg.policy = PolicyKind::Sdsrp;
+        a.apply(&mut cfg, 1);
+        assert_eq!(cfg.policy, PolicyKind::Sdsrp);
+        cfg.validate();
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   ([`violation::ViolationKind`], [`violation::Violation`]).
 //! * [`report`] — the per-run [`report::ValidationReport`].
 //! * [`truth`] — per-message ground truth ([`truth::MessageTruth`]).
+//! * [`oracle`] — closed-form analytic models, currently the binary
+//!   Spray and Wait delivery-delay CDF
+//!   ([`oracle::delay::DelayModel`]) with a KS-style deviation
+//!   statistic against simulated delays.
 //! * [`fingerprint`] — integer-only
 //!   [`fingerprint::ReportFingerprint`]s for bit-identical replay
 //!   comparison and golden snapshots.
@@ -26,12 +30,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod fingerprint;
+pub mod oracle;
 pub mod report;
 pub mod truth;
 pub mod validator;
 pub mod violation;
 
 pub use fingerprint::ReportFingerprint;
+pub use oracle::delay::DelayModel;
 pub use report::{ErrStats, FaultLedger, ValidationReport};
 pub use truth::MessageTruth;
 pub use validator::{EstimatorSweepSample, SweepOutcome, ValidateConfig, Validator, ViolationNote};

@@ -1,0 +1,9 @@
+//! Analytic oracles: closed-form models the simulator is checked
+//! against, independent of the event-driven machinery.
+//!
+//! The estimator oracle in [`crate::validator`] checks SDSRP's *inputs*
+//! (`m_i`/`n_i` estimates against per-message ground truth); the models
+//! here check the simulator's *outputs* — currently the delivery-delay
+//! distribution of binary Spray and Wait ([`delay`]).
+
+pub mod delay;

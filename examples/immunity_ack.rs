@@ -38,7 +38,7 @@ fn main() {
                 format!("{} + {label}", policy.label()),
                 r.delivery_ratio(),
                 r.overhead_ratio(),
-                r.avg_latency(),
+                r.avg_latency().unwrap_or(f64::NAN),
                 r.immunity_purges(),
             );
         }

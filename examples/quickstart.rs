@@ -28,7 +28,10 @@ fn main() {
     println!("delivery ratio     : {:.3}", report.delivery_ratio());
     println!("average hopcounts  : {:.2}", report.avg_hopcount());
     println!("overhead ratio     : {:.2}", report.overhead_ratio());
-    println!("average latency    : {:.0} s", report.avg_latency());
+    match report.avg_latency() {
+        Some(lat) => println!("average latency    : {lat:.0} s"),
+        None => println!("average latency    : — (no deliveries)"),
+    }
     println!("buffer drops       : {}", report.buffer_drops());
     println!("TTL expirations    : {}", report.expirations());
 }

@@ -39,13 +39,25 @@
 //! Taylor series (the paper's Fig. 4 ablation axis); `0` means the
 //! exact closed form. Applies to `sdsrp` and custom SDSRP policies.
 //!
-//! `--sweep copies|buffer|genrate` sweeps the paper's axis of that name
-//! over the resolved base scenario with the paper's four policies,
-//! through the hardened runner: a panicking cell is reported and the
-//! rest of the sweep still completes. `--validate-cells` attaches the
-//! invariant checkers to every cell, `--checkpoint FILE` streams
-//! finished cells as JSONL, and `--resume` skips cells already in the
-//! checkpoint (bit-identical to an uninterrupted run).
+//! `--sweep copies|buffer|genrate|occupancy` sweeps the axis of that
+//! name over the resolved base scenario, through the hardened runner: a
+//! panicking cell is reported and the rest of the sweep still
+//! completes. The paper axes run the paper's four policies; the
+//! `occupancy` axis sweeps the congestion threshold of the two
+//! congestion-adaptive policies (`OccupancyGate`, `TieredRetention`)
+//! with plain Spray and Wait and SDSRP as flat reference lines.
+//! `--validate-cells` attaches the invariant checkers to every cell,
+//! `--checkpoint FILE` streams finished cells as JSONL, and `--resume`
+//! skips cells already in the checkpoint (bit-identical to an
+//! uninterrupted run).
+//!
+//! `--delay-oracle` runs the scenario once with contact recording, fits
+//! the pairwise intermeeting rate λ, and scores the simulated
+//! first-delivery delays against the closed-form binary Spray and Wait
+//! delay CDF (Diana & Lochin): predicted-vs-simulated CDF rows with
+//! 95 % error bands and the KS max deviation, as a table or (with
+//! `--json`) a machine-checkable object. See EXPERIMENTS.md, "Analytic
+//! delay validation".
 //!
 //! `--workers N` distributes the sweep over N `dtn-fleet-worker`
 //! subprocesses instead of in-process threads (same output,
@@ -79,14 +91,15 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: dtn-scenario [--preset rwp|epfl|smoke] [--config FILE]\n\
-         \t[--policy fifo|lifo|ttl|copies|mofo|shli|random|knapsack|sdsrp]\n\
+         \t[--policy fifo|lifo|ttl|copies|mofo|shli|random|knapsack|sdsrp|\n\
+         \t\tocc-gate|tiered]\n\
          \t[--routing saw|saw-source|epidemic|direct|focus|prophet]\n\
          \t[--seed N] [--duration SECS] [--copies L] [--buffer-mb X]\n\
          \t[--immunity none|oracle|gossip] [--warmup SECS] [--json] [--emit-config]\n\
-         \t[--timeseries FILE] [--telemetry FILE] [--validate]\n\
+         \t[--timeseries FILE] [--telemetry FILE] [--validate] [--delay-oracle]\n\
          \t[--no-priority-cache] [--taylor-terms K] [--replay MANIFEST.json]\n\
          \t[--threads N] [--world-threads N]\n\
-         \t[--sweep copies|buffer|genrate [--seeds N]\n\
+         \t[--sweep copies|buffer|genrate|occupancy [--seeds N]\n\
          \t\t[--validate-cells] [--checkpoint FILE [--resume]]\n\
          \t\t[--workers N [--worker-bin FILE] [--cell-timeout SECS]\n\
          \t\t[--worker-timeout SECS] [--retries N] [--worker-arg ARG]...\n\
@@ -140,10 +153,31 @@ fn run_sweep_mode(
     resume: bool,
     fleet: FleetCli,
 ) -> ! {
-    let axis = match axis_name {
-        "copies" => SweepAxis::paper_copies(),
-        "buffer" => SweepAxis::paper_buffers(),
-        "genrate" => SweepAxis::paper_gen_rates(),
+    let (axis, policies) = match axis_name {
+        "copies" => (SweepAxis::paper_copies(), PolicyKind::paper_four().to_vec()),
+        "buffer" => (
+            SweepAxis::paper_buffers(),
+            PolicyKind::paper_four().to_vec(),
+        ),
+        "genrate" => (
+            SweepAxis::paper_gen_rates(),
+            PolicyKind::paper_four().to_vec(),
+        ),
+        // Congestion-threshold sweep: the axis rewrites the two
+        // congestion-adaptive policies' thresholds; the baselines
+        // ignore it and plot as flat reference lines.
+        "occupancy" => (
+            SweepAxis::occupancy_thresholds(),
+            vec![
+                PolicyKind::Fifo,
+                PolicyKind::Sdsrp,
+                PolicyKind::OccupancyGate { threshold: 0.8 },
+                PolicyKind::TieredRetention {
+                    tiers: 4,
+                    threshold: 0.9,
+                },
+            ],
+        ),
         other => {
             eprintln!("unknown sweep axis {other:?}");
             usage()
@@ -152,7 +186,7 @@ fn run_sweep_mode(
     let spec = SweepSpec {
         base,
         axis,
-        policies: PolicyKind::paper_four().to_vec(),
+        policies,
         seeds: (1..=n_seeds).collect(),
         validate: validate_cells,
     };
@@ -283,6 +317,7 @@ fn run_sweep_mode(
         Metric::DeliveryRatio,
         Metric::AvgHopcount,
         Metric::OverheadRatio,
+        Metric::AvgLatency,
     ] {
         let title = format!("{} vs {xlabel}", metric.name());
         let table = SeriesTable::from_cells(&title, &xlabel, &out.cells, metric);
@@ -298,6 +333,161 @@ fn run_sweep_mode(
         exit(0);
     }
     exit(1);
+}
+
+/// `--delay-oracle` mode: run the scenario once with contact recording,
+/// estimate the pairwise intermeeting rate λ, and score the simulated
+/// first-delivery delays against the Diana & Lochin closed-form delay
+/// CDF for binary Spray and Wait. Prints predicted-vs-simulated CDF
+/// rows with 95 % error bands plus the KS max deviation; `--json` emits
+/// the same as one machine-checkable object (the CI gate reads
+/// `.ks_deviation`). Exits non-zero only when there is no data to score
+/// (no contacts or no deliveries) — judging the deviation is the
+/// caller's policy, not ours.
+///
+/// λ is the count-based Poisson rate MLE, contacts / (pairs × T): the
+/// per-pair gap fit (`fit_exponential` over `intermeeting_times`) only
+/// sees gaps short enough to close inside the observation window, so it
+/// over-estimates λ badly when E(I) is within an order of magnitude of
+/// the run length (the gap fit is still reported as a diagnostic).
+fn run_delay_oracle_mode(cfg: ScenarioConfig, threads: usize, json_out: bool) -> ! {
+    use sdsrp::analysis::{fit_exponential, mean_ci95};
+    use sdsrp::validate::DelayModel;
+
+    if !matches!(cfg.routing, RoutingKind::SprayAndWaitBinary) {
+        eprintln!("--delay-oracle models binary Spray and Wait; use --routing saw");
+        exit(2);
+    }
+    let mut world = World::build(&cfg);
+    world.set_threads(threads.max(1));
+    world.enable_contact_recording();
+    let (report, trace) = world.run_with_trace();
+
+    if trace.is_empty() {
+        eprintln!("no contacts recorded: cannot estimate λ");
+        exit(1);
+    }
+    let n_pairs = cfg.n_nodes * (cfg.n_nodes - 1) / 2;
+    let lambda = trace.len() as f64 / (n_pairs as f64 * cfg.duration_secs);
+    let intermeetings = trace.intermeeting_times();
+    let lambda_gap_fit = fit_exponential(&intermeetings).map(|f| f.lambda);
+    let delays = report.latency_samples();
+    if delays.is_empty() {
+        eprintln!("no deliveries: nothing to score against the delay model");
+        exit(1);
+    }
+    let model = DelayModel::new(cfg.n_nodes, cfg.initial_copies, lambda);
+    let mut sorted = delays.to_vec();
+    let ks = model.ks_deviation(&mut sorted);
+
+    // CDF rows on a fixed decile grid of the observed delay range, each
+    // with a 95 % CI over the per-message Bernoulli indicator
+    // 1[delay <= t] (the empirical CDF is a mean of indicators).
+    #[derive(serde::Serialize)]
+    struct CdfRow {
+        t_secs: f64,
+        predicted: f64,
+        simulated: f64,
+        ci_half_width: f64,
+    }
+    let t_max = *sorted.last().expect("non-empty");
+    let rows: Vec<CdfRow> = (1..=10)
+        .map(|k| {
+            let t = t_max * k as f64 / 10.0;
+            let indicators: Vec<f64> = sorted
+                .iter()
+                .map(|&d| if d <= t { 1.0 } else { 0.0 })
+                .collect();
+            let ci = mean_ci95(&indicators).expect("non-empty");
+            CdfRow {
+                t_secs: t,
+                predicted: model.predicted_delay_cdf(t),
+                simulated: ci.mean,
+                ci_half_width: ci.half_width,
+            }
+        })
+        .collect();
+
+    let simulated_mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    if json_out {
+        #[derive(serde::Serialize)]
+        struct Out<'a> {
+            scenario: &'a str,
+            policy: &'a str,
+            seed: u64,
+            n_nodes: usize,
+            copies: u32,
+            lambda: f64,
+            lambda_gap_fit: Option<f64>,
+            contacts: usize,
+            intermeeting_samples: usize,
+            delay_samples: usize,
+            delivery_ratio: f64,
+            ks_deviation: f64,
+            predicted_mean_delay_secs: f64,
+            simulated_mean_delay_secs: f64,
+            cdf: Vec<CdfRow>,
+        }
+        let out = Out {
+            scenario: &cfg.name,
+            policy: cfg.policy.label(),
+            seed: cfg.seed,
+            n_nodes: cfg.n_nodes,
+            copies: cfg.initial_copies,
+            lambda,
+            lambda_gap_fit,
+            contacts: trace.len(),
+            intermeeting_samples: intermeetings.len(),
+            delay_samples: sorted.len(),
+            delivery_ratio: report.delivery_ratio(),
+            ks_deviation: ks,
+            predicted_mean_delay_secs: model.mean_delay(),
+            simulated_mean_delay_secs: simulated_mean,
+            cdf: rows,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serialises")
+        );
+    } else {
+        println!("scenario          : {}", cfg.name);
+        println!("policy            : {}", cfg.policy.label());
+        println!(
+            "model             : binary SnW, N = {}, L = {}",
+            cfg.n_nodes, cfg.initial_copies
+        );
+        println!(
+            "estimated λ       : {:.3e} /s ({} contacts over {} pairs)",
+            lambda,
+            trace.len(),
+            n_pairs
+        );
+        if let Some(gap) = lambda_gap_fit {
+            println!(
+                "gap-fit λ (diag.) : {:.3e} /s ({} intermeeting samples)",
+                gap,
+                intermeetings.len()
+            );
+        }
+        println!(
+            "delay samples     : {} (delivery ratio {:.3})",
+            sorted.len(),
+            report.delivery_ratio()
+        );
+        println!("predicted E[T]    : {:.0} s", model.mean_delay());
+        println!("simulated E[T]    : {:.0} s", simulated_mean);
+        println!("KS max deviation  : {ks:.4}");
+        println!();
+        println!("| t (s) | predicted F(t) | simulated F(t) | ±95% |");
+        println!("|---|---|---|---|");
+        for r in &rows {
+            println!(
+                "| {:.0} | {:.4} | {:.4} | {:.4} |",
+                r.t_secs, r.predicted, r.simulated, r.ci_half_width
+            );
+        }
+    }
+    exit(0);
 }
 
 /// Re-runs the scenario recorded in a manifest file and reports whether
@@ -345,6 +535,11 @@ fn parse_policy(s: &str) -> PolicyKind {
         "random" => PolicyKind::Random,
         "knapsack" => PolicyKind::Knapsack,
         "sdsrp" => PolicyKind::Sdsrp,
+        "occ-gate" => PolicyKind::OccupancyGate { threshold: 0.8 },
+        "tiered" => PolicyKind::TieredRetention {
+            tiers: 4,
+            threshold: 0.9,
+        },
         _ => {
             eprintln!("unknown policy {s:?}");
             usage()
@@ -377,6 +572,7 @@ fn main() {
     let mut timeseries_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
     let mut validate = false;
+    let mut delay_oracle = false;
     let mut priority_cache = true;
     let mut replay_path: Option<String> = None;
     let mut sweep_axis: Option<String> = None;
@@ -508,6 +704,7 @@ fn main() {
             "--timeseries" => timeseries_path = Some(next(&args, &mut i)),
             "--telemetry" => telemetry_path = Some(next(&args, &mut i)),
             "--validate" => validate = true,
+            "--delay-oracle" => delay_oracle = true,
             "--replay" => replay_path = Some(next(&args, &mut i)),
             "--sweep" => sweep_axis = Some(next(&args, &mut i)),
             "--seeds" => {
@@ -582,6 +779,10 @@ fn main() {
         return;
     }
 
+    if delay_oracle {
+        run_delay_oracle_mode(cfg, world_threads.max(sweep_threads), json_out);
+    }
+
     let mut world = World::build(&cfg);
     // Single runs have no sweep to fan out, so --threads means the
     // world's intra-run thread count here (--world-threads also works).
@@ -644,7 +845,8 @@ fn main() {
             delivery_ratio: f64,
             avg_hopcount: f64,
             overhead_ratio: f64,
-            avg_latency: f64,
+            /// `null` when nothing was delivered (no latency data).
+            avg_latency: Option<f64>,
             buffer_drops: u64,
             incoming_rejects: u64,
             expirations: u64,
@@ -678,7 +880,10 @@ fn main() {
         println!("delivery ratio  : {:.4}", report.delivery_ratio());
         println!("avg hopcounts   : {:.2}", report.avg_hopcount());
         println!("overhead ratio  : {:.2}", report.overhead_ratio());
-        println!("avg latency (s) : {:.0}", report.avg_latency());
+        match report.avg_latency() {
+            Some(lat) => println!("avg latency (s) : {lat:.0}"),
+            None => println!("avg latency (s) : —"),
+        }
         println!("buffer drops    : {}", report.buffer_drops());
         println!("incoming rejects: {}", report.incoming_rejects());
         println!("expirations     : {}", report.expirations());

@@ -65,7 +65,8 @@ fn conservation_invariants_hold_for_every_policy() {
         );
         if r.delivered() > 0 {
             assert!(r.avg_hopcount() >= 1.0, "{policy:?}: impossible hopcount");
-            assert!(r.avg_latency() > 0.0, "{policy:?}: zero latency");
+            let lat = r.avg_latency().expect("deliveries imply latency data");
+            assert!(lat > 0.0, "{policy:?}: zero latency");
         }
     }
 }

@@ -10,7 +10,7 @@ use sdsrp::sim::replay::{
 use sdsrp::sim::sweep::{SweepAxis, SweepSpec};
 use sdsrp::sim::world::World;
 use sdsrp::telemetry::Recorder;
-use sdsrp::validate::{ValidateConfig, ValidationReport};
+use sdsrp::validate::{DelayModel, ValidateConfig, ValidationReport};
 
 fn quick(policy: PolicyKind, routing: RoutingKind, seed: u64) -> ScenarioConfig {
     let mut cfg = presets::smoke();
@@ -220,6 +220,84 @@ fn workload_is_policy_invariant() {
         "generation/contact streams differ across policies:\n{}",
         diffs.join("\n")
     );
+}
+
+/// A model-friendly operating point for the analytic delay oracle:
+/// near-instant transfers (1 kB messages on the paper's 250 kbit/s
+/// links), sparse traffic and ample buffers, so the simulator's only
+/// departures from the CTMC are the RWP contact process itself. Mirrors
+/// `scenarios/oracle_validation.json` at half duration.
+fn oracle_scenario() -> ScenarioConfig {
+    let mut cfg = presets::smoke();
+    cfg.name = "oracle-validation-test".into();
+    cfg.message_size = sdsrp::core::units::Bytes::new(1_000);
+    cfg.buffer_capacity = sdsrp::core::units::Bytes::from_mb(250.0);
+    cfg.gen_interval = (60.0, 100.0);
+    cfg.duration_secs = 5400.0;
+    cfg.ttl = sdsrp::core::time::SimDuration::from_secs(5400.0);
+    cfg.seed = 1;
+    cfg
+}
+
+/// Runs the oracle scenario, estimates λ with the count-based rate MLE
+/// (contacts / (pairs × T), the same estimator `--delay-oracle` uses)
+/// and returns the fitted model plus the first-delivery delay samples.
+fn fitted_delay_model(cfg: &ScenarioConfig, threads: usize) -> (DelayModel, Vec<f64>) {
+    let mut world = World::build(cfg);
+    world.set_threads(threads);
+    world.enable_contact_recording();
+    let (report, trace) = world.run_with_trace();
+    let n_pairs = (cfg.n_nodes * (cfg.n_nodes - 1) / 2) as f64;
+    let lambda = trace.len() as f64 / (n_pairs * cfg.duration_secs);
+    (
+        DelayModel::new(cfg.n_nodes, cfg.initial_copies, lambda),
+        report.latency_samples().to_vec(),
+    )
+}
+
+#[test]
+fn delay_oracle_matches_simulation_and_corrupted_lambda_fires() {
+    let cfg = oracle_scenario();
+    let (model, delays) = fitted_delay_model(&cfg, 1);
+    assert!(
+        delays.len() >= 30,
+        "too few deliveries ({}) to score the CDF",
+        delays.len()
+    );
+    let mut sorted = delays.clone();
+    let d_fit = model.ks_deviation(&mut sorted);
+    assert!(
+        d_fit < 0.3,
+        "closed form diverges from simulation: KS = {d_fit:.4} (λ = {:.3e})",
+        model.lambda()
+    );
+    // Mutation check: a 3x-corrupted λ must blow the deviation up well
+    // past the fitted model's, proving the KS gate is non-vacuous.
+    let corrupted = DelayModel::new(cfg.n_nodes, cfg.initial_copies, 3.0 * model.lambda());
+    let d_bad = corrupted.ks_deviation(&mut sorted);
+    assert!(
+        d_bad > 0.35 && d_bad > 2.0 * d_fit,
+        "λ corruption went undetected: fitted KS {d_fit:.4}, corrupted KS {d_bad:.4}"
+    );
+}
+
+#[test]
+fn delay_oracle_is_thread_count_invariant() {
+    // The oracle's inputs — contact counts, fitted λ, delay samples —
+    // must not depend on world parallelism: same scenario on 1 vs 4
+    // threads, bit-identical results.
+    let cfg = oracle_scenario();
+    let (m1, d1) = fitted_delay_model(&cfg, 1);
+    let (m4, d4) = fitted_delay_model(&cfg, 4);
+    assert_eq!(m1.lambda().to_bits(), m4.lambda().to_bits());
+    assert_eq!(d1.len(), d4.len());
+    for (a, b) in d1.iter().zip(&d4) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    let (mut s1, mut s4) = (d1, d4);
+    let k1 = m1.ks_deviation(&mut s1);
+    let k4 = m4.ks_deviation(&mut s4);
+    assert_eq!(k1.to_bits(), k4.to_bits());
 }
 
 #[test]
